@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*.py`` regenerates one of the paper's tables or figures:
+the regenerated rows/series are written to ``benchmarks/results/`` (and
+echoed to stdout) while pytest-benchmark times the representative kernel.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_report(name: str, lines: Iterable[str]) -> str:
+    """Persist a regenerated table/figure to results/<name>.txt."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text)
+    print(f"\n--- {name} ---")
+    print(text)
+    return path

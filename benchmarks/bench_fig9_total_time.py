@@ -1,0 +1,36 @@
+"""Fig 9 — MobileNetV3-sized on CIFAR-10-like (d=3,111,462).
+
+Regenerates the figure's two panels (non-overlapped and overlapped total
+running time vs number of users, for dropout rates 10/30/50%) from the
+calibrated timing model, and asserts the paper's qualitative shape:
+LightSecAgg flattest and fastest, SecAgg slowest and steepest, dropout
+rate only hurting the baselines.
+"""
+
+from repro.fl.models.zoo import PAPER_MODEL_SIZES
+from repro.simulation import TRAINING_TIMES
+
+from _report import write_report
+from _sweeps import assert_figure_shape, sweep_rows, total_time_sweep
+
+TASK = "mobilenetv3"
+D = PAPER_MODEL_SIZES[TASK]
+TRAIN_T = TRAINING_TIMES[TASK]
+
+
+def test_fig9_nonoverlapped(benchmark):
+    series = benchmark(total_time_sweep, D, TRAIN_T, False)
+    write_report(
+        "fig9_nonoverlapped",
+        sweep_rows("Fig 9 — MobileNetV3-sized on CIFAR-10-like (d=3,111,462) -- non-overlapped totals (s)", series),
+    )
+    assert_figure_shape(series)
+
+
+def test_fig9_overlapped(benchmark):
+    series = benchmark(total_time_sweep, D, TRAIN_T, True)
+    write_report(
+        "fig9_overlapped",
+        sweep_rows("Fig 9 — MobileNetV3-sized on CIFAR-10-like (d=3,111,462) -- overlapped totals (s)", series),
+    )
+    assert_figure_shape(series)

@@ -1,0 +1,67 @@
+"""Event-driven cross-validation of the Fig. 5 overlap claim.
+
+The closed-form model (`repro.simulation.runtime`) charges analytic costs;
+the event-driven runtime (`repro.system`) plays the actual protocol with
+real payloads on a simulated timeline.  Both must agree qualitatively:
+overlapping offline work with training shortens the round, and recovery
+needs only the U fastest responders.
+"""
+
+import numpy as np
+
+from repro.field import FiniteField
+from repro.protocols.lightsecagg.params import LSAParams
+from repro.simulation.heterogeneous import UserProfile
+from repro.system import SystemRuntime
+
+from _report import write_report
+
+GF = FiniteField()
+N, DIM = 12, 2_000
+PARAMS = LSAParams.from_guarantees(N, privacy=4, dropout_tolerance=2)
+TRAIN_T = 3.0
+
+
+def _updates(rng):
+    return {i: GF.random(DIM, rng) for i in range(N)}
+
+
+def test_system_overlap_vs_serial(benchmark):
+    rng = np.random.default_rng(0)
+    updates = _updates(rng)
+
+    def run(overlap):
+        runtime = SystemRuntime(
+            GF, PARAMS, DIM, training_time=TRAIN_T, overlap=overlap
+        )
+        return runtime.run_round(updates, rng=np.random.default_rng(1))
+
+    overlapped = benchmark(run, True)
+    serial = run(False)
+    lines = [
+        f"Event-driven Fig. 5 cross-check (N={N}, d={DIM}, train={TRAIN_T}s)",
+        f"  overlapped round: {overlapped.finish_time:8.3f} s",
+        f"  serial round    : {serial.finish_time:8.3f} s",
+        f"  saving          : {serial.finish_time - overlapped.finish_time:8.3f} s",
+    ]
+    write_report("system_runtime_overlap", lines)
+    assert overlapped.finish_time < serial.finish_time
+    assert np.array_equal(overlapped.aggregate, serial.aggregate)
+
+
+def test_system_straggler_order_statistic(benchmark):
+    rng = np.random.default_rng(2)
+    updates = _updates(rng)
+    fleet = [UserProfile()] * (N - 2) + [
+        UserProfile(compute_scale=0.02, bandwidth_scale=0.02)
+    ] * 2
+
+    def run():
+        runtime = SystemRuntime(GF, PARAMS, DIM, fleet=fleet)
+        return runtime.run_round(updates, rng=np.random.default_rng(3))
+
+    result = benchmark(run)
+    # The two stragglers are never needed for the one-shot recovery.
+    assert N - 2 not in result.responders
+    assert N - 1 not in result.responders
+    assert len(result.responders) == PARAMS.target_survivors

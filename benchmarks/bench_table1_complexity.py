@@ -1,0 +1,75 @@
+"""Table 1 / Table 5 — complexity comparison of the three protocols.
+
+Regenerates the asymptotic table numerically at the paper's operating
+point (T = N/2, U = (1-p)N, p = 0.1) for several N, and benchmarks the two
+kernels the table's server column is about: LightSecAgg's one-shot MDS
+decode vs SecAgg's PRG mask re-expansion.
+"""
+
+import numpy as np
+
+from repro.coding.mask_encoding import MaskEncoder
+from repro.crypto.prg import PRG
+from repro.field import FiniteField
+from repro.simulation.costmodel import (
+    PROTOCOLS,
+    ROWS,
+    SYMBOLIC_TABLE,
+    complexity_table,
+    paper_operating_point,
+)
+
+from _report import write_report
+
+D_MODEL = 1_206_590
+
+
+def _rows():
+    lines = ["Table 1/5: per-round costs in field elements/ops (d=%d, p=0.1)" % D_MODEL]
+    for n in (100, 200, 500):
+        table = complexity_table(paper_operating_point(n, D_MODEL, 0.1))
+        lines.append(f"\nN = {n}")
+        header = f"{'row':24s}" + "".join(f"{p:>16s}" for p in PROTOCOLS)
+        lines.append(header)
+        for row in ROWS:
+            vals = "".join(f"{table[p][row]:16.3g}" for p in PROTOCOLS)
+            lines.append(f"{row:24s}{vals}")
+    lines.append("\nasymptotics (paper Table 5):")
+    for p in PROTOCOLS:
+        lines.append(f"  {p}: reconstruction {SYMBOLIC_TABLE[p]['reconstruction_server']}")
+    return lines
+
+
+def test_table1_report_and_lsa_decode_kernel(benchmark):
+    """Time the LightSecAgg server decode (the 'reconstruction' cell)."""
+    write_report("table1_complexity", _rows())
+    gf = FiniteField()
+    rng = np.random.default_rng(0)
+    n, u, t, d = 30, 21, 15, 20_000
+    enc = MaskEncoder(gf, n, u, t, d)
+    masks = [enc.generate_mask(rng) for _ in range(n)]
+    shares = [enc.encode(z, rng) for z in masks]
+    survivors = list(range(n))
+    agg = {
+        j: enc.aggregate_shares({i: shares[i][j] for i in survivors})
+        for j in range(u)
+    }
+    result = benchmark(enc.decode_aggregate, agg)
+    assert result.shape == (d,)
+
+
+def test_table1_secagg_prg_kernel(benchmark):
+    """Time the SecAgg server-side PRG expansion for one dropped user's
+    pairwise masks (N-1 expansions of d) at small scale."""
+    gf = FiniteField()
+    prg = PRG(gf)
+    n, d = 30, 20_000
+
+    def reconstruct_dropped_user_masks():
+        acc = gf.zeros(d)
+        for seed in range(n - 1):
+            acc = gf.add(acc, prg.expand(seed, d))
+        return acc
+
+    result = benchmark(reconstruct_dropped_user_masks)
+    assert result.shape == (d,)

@@ -1,0 +1,53 @@
+"""Table 2 — LightSecAgg speedups over SecAgg / SecAgg+ for the four tasks.
+
+Paper reference (N = 200, p = 0.1):
+  task                  non-overlapped   overlapped   aggregation-only
+  MNIST / LR            6.7x, 2.5x       8.0x, 2.9x   13.0x, 4.1x
+  FEMNIST / CNN         11.3x, 3.7x      12.7x, 4.1x  13.2x, 4.2x
+  CIFAR-10 / MobileNet  7.6x, 2.8x       9.5x, 3.3x   13.1x, 3.9x
+  GLD-23K / EffNet-B0   3.3x, 1.6x       3.4x, 1.7x   13.0x, 4.1x
+"""
+
+from repro.fl.models.zoo import PAPER_MODEL_SIZES
+from repro.simulation import SimulationConfig, TRAINING_TIMES, compute_gains
+
+from _report import write_report
+
+N = 200
+CFG = SimulationConfig()
+
+
+def _rows():
+    lines = [f"Table 2 (simulated): LightSecAgg gains vs (SecAgg, SecAgg+), N={N}, p=0.1",
+             f"{'task':22s}{'d':>10s}{'non-overlapped':>18s}{'overlapped':>15s}{'agg-only':>15s}"]
+    for task, d in PAPER_MODEL_SIZES.items():
+        g = compute_gains(task, N, d, 0.1, TRAINING_TIMES[task], CFG)
+        lines.append(
+            f"{task:22s}{d:10d}"
+            f"{g.non_overlapped['secagg']:9.1f}x,{g.non_overlapped['secagg+']:5.1f}x"
+            f"{g.overlapped['secagg']:8.1f}x,{g.overlapped['secagg+']:5.1f}x"
+            f"{g.aggregation_only['secagg']:8.1f}x,{g.aggregation_only['secagg+']:5.1f}x"
+        )
+    lines.append("\nnote: the LR row is floor-dominated in our latency model and")
+    lines.append("reports a smaller gain than the paper's 6.7x; all orderings hold.")
+    return lines
+
+
+def test_table2_report_and_gain_computation(benchmark):
+    lines = _rows()
+    write_report("table2_gains", lines)
+
+    def all_tasks():
+        return [
+            compute_gains(task, N, d, 0.1, TRAINING_TIMES[task], CFG)
+            for task, d in PAPER_MODEL_SIZES.items()
+        ]
+
+    gains = benchmark(all_tasks)
+    # Shape assertions mirroring the paper's table.
+    cnn = gains[1]
+    assert cnn.non_overlapped["secagg"] > cnn.non_overlapped["secagg+"] > 1
+    assert cnn.overlapped["secagg"] > 8
+    effb0 = gains[3]
+    # Training-dominant task: end-to-end gain << aggregation-only gain.
+    assert effb0.non_overlapped["secagg"] < effb0.aggregation_only["secagg"]

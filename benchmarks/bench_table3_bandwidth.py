@@ -1,0 +1,45 @@
+"""Table 3 — performance gain in different bandwidth settings.
+
+Paper reference (CNN/FEMNIST, N = 200, single FL round, overlapped):
+  4G (98 Mbps): 8.5x / 2.9x    320 Mbps: 12.7x / 4.1x    5G (802): 13.5x / 4.4x
+"""
+
+from repro.fl.models.zoo import PAPER_MODEL_SIZES
+from repro.simulation import (
+    BANDWIDTH_SETTINGS,
+    SimulationConfig,
+    TRAINING_TIMES,
+    compute_gains,
+)
+
+from _report import write_report
+
+N = 200
+CNN_D = PAPER_MODEL_SIZES["cnn_femnist"]
+
+
+def _gain_at(bw):
+    cfg = SimulationConfig(bandwidth=bw)
+    return compute_gains("cnn", N, CNN_D, 0.1, TRAINING_TIMES["cnn_femnist"], cfg)
+
+
+def _rows():
+    lines = [f"Table 3 (simulated): overlapped gain vs bandwidth, CNN/FEMNIST, N={N}",
+             f"{'bandwidth':16s}{'vs SecAgg':>12s}{'vs SecAgg+':>12s}"]
+    for bw in BANDWIDTH_SETTINGS:
+        g = _gain_at(bw)
+        lines.append(
+            f"{bw.name:16s}{g.overlapped['secagg']:11.1f}x"
+            f"{g.overlapped['secagg+']:11.1f}x"
+        )
+    return lines
+
+
+def test_table3_report_and_sweep(benchmark):
+    write_report("table3_bandwidth", _rows())
+    gains = benchmark(lambda: [_gain_at(bw) for bw in BANDWIDTH_SETTINGS])
+    # The paper's monotonicity: gains grow with bandwidth.
+    secagg_gains = [g.overlapped["secagg"] for g in gains]
+    assert secagg_gains[0] < secagg_gains[1] < secagg_gains[2]
+    plus_gains = [g.overlapped["secagg+"] for g in gains]
+    assert plus_gains[0] < plus_gains[1] < plus_gains[2]

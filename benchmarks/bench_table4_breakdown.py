@@ -1,0 +1,60 @@
+"""Table 4 — running-time breakdown, CNN/FEMNIST, N = 200, p in {10,30,50}%.
+
+Paper reference (non-overlapped totals): LightSecAgg 145/145/300 s,
+SecAgg 1048/1632/2216 s, SecAgg+ 471/538/608 s; recovery dominates SecAgg
+and grows linearly in the dropout rate while LightSecAgg's stays flat
+until p = 0.5 (where U - T = 1 inflates the coded symbols).
+"""
+
+from repro.fl.models.zoo import PAPER_MODEL_SIZES
+from repro.simulation import SimulationConfig, TRAINING_TIMES, simulate
+
+from _report import write_report
+
+N = 200
+CNN_D = PAPER_MODEL_SIZES["cnn_femnist"]
+TRAIN_T = TRAINING_TIMES["cnn_femnist"]
+CFG = SimulationConfig()
+PROTOS = ("lightsecagg", "secagg", "secagg+")
+
+
+def _breakdown():
+    return {
+        (proto, p): simulate(proto, N, CNN_D, p, TRAIN_T, CFG)
+        for proto in PROTOS
+        for p in (0.1, 0.3, 0.5)
+    }
+
+
+def _rows(table):
+    lines = [f"Table 4 (simulated): breakdown (seconds), CNN/FEMNIST, N={N}",
+             f"{'protocol':13s}{'p':>5s}{'offline':>9s}{'train':>7s}"
+             f"{'upload':>8s}{'recovery':>9s}{'total':>9s}{'overlapped':>11s}"]
+    for proto in PROTOS:
+        for p in (0.1, 0.3, 0.5):
+            t = table[(proto, p)]
+            lines.append(
+                f"{proto:13s}{p:5.1f}{t.offline:9.1f}{t.training:7.1f}"
+                f"{t.upload:8.1f}{t.recovery:9.1f}"
+                f"{t.total(False):9.1f}{t.total(True):11.1f}"
+            )
+    return lines
+
+
+def test_table4_report_and_simulation(benchmark):
+    table = benchmark(_breakdown)
+    write_report("table4_breakdown", _rows(table))
+
+    # Paper shape assertions.
+    lsa = [table[("lightsecagg", p)].total() for p in (0.1, 0.3, 0.5)]
+    sa = [table[("secagg", p)].total() for p in (0.1, 0.3, 0.5)]
+    sp = [table[("secagg+", p)].total() for p in (0.1, 0.3, 0.5)]
+    # LightSecAgg flat for p in {0.1, 0.3}, penalized at 0.5.
+    assert abs(lsa[0] - lsa[1]) / lsa[0] < 0.05
+    assert lsa[2] > lsa[0]
+    # SecAgg grows steeply and is always the slowest.
+    assert sa[0] < sa[1] < sa[2]
+    for i in range(3):
+        assert lsa[i] < sp[i] < sa[i]
+    # SecAgg recovery dominance (the paper's primary-gain claim).
+    assert table[("secagg", 0.3)].recovery > 0.5 * table[("secagg", 0.3)].total()

@@ -1,0 +1,71 @@
+"""Table 6 — randomness generation and storage vs Zhao & Sun (2021).
+
+The paper's claim: the trusted-third-party scheme needs an amount of
+randomness that grows exponentially in N, while LightSecAgg's grows
+linearly (N*U total, U-T+N per user).
+"""
+
+from repro.simulation.storage import compare_storage
+
+from _report import write_report
+
+
+def _points():
+    # U = 0.7N, T = N/2 (paper operating point) at small N where the
+    # exponential column is still printable.
+    return [compare_storage(n, int(0.7 * n), n // 2) for n in (10, 15, 20, 25, 30)]
+
+
+def _rows(points):
+    lines = ["Table 6 (exact formulas): symbols of F_q^{d/(U-T)}",
+             f"{'N':>4s}{'U':>5s}{'T':>5s}{'ZS total rand':>16s}{'LSA total':>12s}"
+             f"{'ZS per-user':>14s}{'LSA per-user':>14s}{'rand ratio':>12s}"]
+    for c in points:
+        lines.append(
+            f"{c.num_users:4d}{c.target_survivors:5d}{c.privacy:5d}"
+            f"{c.zhao_sun_randomness:16.3e}{c.lightsecagg_randomness:12d}"
+            f"{c.zhao_sun_per_user:14.3e}{c.lightsecagg_per_user:14d}"
+            f"{c.randomness_ratio:12.3e}"
+        )
+    return lines
+
+
+def test_table6_grounded_in_running_code(benchmark):
+    """Run the actual TTP scheme at N=8 and check the closed forms count
+    exactly what the implementation generates and stores."""
+    import numpy as np
+
+    from repro.field import FiniteField
+    from repro.protocols.lightsecagg.params import LSAParams
+    from repro.protocols.zhao_sun import TrustedThirdPartyMasking
+    from repro.simulation.storage import (
+        zhao_sun_storage_per_user,
+        zhao_sun_total_randomness,
+    )
+
+    gf = FiniteField()
+    n, u, t = 8, 6, 3
+    params = LSAParams(n, t, n - u, u)
+    rng = np.random.default_rng(0)
+    ttp = benchmark(TrustedThirdPartyMasking, gf, params, 16, rng)
+    assert ttp.randomness_symbols == zhao_sun_total_randomness(n, u, t)
+    import statistics
+
+    mean_storage = statistics.mean(
+        ttp.storage_symbols_per_user(i) for i in range(n)
+    )
+    assert abs(mean_storage - zhao_sun_storage_per_user(n, u, t)) < 1e-9
+
+
+def test_table6_report_and_formulas(benchmark):
+    points = benchmark(_points)
+    write_report("table6_storage", _rows(points))
+    ratios = [c.randomness_ratio for c in points]
+    # Exponential vs linear separation: the ratio itself grows rapidly.
+    assert all(a < b for a, b in zip(ratios, ratios[1:]))
+    assert ratios[-1] > 1e3 * ratios[0]
+    # LightSecAgg per-user storage stays linear: U - T + N.
+    for c in points:
+        assert c.lightsecagg_per_user == (
+            c.target_survivors - c.privacy + c.num_users
+        )

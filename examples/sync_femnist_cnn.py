@@ -1,0 +1,75 @@
+"""Synchronous secure FL: CNN on a FEMNIST-like task with user dropouts.
+
+Reproduces (at laptop scale) the paper's flagship workload — the McMahan
+CNN on FEMNIST with 10% of the users dropping every round — and shows that
+secure aggregation changes nothing about convergence: the LightSecAgg run
+matches an insecure FedAvg run.
+
+Run:  python examples/sync_femnist_cnn.py  [--rounds 3]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import FiniteField, LightSecAgg, LSAParams, NaiveAggregation
+from repro.fl import (
+    LocalTrainingConfig,
+    SecureFederatedAveraging,
+    iid_partition,
+    mcmahan_cnn,
+    make_classification,
+)
+from repro.fl.datasets.synthetic import train_test_split
+
+NUM_USERS = 8
+DROPOUT_RATE = 0.1
+
+
+def build_trainer(protocol_factory, clients, seed=0):
+    # A scaled-down CNN (20x20 inputs, 10 classes) keeps this demo fast;
+    # swap input_shape=(1, 28, 28), num_classes=62 for the paper-sized run.
+    model = mcmahan_cnn(input_shape=(1, 20, 20), num_classes=10, seed=seed)
+    protocol = protocol_factory(model.dim)
+    return SecureFederatedAveraging(
+        model,
+        clients,
+        protocol,
+        local_config=LocalTrainingConfig(epochs=2, batch_size=32, lr=0.01),
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--rounds", type=int, default=3)
+    args = parser.parse_args()
+
+    gf = FiniteField()
+    # A 20x20 / 10-class FEMNIST-like task keeps this demo fast; use
+    # make_femnist_like() (28x28, 62 classes) for the paper-sized run.
+    full = make_classification(640, (1, 20, 20), 10, noise=0.8, seed=3,
+                               name="femnist-small")
+    train, test = train_test_split(full, 0.25, seed=1)
+    clients = iid_partition(train, NUM_USERS, seed=1)
+
+    params = LSAParams.paper_defaults(NUM_USERS, DROPOUT_RATE)
+    print(f"params: N={NUM_USERS}, T={params.privacy}, "
+          f"D={params.dropout_tolerance}, U={params.target_survivors}")
+
+    secure = build_trainer(lambda d: LightSecAgg(gf, params, d), clients)
+    naive = build_trainer(lambda d: NaiveAggregation(gf, NUM_USERS, d), clients)
+
+    for name, trainer in (("lightsecagg", secure), ("fedavg (insecure)", naive)):
+        rng = np.random.default_rng(7)
+        hist = trainer.fit(
+            args.rounds, dropout_rate=DROPOUT_RATE, rng=rng, test_set=test
+        )
+        accs = ", ".join(f"{a:.3f}" for a in hist.accuracies)
+        print(f"{name:20s} accuracy per round: {accs}")
+
+    gap = abs(secure.history.accuracies[-1] - naive.history.accuracies[-1])
+    print(f"final accuracy gap (quantization noise only): {gap:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Systems projection: regenerate the paper's Table 2/3/4 summaries.
+
+Uses the calibrated timing model to print (a) the per-phase breakdown of
+one FL round for all three protocols (Table 4), (b) the LightSecAgg
+speedups for all four paper tasks (Table 2), and (c) the bandwidth
+sensitivity (Table 3).
+
+Run:  python examples/systems_projection.py
+"""
+
+from repro.fl.models.zoo import PAPER_MODEL_SIZES
+from repro.simulation import (
+    BANDWIDTH_SETTINGS,
+    SimulationConfig,
+    TRAINING_TIMES,
+    compute_gains,
+    simulate,
+)
+
+N = 200
+CNN_D = PAPER_MODEL_SIZES["cnn_femnist"]
+CFG = SimulationConfig()
+
+
+def table4() -> None:
+    print("=" * 72)
+    print(f"Table 4 (simulated): per-phase breakdown, CNN/FEMNIST, N={N}")
+    print("=" * 72)
+    header = f"{'protocol':14s} {'p':>4s} {'offline':>9s} {'train':>7s} " \
+             f"{'upload':>8s} {'recovery':>9s} {'total':>9s} {'overlap':>9s}"
+    print(header)
+    for p in (0.1, 0.3, 0.5):
+        for proto in ("lightsecagg", "secagg", "secagg+"):
+            t = simulate(proto, N, CNN_D, p, TRAINING_TIMES["cnn_femnist"], CFG)
+            print(
+                f"{proto:14s} {p:4.1f} {t.offline:9.1f} {t.training:7.1f} "
+                f"{t.upload:8.1f} {t.recovery:9.1f} "
+                f"{t.total(False):9.1f} {t.total(True):9.1f}"
+            )
+        print()
+
+
+def table2() -> None:
+    print("=" * 72)
+    print(f"Table 2 (simulated): LightSecAgg gains, N={N}, p=0.1")
+    print("=" * 72)
+    print(f"{'task':22s} {'d':>9s}  {'non-overlapped':>16s} "
+          f"{'overlapped':>13s} {'agg-only':>12s}")
+    for task, d in PAPER_MODEL_SIZES.items():
+        g = compute_gains(task, N, d, 0.1, TRAINING_TIMES[task], CFG)
+        print(
+            f"{task:22s} {d:9d}  "
+            f"{g.non_overlapped['secagg']:6.1f}x,{g.non_overlapped['secagg+']:5.1f}x "
+            f"{g.overlapped['secagg']:6.1f}x,{g.overlapped['secagg+']:5.1f}x "
+            f"{g.aggregation_only['secagg']:6.1f}x,{g.aggregation_only['secagg+']:5.1f}x"
+        )
+
+
+def table3() -> None:
+    print("=" * 72)
+    print(f"Table 3 (simulated): overlapped gain vs bandwidth, CNN, N={N}")
+    print("=" * 72)
+    for bw in BANDWIDTH_SETTINGS:
+        cfg = SimulationConfig(bandwidth=bw)
+        g = compute_gains("cnn", N, CNN_D, 0.1,
+                          TRAINING_TIMES["cnn_femnist"], cfg)
+        print(f"{bw.name:14s} vs SecAgg {g.overlapped['secagg']:5.1f}x   "
+              f"vs SecAgg+ {g.overlapped['secagg+']:5.1f}x")
+
+
+if __name__ == "__main__":
+    table4()
+    table2()
+    table3()

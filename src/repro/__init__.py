@@ -1,0 +1,73 @@
+"""LightSecAgg reproduction (MLSys 2022).
+
+A full Python implementation of the LightSecAgg secure-aggregation
+protocol and everything around it: the SecAgg / SecAgg+ baselines, the
+finite-field / coding / crypto substrates they stand on, a numpy FL stack
+(synchronous and buffered-asynchronous), and a systems simulator that
+regenerates the paper's tables and figures.
+
+Quickstart::
+
+    import numpy as np
+    from repro import FiniteField, LightSecAgg, LSAParams
+
+    gf = FiniteField()
+    params = LSAParams.from_guarantees(num_users=10, privacy=3,
+                                       dropout_tolerance=3)
+    protocol = LightSecAgg(gf, params, model_dim=1000)
+    updates = {i: gf.random(1000) for i in range(10)}
+    result = protocol.run_round(updates, dropouts={2, 5})
+    # result.aggregate == exact field-sum of the surviving users' updates
+"""
+
+from repro.field import DEFAULT_PRIME, PAPER_PRIME, FiniteField
+from repro.coding import MaskEncoder, MDSCode, ShamirSecretSharing
+from repro.crypto import PRG, DiffieHellman
+from repro.exceptions import (
+    CodingError,
+    DropoutError,
+    FieldError,
+    ParameterError,
+    ProtocolError,
+    QuantizationError,
+    ReproError,
+    SimulationError,
+)
+from repro.protocols import (
+    LightSecAgg,
+    LSAParams,
+    NaiveAggregation,
+    SecAgg,
+    SecAggPlus,
+    sample_dropouts,
+)
+from repro.quantization import ModelQuantizer, QuantizationConfig
+from repro.version import __version__
+
+__all__ = [
+    "__version__",
+    "FiniteField",
+    "DEFAULT_PRIME",
+    "PAPER_PRIME",
+    "MDSCode",
+    "MaskEncoder",
+    "ShamirSecretSharing",
+    "PRG",
+    "DiffieHellman",
+    "LightSecAgg",
+    "LSAParams",
+    "SecAgg",
+    "SecAggPlus",
+    "NaiveAggregation",
+    "sample_dropouts",
+    "ModelQuantizer",
+    "QuantizationConfig",
+    "ReproError",
+    "FieldError",
+    "CodingError",
+    "ProtocolError",
+    "ParameterError",
+    "DropoutError",
+    "QuantizationError",
+    "SimulationError",
+]

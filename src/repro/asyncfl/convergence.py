@@ -1,0 +1,110 @@
+"""Theorem 2 — convergence-rate bound for asynchronous LightSecAgg.
+
+The paper shows (eq. 39) that with constant learning rates satisfying
+``eta_l * eta_g * K * E <= 1/L``, the ergodic squared-gradient norm after
+``J`` buffered rounds is bounded by
+
+    2 F* / (eta_g eta_l E K J)
+  + L eta_g eta_l sigma_cl^2 / 2
+  + 3 L^2 E^2 eta_l^2 eta_g^2 K^2 tau_max^2 sigma^2
+
+with ``sigma^2 = G + sigma_g^2 + sigma_cl^2`` and
+``sigma_cl^2 = d / (4 c_l^2) + sigma_l^2`` — i.e. FedBuff's rate plus the
+quantization variance of Lemma 2.
+
+This module evaluates the bound so experiments can (a) check knob
+monotonicity (larger ``c_l`` -> tighter bound, up to the wrap-around
+budget) and (b) verify the quantization term is negligible at the paper's
+``c_l = 2^16`` (Remark 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ReproError
+
+
+@dataclass(frozen=True)
+class ConvergenceConstants:
+    """Problem constants of Assumptions 1-5 and the algorithm knobs."""
+
+    smoothness: float  # L (Assumption 2)
+    initial_gap: float  # F* = F(x_0) - F(x*)
+    grad_bound: float  # G (Assumption 4)
+    local_variance: float  # sigma_l^2 (Assumption 3)
+    global_variance: float  # sigma_g^2 (Assumption 3)
+    model_dim: int  # d
+    quant_levels: int  # c_l
+    buffer_size: int  # K
+    local_steps: int  # E
+    tau_max: int  # staleness bound (Assumption 5)
+    eta_local: float  # eta_l
+    eta_global: float  # eta_g
+
+    def __post_init__(self):
+        for name in ("smoothness", "initial_gap", "eta_local", "eta_global"):
+            if getattr(self, name) <= 0:
+                raise ReproError(f"{name} must be positive")
+        for name in ("grad_bound", "local_variance", "global_variance"):
+            if getattr(self, name) < 0:
+                raise ReproError(f"{name} must be non-negative")
+        if min(self.model_dim, self.quant_levels, self.buffer_size,
+               self.local_steps) <= 0 or self.tau_max < 0:
+            raise ReproError("dimensional knobs must be positive")
+
+    @property
+    def sigma_cl_sq(self) -> float:
+        """``sigma_cl^2 = d / (4 c_l^2) + sigma_l^2`` (Lemma 2)."""
+        return self.model_dim / (4.0 * self.quant_levels**2) + self.local_variance
+
+    @property
+    def sigma_sq(self) -> float:
+        """``sigma^2 = G + sigma_g^2 + sigma_cl^2`` (Theorem 2)."""
+        return self.grad_bound + self.global_variance + self.sigma_cl_sq
+
+    def learning_rates_feasible(self) -> bool:
+        """The theorem's step-size condition ``eta_l eta_g K E <= 1/L``."""
+        return (
+            self.eta_local * self.eta_global * self.buffer_size
+            * self.local_steps
+            <= 1.0 / self.smoothness + 1e-12
+        )
+
+
+def convergence_bound(c: ConvergenceConstants, rounds: int) -> float:
+    """Evaluate the RHS of eq. (39) after ``rounds`` buffered rounds."""
+    if rounds <= 0:
+        raise ReproError("rounds must be positive")
+    if not c.learning_rates_feasible():
+        raise ReproError(
+            "step sizes violate eta_l * eta_g * K * E <= 1/L; the bound "
+            "does not apply"
+        )
+    opt_term = 2.0 * c.initial_gap / (
+        c.eta_global * c.eta_local * c.local_steps * c.buffer_size * rounds
+    )
+    quant_term = c.smoothness * c.eta_global * c.eta_local * c.sigma_cl_sq / 2.0
+    staleness_term = (
+        3.0
+        * c.smoothness**2
+        * c.local_steps**2
+        * c.eta_local**2
+        * c.eta_global**2
+        * c.buffer_size**2
+        * c.tau_max**2
+        * c.sigma_sq
+    )
+    return opt_term + quant_term + staleness_term
+
+
+def quantization_excess(c: ConvergenceConstants, rounds: int) -> float:
+    """How much of the bound is attributable to quantization alone.
+
+    The difference between the bound with ``sigma_cl^2`` and the FedBuff
+    bound with ``sigma_l^2`` (paper Remark 6: vanishes for large c_l).
+    """
+    from dataclasses import replace
+
+    unquantized = replace(c, quant_levels=1 << 62)
+    return convergence_bound(c, rounds) - convergence_bound(unquantized, rounds)

@@ -1,0 +1,145 @@
+"""Asynchronous LightSecAgg aggregation (paper Appendix F.3).
+
+One :meth:`AsyncSecureAggregator.aggregate` call corresponds to one buffer
+drain at the server: a group of ``K`` updates, generated at *different*
+rounds ``t_i``, must be averaged with staleness weights without revealing
+any individual update.
+
+Key protocol points implemented here:
+
+* Each delivered update is protected by a mask generated (and encoded /
+  shared) at its *download* round — masks from different rounds coexist in
+  one aggregation, which is exactly what breaks SecAgg's pairwise
+  cancellation and what LightSecAgg's linear mask encoding tolerates
+  (commutativity of MDS coding and addition, Sec. 4.2).
+* Staleness weights are the quantized integers ``s_cg(tau)`` of eq. (34),
+  applied in-field by the users to their held shares and by the server to
+  the masked updates.
+* Recovery is one-shot: any ``U`` surviving users' weighted aggregated
+  shares decode the weighted aggregate mask.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import DropoutError, ProtocolError
+from repro.coding.mask_encoding import MaskEncoder
+from repro.field.arithmetic import FiniteField
+from repro.asyncfl.staleness import QuantizedStaleness
+from repro.protocols.lightsecagg.params import LSAParams
+from repro.quantization.quantizer import ModelQuantizer
+
+
+@dataclass(frozen=True)
+class AsyncDelivery:
+    """One buffered update at aggregation time.
+
+    ``staleness`` is ``tau_i = t - t_i``; ``update`` is the real-valued
+    local update ``Delta_i``.
+    """
+
+    user_id: int
+    staleness: int
+    update: np.ndarray
+
+
+class AsyncSecureAggregator:
+    """Secure weighted aggregation of a buffer of stale updates."""
+
+    def __init__(
+        self,
+        gf: FiniteField,
+        params: LSAParams,
+        model_dim: int,
+        quantizer: ModelQuantizer,
+        staleness: QuantizedStaleness,
+        generator: str = "lagrange",
+    ):
+        self.gf = gf
+        self.params = params
+        self.model_dim = model_dim
+        self.quantizer = quantizer
+        self.staleness = staleness
+        self.encoder = MaskEncoder(
+            gf,
+            num_users=params.num_users,
+            target_survivors=params.target_survivors,
+            privacy=params.privacy,
+            model_dim=model_dim,
+            generator=generator,
+        )
+
+    def aggregate(
+        self,
+        deliveries: Sequence[AsyncDelivery],
+        rng: Optional[np.random.Generator] = None,
+        recovery_dropouts: Optional[set] = None,
+    ) -> np.ndarray:
+        """Securely compute the staleness-weighted average update.
+
+        Returns the real-valued global update direction
+        ``sum_i Q_cg(s(tau_i)) Q_cl(Delta_i) / sum_i Q_cg(s(tau_i))``
+        (paper eq. 37, without the server learning rate).
+
+        ``recovery_dropouts`` optionally removes users from the recovery
+        phase (they still contribute masked updates); at least ``U`` users
+        must remain.
+        """
+        if not deliveries:
+            raise ProtocolError("cannot aggregate an empty buffer")
+        rng = rng if rng is not None else np.random.default_rng()
+        recovery_dropouts = recovery_dropouts or set()
+        n = self.params.num_users
+        responders = [j for j in range(n) if j not in recovery_dropouts]
+        if len(responders) < self.params.target_survivors:
+            raise DropoutError(
+                f"only {len(responders)} recovery responders, need "
+                f"U={self.params.target_survivors}"
+            )
+
+        # --- user side: quantize, mask (each mask carries its timestamp;
+        # simulated here by drawing the mask at aggregation time, which is
+        # distributionally identical), and upload.
+        weights: List[int] = []
+        masked_sum = self.gf.zeros(self.model_dim)
+        share_matrix: Dict[int, List[np.ndarray]] = {j: [] for j in range(n)}
+        for delivery in deliveries:
+            if delivery.update.shape != (self.model_dim,):
+                raise ProtocolError(
+                    f"update shape {delivery.update.shape} != ({self.model_dim},)"
+                )
+            w = self.staleness.weight(delivery.staleness, rng)
+            weights.append(w)
+            if w == 0:
+                continue
+            quantized = self.quantizer.quantize(delivery.update, rng)
+            mask = self.encoder.generate_mask(rng)
+            shares = self.encoder.encode(mask, rng)  # (N, share_dim)
+            masked = self.gf.add(quantized, mask)
+            # Server applies the public integer weight to the masked update.
+            masked_sum = self.gf.add(masked_sum, self.gf.mul(masked, w))
+            # Each holder will apply the same weight to its share.
+            for j in range(n):
+                share_matrix[j].append(self.gf.mul(shares[j], w))
+
+        total_weight = sum(weights)
+        if total_weight == 0:
+            raise ProtocolError("all staleness weights quantized to zero")
+
+        # --- recovery: any U responders send their weighted aggregated
+        # shares; one-shot decode of the weighted aggregate mask.
+        agg_shares: Dict[int, np.ndarray] = {}
+        for j in responders[: self.params.target_survivors]:
+            stack = np.stack(share_matrix[j], axis=0)
+            agg_shares[j] = self.gf.sum(stack, axis=0)
+        aggregate_mask = self.encoder.decode_aggregate(agg_shares)
+
+        weighted_field_sum = self.gf.sub(masked_sum, aggregate_mask)
+        # phi^{-1} then divide by c_l (dequantize) and by the integer weight
+        # sum: exactly eq. (35)/(37) since weights are c_g * Q_cg(s).
+        real_sum = self.quantizer.dequantize(weighted_field_sum)
+        return real_sum / total_weight

@@ -1,0 +1,195 @@
+"""Buffered asynchronous FL trainers: FedBuff baseline and async LightSecAgg.
+
+The simulation follows the paper's async experimental setup (Sec. F.5):
+``N`` users, a server buffer of size ``K``, and per-delivery staleness
+drawn uniformly from ``[0, tau_max]``.  A user delivering at round ``t``
+with staleness ``tau`` trained from the global model of round ``t - tau``
+(the trainer keeps a window of past global parameter vectors for this).
+
+Two aggregation back-ends share the simulation:
+
+* :class:`FedBuffTrainer` — plain real-valued staleness-weighted averaging
+  (Nguyen et al., 2021), the paper's insecure baseline in Fig. 7/11/12.
+* :class:`AsyncLightSecAggTrainer` — the secure path through
+  :class:`~repro.asyncfl.secure_aggregator.AsyncSecureAggregator`,
+  including quantization and in-field staleness weighting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.asyncfl.secure_aggregator import AsyncDelivery, AsyncSecureAggregator
+from repro.asyncfl.staleness import QuantizedStaleness, StalenessFn, constant_staleness
+from repro.field.arithmetic import FiniteField
+from repro.fl.datasets.synthetic import Dataset
+from repro.fl.trainer import LocalTrainingConfig, local_update
+from repro.protocols.lightsecagg.params import LSAParams
+from repro.quantization.quantizer import ModelQuantizer, QuantizationConfig
+
+
+@dataclass
+class AsyncRoundRecord:
+    """Telemetry for one buffered-async global round."""
+
+    round_index: int
+    participants: List[int]
+    staleness: List[int]
+    test_loss: Optional[float] = None
+    test_accuracy: Optional[float] = None
+
+
+@dataclass
+class AsyncHistory:
+    records: List[AsyncRoundRecord] = field(default_factory=list)
+
+    @property
+    def accuracies(self) -> List[float]:
+        return [r.test_accuracy for r in self.records if r.test_accuracy is not None]
+
+
+class _BufferedAsyncBase:
+    """Shared staleness simulation for buffered async FL."""
+
+    def __init__(
+        self,
+        model,
+        client_datasets: Sequence[Dataset],
+        buffer_size: int = 10,
+        tau_max: int = 10,
+        local_config: LocalTrainingConfig = LocalTrainingConfig(epochs=1),
+        server_lr: float = 1.0,
+        seed: int = 0,
+    ):
+        if buffer_size <= 0 or buffer_size > len(client_datasets):
+            raise ReproError("require 0 < buffer_size <= num_users")
+        if tau_max < 0:
+            raise ReproError("tau_max must be non-negative")
+        self.model = model
+        self.client_datasets = list(client_datasets)
+        self.num_users = len(self.client_datasets)
+        self.buffer_size = buffer_size
+        self.tau_max = tau_max
+        self.local_config = local_config
+        self.server_lr = server_lr
+        self.rng = np.random.default_rng(seed)
+        self.global_params = model.get_flat_params()
+        # Window of past global models for stale training starts.
+        self._param_history: Deque[np.ndarray] = deque(maxlen=tau_max + 1)
+        self._param_history.append(self.global_params.copy())
+        self.history = AsyncHistory()
+
+    # ------------------------------------------------------------------
+    def _simulate_deliveries(self, t: int) -> List[AsyncDelivery]:
+        """Sample K users with uniform staleness and compute their updates."""
+        participants = self.rng.choice(
+            self.num_users, size=self.buffer_size, replace=False
+        )
+        deliveries: List[AsyncDelivery] = []
+        for uid in participants.tolist():
+            tau = int(self.rng.integers(0, min(t, self.tau_max) + 1))
+            # Index -1 is the current model, -(tau+1) the model tau rounds ago.
+            start_params = self._param_history[-(tau + 1)]
+            delta = local_update(
+                self.model,
+                start_params,
+                self.client_datasets[uid],
+                self.local_config,
+                self.rng,
+            )
+            deliveries.append(
+                AsyncDelivery(user_id=uid, staleness=tau, update=delta)
+            )
+        return deliveries
+
+    def _aggregate(self, deliveries: List[AsyncDelivery]) -> np.ndarray:
+        raise NotImplementedError
+
+    def run_round(self, test_set: Optional[Dataset] = None) -> AsyncRoundRecord:
+        t = len(self.history.records)
+        deliveries = self._simulate_deliveries(t)
+        update = self._aggregate(deliveries)
+        self.global_params = self.global_params - self.server_lr * update
+        self.model.set_flat_params(self.global_params)
+        self._param_history.append(self.global_params.copy())
+        record = AsyncRoundRecord(
+            round_index=t,
+            participants=[d.user_id for d in deliveries],
+            staleness=[d.staleness for d in deliveries],
+        )
+        if test_set is not None:
+            record.test_loss, record.test_accuracy = self.model.evaluate(
+                test_set.x, test_set.y
+            )
+        self.history.records.append(record)
+        return record
+
+    def fit(
+        self, num_rounds: int, test_set: Optional[Dataset] = None
+    ) -> AsyncHistory:
+        for _ in range(num_rounds):
+            self.run_round(test_set=test_set)
+        return self.history
+
+
+class FedBuffTrainer(_BufferedAsyncBase):
+    """Insecure buffered async FL with real-valued staleness weighting."""
+
+    def __init__(
+        self,
+        model,
+        client_datasets: Sequence[Dataset],
+        staleness_fn: StalenessFn = constant_staleness,
+        **kwargs,
+    ):
+        super().__init__(model, client_datasets, **kwargs)
+        self.staleness_fn = staleness_fn
+
+    def _aggregate(self, deliveries: List[AsyncDelivery]) -> np.ndarray:
+        weights = np.asarray(
+            [self.staleness_fn(d.staleness) for d in deliveries]
+        )
+        if weights.sum() <= 0:
+            raise ReproError("staleness weights sum to zero")
+        stacked = np.stack([d.update for d in deliveries], axis=0)
+        return (weights[:, None] * stacked).sum(axis=0) / weights.sum()
+
+
+class AsyncLightSecAggTrainer(_BufferedAsyncBase):
+    """Buffered async FL secured by asynchronous LightSecAgg."""
+
+    def __init__(
+        self,
+        model,
+        client_datasets: Sequence[Dataset],
+        gf: Optional[FiniteField] = None,
+        params: Optional[LSAParams] = None,
+        quantization: QuantizationConfig = QuantizationConfig(levels=1 << 16, clip=8.0),
+        staleness_fn: StalenessFn = constant_staleness,
+        staleness_levels: int = 1 << 6,
+        **kwargs,
+    ):
+        super().__init__(model, client_datasets, **kwargs)
+        gf = gf if gf is not None else FiniteField()
+        if params is None:
+            params = LSAParams.paper_defaults(self.num_users, dropout_rate=0.1)
+        quantizer = ModelQuantizer(gf, quantization)
+        # Guard the wrap-around budget: K weighted updates in the field.
+        max_weight = staleness_levels  # s(tau) <= 1 -> weight <= levels
+        bound = (quantization.clip or 8.0) * max_weight
+        quantizer.check_budget(self.buffer_size, bound)
+        self.aggregator = AsyncSecureAggregator(
+            gf,
+            params,
+            model_dim=model.get_flat_params().shape[0],
+            quantizer=quantizer,
+            staleness=QuantizedStaleness(staleness_levels, staleness_fn),
+        )
+
+    def _aggregate(self, deliveries: List[AsyncDelivery]) -> np.ndarray:
+        return self.aggregator.aggregate(deliveries, self.rng)

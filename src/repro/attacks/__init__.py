@@ -1,0 +1,15 @@
+"""Privacy attacks motivating secure aggregation."""
+
+from repro.attacks.inversion import (
+    InversionResult,
+    attack_success,
+    invert_logistic_gradient,
+    logistic_gradient,
+)
+
+__all__ = [
+    "InversionResult",
+    "logistic_gradient",
+    "invert_logistic_gradient",
+    "attack_success",
+]

@@ -1,0 +1,183 @@
+"""Command-line interface: run rounds and regenerate the paper's tables.
+
+Usage (also via ``python -m repro``)::
+
+    python -m repro round --protocol lightsecagg -n 12 -d 1000 --drop 2
+    python -m repro simulate --protocol secagg -n 200 -d 1206590 -p 0.3
+    python -m repro gains -n 200 -p 0.1
+    python -m repro breakdown -n 200
+    python -m repro complexity -n 200 -d 1206590
+    python -m repro storage -n 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.field import FiniteField
+from repro.fl.models.zoo import PAPER_MODEL_SIZES
+from repro.protocols import LightSecAgg, LSAParams, SecAgg, SecAggPlus
+from repro.simulation import (
+    SimulationConfig,
+    TRAINING_TIMES,
+    complexity_table,
+    compute_gains,
+    paper_operating_point,
+    simulate,
+)
+from repro.simulation.costmodel import PROTOCOLS, ROWS
+from repro.simulation.storage import compare_storage
+
+
+def _build_protocol(name: str, gf: FiniteField, n: int, d: int, seed: int):
+    if name == "lightsecagg":
+        return LightSecAgg(gf, LSAParams.paper_defaults(n, 0.1), d)
+    if name == "secagg":
+        return SecAgg(gf, n, d)
+    if name == "secagg+":
+        return SecAggPlus(gf, n, d, graph_seed=seed)
+    raise SystemExit(f"unknown protocol {name!r}")
+
+
+def cmd_round(args: argparse.Namespace) -> int:
+    gf = FiniteField()
+    rng = np.random.default_rng(args.seed)
+    proto = _build_protocol(args.protocol, gf, args.num_users, args.dim, args.seed)
+    updates = {i: gf.random(args.dim, rng) for i in range(args.num_users)}
+    dropouts = set(
+        rng.choice(args.num_users, size=args.drop, replace=False).tolist()
+    ) if args.drop else set()
+    result = proto.run_round(updates, dropouts, rng)
+    expected = proto.expected_aggregate(updates, result.survivors)
+    ok = np.array_equal(result.aggregate, expected)
+    print(f"protocol={args.protocol} N={args.num_users} d={args.dim} "
+          f"dropped={sorted(dropouts)}")
+    print(f"aggregate correct: {ok}")
+    for phase in ("offline", "upload", "recovery"):
+        print(f"  {phase:9s}: {result.transcript.elements(phase=phase):>12d} "
+              f"field elements")
+    print(f"  server PRG elements: {result.metrics.server_prg_elements}")
+    return 0 if ok else 1
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    t = simulate(args.protocol, args.num_users, args.dim, args.dropout,
+                 args.train_time, SimulationConfig())
+    print(f"{args.protocol} N={args.num_users} d={args.dim} p={args.dropout}")
+    for phase, secs in t.as_dict().items():
+        print(f"  {phase:9s}: {secs:9.1f} s")
+    print(f"  total     : {t.total(False):9.1f} s "
+          f"(overlapped {t.total(True):9.1f} s)")
+    return 0
+
+
+def cmd_gains(args: argparse.Namespace) -> int:
+    print(f"LightSecAgg gains vs (SecAgg, SecAgg+), N={args.num_users}, "
+          f"p={args.dropout}")
+    for task, d in PAPER_MODEL_SIZES.items():
+        g = compute_gains(task, args.num_users, d, args.dropout,
+                          TRAINING_TIMES[task], SimulationConfig())
+        print(f"  {task:22s} non-ov {g.non_overlapped['secagg']:5.1f}x/"
+              f"{g.non_overlapped['secagg+']:4.1f}x   "
+              f"ov {g.overlapped['secagg']:5.1f}x/"
+              f"{g.overlapped['secagg+']:4.1f}x   "
+              f"agg-only {g.aggregation_only['secagg']:5.1f}x/"
+              f"{g.aggregation_only['secagg+']:4.1f}x")
+    return 0
+
+
+def cmd_breakdown(args: argparse.Namespace) -> int:
+    d = PAPER_MODEL_SIZES["cnn_femnist"]
+    print(f"breakdown (s), CNN/FEMNIST d={d}, N={args.num_users}")
+    for p in (0.1, 0.3, 0.5):
+        for proto in ("lightsecagg", "secagg", "secagg+"):
+            t = simulate(proto, args.num_users, d, p,
+                         TRAINING_TIMES["cnn_femnist"], SimulationConfig())
+            print(f"  p={p} {proto:12s} offline={t.offline:7.1f} "
+                  f"upload={t.upload:6.1f} recovery={t.recovery:8.1f} "
+                  f"total={t.total(False):8.1f}")
+    return 0
+
+
+def cmd_complexity(args: argparse.Namespace) -> int:
+    table = complexity_table(
+        paper_operating_point(args.num_users, args.dim, args.dropout)
+    )
+    header = f"{'row':24s}" + "".join(f"{p:>16s}" for p in PROTOCOLS)
+    print(header)
+    for row in ROWS:
+        vals = "".join(f"{table[p][row]:16.3g}" for p in PROTOCOLS)
+        print(f"{row:24s}{vals}")
+    return 0
+
+
+def cmd_storage(args: argparse.Namespace) -> int:
+    n = args.num_users
+    cmp = compare_storage(n, int(0.7 * n), n // 2)
+    print(f"storage comparison at N={n}, U={int(0.7 * n)}, T={n // 2} "
+          f"(symbols of F_q^(d/(U-T)))")
+    print(f"  Zhao&Sun total randomness : {cmp.zhao_sun_randomness:.4g}")
+    print(f"  LightSecAgg total         : {cmp.lightsecagg_randomness}")
+    print(f"  Zhao&Sun per-user storage : {cmp.zhao_sun_per_user:.4g}")
+    print(f"  LightSecAgg per-user      : {cmp.lightsecagg_per_user}")
+    print(f"  randomness ratio          : {cmp.randomness_ratio:.4g}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="LightSecAgg reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("round", help="run a real secure-aggregation round")
+    p.add_argument("--protocol", default="lightsecagg",
+                   choices=["lightsecagg", "secagg", "secagg+"])
+    p.add_argument("-n", "--num-users", type=int, default=10)
+    p.add_argument("-d", "--dim", type=int, default=1000)
+    p.add_argument("--drop", type=int, default=0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_round)
+
+    p = sub.add_parser("simulate", help="timing model for one round")
+    p.add_argument("--protocol", default="lightsecagg",
+                   choices=["lightsecagg", "secagg", "secagg+"])
+    p.add_argument("-n", "--num-users", type=int, default=200)
+    p.add_argument("-d", "--dim", type=int, default=1_206_590)
+    p.add_argument("-p", "--dropout", type=float, default=0.1)
+    p.add_argument("--train-time", type=float, default=22.8)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("gains", help="Table 2-style gain report")
+    p.add_argument("-n", "--num-users", type=int, default=200)
+    p.add_argument("-p", "--dropout", type=float, default=0.1)
+    p.set_defaults(func=cmd_gains)
+
+    p = sub.add_parser("breakdown", help="Table 4-style breakdown")
+    p.add_argument("-n", "--num-users", type=int, default=200)
+    p.set_defaults(func=cmd_breakdown)
+
+    p = sub.add_parser("complexity", help="Table 1-style complexity rows")
+    p.add_argument("-n", "--num-users", type=int, default=200)
+    p.add_argument("-d", "--dim", type=int, default=1_206_590)
+    p.add_argument("-p", "--dropout", type=float, default=0.1)
+    p.set_defaults(func=cmd_complexity)
+
+    p = sub.add_parser("storage", help="Table 6-style storage comparison")
+    p.add_argument("-n", "--num-users", type=int, default=20)
+    p.set_defaults(func=cmd_storage)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

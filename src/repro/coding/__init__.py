@@ -1,0 +1,22 @@
+"""Coding substrate: MDS erasure codes, T-private mask encoding, Shamir sharing."""
+
+from repro.coding.mds import MDSCode
+from repro.coding.mask_encoding import MaskEncoder
+from repro.coding.partition import (
+    padded_length,
+    partition,
+    piece_length,
+    unpartition,
+)
+from repro.coding.shamir import ShamirSecretSharing, ShamirShare
+
+__all__ = [
+    "MDSCode",
+    "MaskEncoder",
+    "ShamirSecretSharing",
+    "ShamirShare",
+    "partition",
+    "unpartition",
+    "padded_length",
+    "piece_length",
+]

@@ -1,0 +1,128 @@
+"""T-private mask encoding — the core primitive of LightSecAgg.
+
+Implements eq. (5)/(28) of the paper.  A user's random mask ``z`` (length
+``d``) is partitioned into ``U - T`` sub-masks; ``T`` extra sub-masks are
+drawn uniformly at random; the ``U`` rows are encoded with an ``(N, U)``
+MDS code into ``N`` coded shares, one per user.  Properties:
+
+* **Linearity** — the share-wise sum of several users' encodings is a valid
+  encoding of the summed masks, which is what enables the server's one-shot
+  aggregate-mask recovery from any ``U`` aggregated shares.
+* **T-privacy** — any ``T`` shares are statistically independent of ``z``
+  because the ``T`` random padding rows are mixed in through an invertible
+  ``T x T`` sub-matrix (the generator is *T-private MDS* in the paper's
+  terminology; for a Vandermonde/Lagrange generator with distinct nonzero
+  points the required sub-matrices are generalized Vandermonde / Cauchy and
+  hence invertible).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.exceptions import CodingError
+from repro.coding.mds import MDSCode
+from repro.coding.partition import partition, piece_length, unpartition
+from repro.field.arithmetic import FiniteField
+
+
+class MaskEncoder:
+    """Encode/decode LightSecAgg masks for ``num_users`` users.
+
+    Parameters
+    ----------
+    gf:
+        Finite field for all operations.
+    num_users:
+        ``N``, the number of users (= number of coded shares).
+    target_survivors:
+        ``U``, the number of aggregated shares needed for recovery.
+    privacy:
+        ``T``, the number of colluding users tolerated; requires ``U > T``.
+    model_dim:
+        ``d``, the length of the mask vector being encoded.
+    generator:
+        MDS generator construction, ``"lagrange"`` or ``"vandermonde"``.
+    """
+
+    def __init__(
+        self,
+        gf: FiniteField,
+        num_users: int,
+        target_survivors: int,
+        privacy: int,
+        model_dim: int,
+        generator: str = "lagrange",
+    ):
+        if privacy < 0:
+            raise CodingError(f"privacy T must be >= 0, got {privacy}")
+        if not privacy < target_survivors <= num_users:
+            raise CodingError(
+                f"require T < U <= N, got T={privacy}, U={target_survivors}, "
+                f"N={num_users}"
+            )
+        if model_dim <= 0:
+            raise CodingError(f"model_dim must be positive, got {model_dim}")
+        self.gf = gf
+        self.num_users = num_users
+        self.target_survivors = target_survivors
+        self.privacy = privacy
+        self.model_dim = model_dim
+        self.num_submasks = target_survivors - privacy  # U - T data rows
+        self.share_dim = piece_length(model_dim, self.num_submasks)
+        self.code = MDSCode(gf, n=num_users, k=target_survivors, generator=generator)
+
+    # ------------------------------------------------------------------
+    def generate_mask(self, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Draw a fresh uniform mask ``z`` of length ``model_dim``."""
+        return self.gf.random(self.model_dim, rng)
+
+    def encode(
+        self, mask: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Encode a mask into ``N`` coded shares of shape ``(N, share_dim)``.
+
+        Row ``j`` of the result is ``[~z]_j``, the share destined for user
+        ``j``.  The ``T`` random padding rows are drawn from ``rng``.
+        """
+        mask = self.gf.array(mask)
+        if mask.shape != (self.model_dim,):
+            raise CodingError(
+                f"mask must have shape ({self.model_dim},), got {mask.shape}"
+            )
+        sub_masks = partition(mask, self.num_submasks)  # (U-T, share_dim)
+        padding = self.gf.random((self.privacy, self.share_dim), rng)
+        data = np.concatenate([sub_masks, padding], axis=0)  # (U, share_dim)
+        return self.code.encode(data)
+
+    def decode_aggregate(self, aggregated_shares: Dict[int, np.ndarray]) -> np.ndarray:
+        """One-shot recovery of the aggregate mask (paper Alg. 1, line 26).
+
+        ``aggregated_shares`` maps a user index ``j`` to
+        ``sum_{i in U1} [~z_i]_j`` — the sum, over the surviving set, of the
+        coded shares held by user ``j``.  Any ``U`` entries suffice.  Returns
+        the aggregate mask ``sum_{i in U1} z_i`` of length ``model_dim``.
+        """
+        data = self.code.decode(aggregated_shares)  # (U, share_dim)
+        sub_masks = data[: self.num_submasks]
+        return unpartition(sub_masks, self.model_dim)
+
+    def aggregate_shares(self, shares: Dict[int, np.ndarray]) -> np.ndarray:
+        """Sum the coded shares a user holds for a set of source users.
+
+        ``shares`` maps source-user index ``i`` to ``[~z_i]_j`` (this user's
+        share of user ``i``'s mask).  Used by surviving users in the
+        recovery phase.
+        """
+        if not shares:
+            raise CodingError("cannot aggregate an empty share set")
+        stacked = np.stack([self.gf.array(v) for v in shares.values()], axis=0)
+        return self.gf.sum(stacked, axis=0)
+
+    def __repr__(self) -> str:
+        return (
+            f"MaskEncoder(N={self.num_users}, U={self.target_survivors}, "
+            f"T={self.privacy}, d={self.model_dim}, q={self.gf.q})"
+        )

@@ -1,0 +1,56 @@
+"""Vector partitioning helpers.
+
+LightSecAgg partitions a length-``d`` mask into ``U - T`` equal sub-masks
+(paper Sec. 4.1).  When ``d`` is not divisible by the number of pieces the
+vector is zero-padded up to the next multiple; :func:`unpartition` removes
+the padding again.  Padding with zeros is safe because the pad positions are
+never used to mask model coordinates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import CodingError
+
+
+def padded_length(d: int, pieces: int) -> int:
+    """Smallest multiple of ``pieces`` that is >= ``d``."""
+    if pieces <= 0:
+        raise CodingError(f"pieces must be positive, got {pieces}")
+    if d < 0:
+        raise CodingError(f"length must be non-negative, got {d}")
+    return ((d + pieces - 1) // pieces) * pieces
+
+
+def piece_length(d: int, pieces: int) -> int:
+    """Length of each sub-vector after padding."""
+    return padded_length(d, pieces) // pieces
+
+
+def partition(vector: np.ndarray, pieces: int) -> np.ndarray:
+    """Split a 1-D vector into ``pieces`` rows, zero-padding the tail.
+
+    Returns an array of shape ``(pieces, piece_length(d, pieces))``.
+    """
+    if vector.ndim != 1:
+        raise CodingError("partition expects a 1-D vector")
+    d = vector.shape[0]
+    total = padded_length(d, pieces)
+    if total != d:
+        padded = np.zeros(total, dtype=vector.dtype)
+        padded[:d] = vector
+        vector = padded
+    return vector.reshape(pieces, total // pieces)
+
+
+def unpartition(pieces_matrix: np.ndarray, d: int) -> np.ndarray:
+    """Inverse of :func:`partition`: concatenate rows and strip padding."""
+    if pieces_matrix.ndim != 2:
+        raise CodingError("unpartition expects a 2-D matrix")
+    flat = pieces_matrix.reshape(-1)
+    if d > flat.shape[0]:
+        raise CodingError(
+            f"requested length {d} exceeds available {flat.shape[0]} entries"
+        )
+    return flat[:d].copy()

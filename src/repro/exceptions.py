@@ -1,0 +1,48 @@
+"""Exception hierarchy for the LightSecAgg reproduction library.
+
+All errors raised by :mod:`repro` derive from :class:`ReproError`, so callers
+can catch library failures with a single ``except`` clause while still
+distinguishing configuration mistakes from protocol-level failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class FieldError(ReproError):
+    """Invalid finite-field operation (bad modulus, non-invertible element)."""
+
+
+class SingularMatrixError(FieldError):
+    """A matrix over GF(q) was singular where an invertible one was required."""
+
+
+class CodingError(ReproError):
+    """MDS / secret-sharing encode or decode failure."""
+
+
+class NotEnoughSharesError(CodingError):
+    """Fewer shares were supplied than the reconstruction threshold."""
+
+
+class ProtocolError(ReproError):
+    """A secure-aggregation protocol invariant was violated at runtime."""
+
+
+class ParameterError(ProtocolError):
+    """Invalid protocol parameters (e.g. T + D >= N, or U outside (T, N-D])."""
+
+
+class DropoutError(ProtocolError):
+    """Too many users dropped for the configured resiliency guarantee."""
+
+
+class QuantizationError(ReproError):
+    """Quantizer misuse (overflow risk, invalid level count, ...)."""
+
+
+class SimulationError(ReproError):
+    """Invalid systems-simulation configuration."""

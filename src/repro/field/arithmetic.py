@@ -1,0 +1,232 @@
+"""Vectorized arithmetic over the prime field GF(q).
+
+The central object is :class:`FiniteField`.  Field elements are represented
+as ``numpy.uint64`` arrays whose entries are *reduced residues* in
+``[0, q)``; every public method returns arrays satisfying that contract and
+accepts arbitrary integer arrays (which are reduced on entry).
+
+All binary operations are elementwise-vectorized.  Because the modulus is
+validated to be below ``2**32`` (:func:`repro.field.prime.validate_modulus`),
+the product of two reduced residues fits exactly in uint64, so
+``(a * b) % q`` in uint64 never overflows.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+import numpy as np
+
+from repro.exceptions import FieldError
+from repro.field.prime import DEFAULT_PRIME, validate_modulus
+
+ArrayLike = Union[int, Iterable[int], np.ndarray]
+
+
+class FiniteField:
+    """The prime field GF(q) with vectorized numpy arithmetic.
+
+    Parameters
+    ----------
+    q:
+        A prime modulus below ``2**32``.  Defaults to the Mersenne prime
+        ``2**31 - 1``.
+
+    Examples
+    --------
+    >>> gf = FiniteField()
+    >>> int(gf.mul(gf.array(3), gf.array(5)))
+    15
+    >>> int(gf.inv(gf.array(2)))  # (q+1)//2
+    1073741824
+    """
+
+    __slots__ = ("q", "_q64")
+
+    def __init__(self, q: int = DEFAULT_PRIME):
+        self.q: int = validate_modulus(q)
+        self._q64 = np.uint64(self.q)
+
+    # ------------------------------------------------------------------
+    # construction / conversion
+    # ------------------------------------------------------------------
+    def array(self, values: ArrayLike) -> np.ndarray:
+        """Convert integers to reduced residues as a uint64 array.
+
+        Negative inputs are mapped to their canonical representatives, e.g.
+        ``-1`` becomes ``q - 1``.
+        """
+        arr = np.asarray(values)
+        if arr.dtype == np.uint64:
+            return np.mod(arr, self._q64)
+        if not np.issubdtype(arr.dtype, np.integer):
+            raise FieldError(
+                f"field elements must be integers, got dtype {arr.dtype}"
+            )
+        # Python-int mod handles negatives correctly; numpy signed mod with a
+        # positive modulus also yields non-negative results.
+        reduced = np.mod(arr.astype(object) if arr.dtype.itemsize > 8 else arr, self.q)
+        return reduced.astype(np.uint64)
+
+    def zeros(self, shape) -> np.ndarray:
+        """All-zero field array of the given shape."""
+        return np.zeros(shape, dtype=np.uint64)
+
+    def ones(self, shape) -> np.ndarray:
+        """All-one field array of the given shape."""
+        return np.ones(shape, dtype=np.uint64)
+
+    def is_valid(self, a: np.ndarray) -> bool:
+        """True when ``a`` is a uint64 array of reduced residues."""
+        return (
+            isinstance(a, np.ndarray)
+            and a.dtype == np.uint64
+            and (a.size == 0 or bool(np.all(a < self._q64)))
+        )
+
+    def to_signed(self, a: np.ndarray) -> np.ndarray:
+        """Interpret residues as signed integers in ``(-q/2, q/2]``.
+
+        This is the inverse of the two's-complement embedding used by the
+        quantizer (paper eq. 36): residues above ``(q-1)/2`` map to negative
+        integers.
+        """
+        a = self.array(a)
+        half = (self.q - 1) // 2
+        signed = a.astype(np.int64)
+        signed[a > half] -= self.q
+        return signed
+
+    # ------------------------------------------------------------------
+    # elementwise arithmetic
+    # ------------------------------------------------------------------
+    def add(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        """Elementwise ``a + b (mod q)``."""
+        a = self.array(a)
+        b = self.array(b)
+        return np.mod(a + b, self._q64)
+
+    def sub(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        """Elementwise ``a - b (mod q)``."""
+        a = self.array(a)
+        b = self.array(b)
+        return np.mod(a + (self._q64 - b), self._q64)
+
+    def neg(self, a: ArrayLike) -> np.ndarray:
+        """Elementwise additive inverse ``-a (mod q)``."""
+        a = self.array(a)
+        return np.mod(self._q64 - a, self._q64)
+
+    def mul(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        """Elementwise ``a * b (mod q)``; exact because q < 2**32."""
+        a = self.array(a)
+        b = self.array(b)
+        return np.mod(a * b, self._q64)
+
+    def pow(self, a: ArrayLike, e: int) -> np.ndarray:
+        """Elementwise ``a ** e (mod q)`` by binary exponentiation.
+
+        Negative exponents are supported via Fermat inversion, and require
+        every base to be nonzero.
+        """
+        a = self.array(a)
+        if e < 0:
+            a = self.inv(a)
+            e = -e
+        result = np.ones_like(a)
+        base = a.copy()
+        while e:
+            if e & 1:
+                result = np.mod(result * base, self._q64)
+            base = np.mod(base * base, self._q64)
+            e >>= 1
+        return result
+
+    def inv(self, a: ArrayLike) -> np.ndarray:
+        """Elementwise multiplicative inverse via Fermat's little theorem."""
+        a = self.array(a)
+        if a.size and np.any(a == 0):
+            raise FieldError("zero has no multiplicative inverse")
+        return self.pow(a, self.q - 2)
+
+    def div(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        """Elementwise ``a / b (mod q)``."""
+        return self.mul(a, self.inv(b))
+
+    # ------------------------------------------------------------------
+    # reductions / linear algebra helpers
+    # ------------------------------------------------------------------
+    def sum(self, a: ArrayLike, axis: Optional[int] = None) -> np.ndarray:
+        """Field sum along an axis.
+
+        Sums are computed in Python-object space only when overflow is
+        possible; for typical sizes a chunked uint64 accumulation is exact:
+        we reduce every ``2**31`` additions, far below any realistic chunk.
+        """
+        a = self.array(a)
+        # Each residue < 2**32, so up to 2**32 terms can be accumulated in
+        # uint64 without overflow.  numpy sums of that length are infeasible
+        # in memory anyway, so a single np.sum is always exact here.
+        total = np.sum(a, axis=axis, dtype=np.uint64)
+        return np.mod(total, self._q64)
+
+    def dot(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        """Inner product of two 1-D field arrays."""
+        a = self.array(a)
+        b = self.array(b)
+        if a.shape != b.shape or a.ndim != 1:
+            raise FieldError("dot requires two 1-D arrays of equal length")
+        return self.sum(self.mul(a, b))
+
+    def matmul(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        """Matrix product over GF(q).
+
+        Products are reduced elementwise before accumulation; the
+        accumulation itself is exact in uint64 as argued in :meth:`sum`.
+        For typical coded-computing shapes (tall-skinny times small square)
+        an einsum over reduced products is both exact and fast.
+        """
+        a = self.array(a)
+        b = self.array(b)
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise FieldError(f"incompatible matmul shapes {a.shape} x {b.shape}")
+        k = a.shape[1]
+        # Chunk the contraction axis so uint64 accumulation cannot overflow:
+        # each reduced product < q^2 <= 2**64 / 1, but we reduce products
+        # first (mod q), so each term < 2**32 and up to 2**32 terms fit.
+        out = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint64)
+        step = 4096
+        for start in range(0, k, step):
+            stop = min(start + step, k)
+            prod = np.mod(
+                a[:, start:stop, None] * b[None, start:stop, :], self._q64
+            )
+            out = np.mod(out + np.sum(prod, axis=1, dtype=np.uint64), self._q64)
+        return out
+
+    def matvec(self, a: ArrayLike, x: ArrayLike) -> np.ndarray:
+        """Matrix-vector product over GF(q)."""
+        x = self.array(x)
+        if x.ndim != 1:
+            raise FieldError("matvec requires a 1-D vector")
+        return self.matmul(a, x[:, None])[:, 0]
+
+    # ------------------------------------------------------------------
+    # randomness
+    # ------------------------------------------------------------------
+    def random(self, shape, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Uniformly random field elements of the given shape."""
+        rng = rng if rng is not None else np.random.default_rng()
+        return rng.integers(0, self.q, size=shape, dtype=np.uint64)
+
+    # ------------------------------------------------------------------
+    # dunder conveniences
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FiniteField) and other.q == self.q
+
+    def __hash__(self) -> int:
+        return hash(("FiniteField", self.q))
+
+    def __repr__(self) -> str:
+        return f"FiniteField(q={self.q})"

@@ -1,0 +1,105 @@
+"""Vandermonde matrices and Lagrange interpolation over GF(q).
+
+These are the algebraic building blocks of the paper's mask encoding
+(eq. 5 / eq. 28): a ``U x N`` Vandermonde matrix ``W`` is an MDS generator
+(any ``U`` columns are invertible because the evaluation points are
+distinct), and decoding from any ``U`` coded symbols is polynomial
+interpolation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import FieldError
+from repro.field.arithmetic import FiniteField
+
+
+def distinct_points(gf: FiniteField, count: int, start: int = 1) -> np.ndarray:
+    """``count`` distinct nonzero evaluation points ``start, start+1, ...``.
+
+    Raises when the field is too small to supply that many distinct points.
+    """
+    if count < 0:
+        raise FieldError("count must be non-negative")
+    if start + count > gf.q:
+        raise FieldError(
+            f"field of size {gf.q} cannot supply {count} points from {start}"
+        )
+    return gf.array(np.arange(start, start + count, dtype=np.int64))
+
+
+def vandermonde(gf: FiniteField, points: Sequence[int], nrows: int) -> np.ndarray:
+    """Vandermonde matrix ``V[i, j] = points[j] ** i`` of shape (nrows, len(points)).
+
+    With distinct points, any ``nrows`` columns form an invertible square
+    Vandermonde matrix, so the matrix is MDS.
+    """
+    pts = gf.array(points)
+    if pts.ndim != 1:
+        raise FieldError("points must be 1-D")
+    if len(set(pts.tolist())) != pts.size:
+        raise FieldError("Vandermonde points must be distinct")
+    rows = [gf.ones(pts.shape)]
+    for _ in range(1, nrows):
+        rows.append(gf.mul(rows[-1], pts))
+    return np.stack(rows, axis=0)
+
+
+def lagrange_coeffs(
+    gf: FiniteField, sample_points: Sequence[int], eval_points: Sequence[int]
+) -> np.ndarray:
+    """Lagrange interpolation coefficient matrix ``L`` over GF(q).
+
+    Given samples ``f(sample_points[k])`` of a polynomial with
+    ``deg f < len(sample_points)``, the values at ``eval_points`` are
+    ``L @ samples`` where ``L[m, k] = prod_{l != k} (e_m - s_l) / (s_k - s_l)``.
+
+    Shape: ``(len(eval_points), len(sample_points))``.
+    """
+    s = gf.array(sample_points)
+    e = gf.array(eval_points)
+    if s.ndim != 1 or e.ndim != 1:
+        raise FieldError("points must be 1-D")
+    if len(set(s.tolist())) != s.size:
+        raise FieldError("sample points must be distinct")
+    u = s.size
+    q64 = np.uint64(gf.q)
+    # diffs[k, l] = s_k - s_l ; denominators d_k = prod_{l != k} (s_k - s_l)
+    diffs = np.mod(s[:, None] + (q64 - s[None, :]), q64)
+    np.fill_diagonal(diffs, np.uint64(1))
+    denom = np.ones(u, dtype=np.uint64)
+    for l in range(u):
+        denom = np.mod(denom * diffs[:, l], q64)
+    inv_denom = gf.inv(denom)
+    # numerators: num[m, k] = prod_{l != k} (e_m - s_l)
+    ediffs = np.mod(e[:, None] + (q64 - s[None, :]), q64)  # (m, l)
+    coeffs = np.empty((e.size, u), dtype=np.uint64)
+    for k in range(u):
+        cols = np.concatenate([ediffs[:, :k], ediffs[:, k + 1:]], axis=1)
+        num = np.ones(e.size, dtype=np.uint64)
+        for l in range(cols.shape[1]):
+            num = np.mod(num * cols[:, l], q64)
+        coeffs[:, k] = np.mod(num * inv_denom[k], q64)
+    return coeffs
+
+
+def interpolate(
+    gf: FiniteField,
+    sample_points: Sequence[int],
+    samples: np.ndarray,
+    eval_points: Sequence[int],
+) -> np.ndarray:
+    """Evaluate the interpolating polynomial of ``samples`` at ``eval_points``.
+
+    ``samples`` may be a vector (one value per sample point) or a matrix of
+    shape ``(len(sample_points), width)`` interpolating ``width`` polynomials
+    simultaneously.
+    """
+    coeffs = lagrange_coeffs(gf, sample_points, eval_points)
+    samples = gf.array(samples)
+    if samples.ndim == 1:
+        return gf.matvec(coeffs, samples)
+    return gf.matmul(coeffs, samples)

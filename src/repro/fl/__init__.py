@@ -1,0 +1,52 @@
+"""Federated-learning substrate: datasets, models, local training, FedAvg."""
+
+from repro.fl.datasets import (
+    Dataset,
+    dirichlet_partition,
+    iid_partition,
+    make_cifar10_like,
+    make_classification,
+    make_femnist_like,
+    make_gld23k_like,
+    make_mnist_like,
+    shard_partition,
+)
+from repro.fl.federated import (
+    RoundRecord,
+    SecureFederatedAveraging,
+    TrainingHistory,
+)
+from repro.fl.models import (
+    Model,
+    SyntheticModel,
+    lenet5_variant,
+    logistic_regression,
+    mcmahan_cnn,
+    mlp,
+)
+from repro.fl.optim import SGD
+from repro.fl.trainer import LocalTrainingConfig, local_update
+
+__all__ = [
+    "Dataset",
+    "make_classification",
+    "make_mnist_like",
+    "make_femnist_like",
+    "make_cifar10_like",
+    "make_gld23k_like",
+    "iid_partition",
+    "dirichlet_partition",
+    "shard_partition",
+    "Model",
+    "SyntheticModel",
+    "logistic_regression",
+    "mlp",
+    "mcmahan_cnn",
+    "lenet5_variant",
+    "SGD",
+    "LocalTrainingConfig",
+    "local_update",
+    "SecureFederatedAveraging",
+    "RoundRecord",
+    "TrainingHistory",
+]

@@ -1,0 +1,25 @@
+"""Synthetic dataset substrate and FL partitioners."""
+
+from repro.fl.datasets.synthetic import (
+    Dataset,
+    dirichlet_partition,
+    iid_partition,
+    make_cifar10_like,
+    make_classification,
+    make_femnist_like,
+    make_gld23k_like,
+    make_mnist_like,
+    shard_partition,
+)
+
+__all__ = [
+    "Dataset",
+    "make_classification",
+    "make_mnist_like",
+    "make_femnist_like",
+    "make_cifar10_like",
+    "make_gld23k_like",
+    "iid_partition",
+    "dirichlet_partition",
+    "shard_partition",
+]

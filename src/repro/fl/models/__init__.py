@@ -1,0 +1,43 @@
+"""Numpy model substrate: layers, Model wrapper, and the paper's model zoo."""
+
+from repro.fl.models.base import Model
+from repro.fl.models.layers import (
+    Conv2D,
+    Dense,
+    Flatten,
+    Layer,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+    softmax_cross_entropy,
+)
+from repro.fl.models.zoo import (
+    PAPER_MODEL_SIZES,
+    SyntheticModel,
+    efficientnet_b0_sized,
+    lenet5_variant,
+    logistic_regression,
+    mcmahan_cnn,
+    mlp,
+    mobilenetv3_sized,
+)
+
+__all__ = [
+    "Model",
+    "Sequential",
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "MaxPool2D",
+    "ReLU",
+    "Flatten",
+    "softmax_cross_entropy",
+    "PAPER_MODEL_SIZES",
+    "SyntheticModel",
+    "logistic_regression",
+    "mlp",
+    "mcmahan_cnn",
+    "lenet5_variant",
+    "mobilenetv3_sized",
+    "efficientnet_b0_sized",
+]

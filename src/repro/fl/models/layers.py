@@ -1,0 +1,296 @@
+"""Minimal numpy layer library with manual backprop.
+
+The FL substrate needs real trainable models (the paper trains LR, a small
+CNN, and LeNet variants) without any deep-learning framework.  Each layer
+caches what its backward pass needs; ``backward`` consumes the upstream
+gradient and returns the downstream one, accumulating parameter gradients
+in ``grads``.
+
+Convolutions use im2col so the heavy lifting is a single matmul — the
+vectorized-numpy idiom the ml-systems guide prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+class Layer:
+    """Base layer: parameters + gradients keyed by name."""
+
+    def __init__(self):
+        self.params: Dict[str, np.ndarray] = {}
+        self.grads: Dict[str, np.ndarray] = {}
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def num_params(self) -> int:
+        return sum(p.size for p in self.params.values())
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x @ W + b``."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator):
+        super().__init__()
+        scale = np.sqrt(2.0 / in_dim)
+        self.params["W"] = rng.normal(0.0, scale, size=(in_dim, out_dim))
+        self.params["b"] = np.zeros(out_dim)
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        self._x = x if train else None
+        return x @ self.params["W"] + self.params["b"]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        self.grads["W"] = self._x.T @ grad
+        self.grads["b"] = grad.sum(axis=0)
+        return grad @ self.params["W"].T
+
+
+class ReLU(Layer):
+    def __init__(self):
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        mask = x > 0
+        if train:
+            self._mask = mask
+        return x * mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * self._mask
+
+
+class Flatten(Layer):
+    def __init__(self):
+        super().__init__()
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        if train:
+            self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad.reshape(self._shape)
+
+
+def _im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, pad: int
+) -> Tuple[np.ndarray, int, int]:
+    """(n, c, h, w) -> (n * oh * ow, c * kh * kw) patch matrix."""
+    n, c, h, w = x.shape
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    oh = (h + 2 * pad - kh) // stride + 1
+    ow = (w + 2 * pad - kw) // stride + 1
+    strides = x.strides
+    shape = (n, c, oh, ow, kh, kw)
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=shape,
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    cols = view.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
+    return np.ascontiguousarray(cols), oh, ow
+
+
+def _col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+    oh: int,
+    ow: int,
+) -> np.ndarray:
+    """Adjoint of :func:`_im2col`: scatter-add patches back to image."""
+    n, c, h, w = x_shape
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad))
+    cols = cols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+    for i in range(kh):
+        for j in range(kw):
+            padded[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += cols[
+                :, :, :, :, i, j
+            ]
+    if pad:
+        return padded[:, :, pad:-pad, pad:-pad]
+    return padded
+
+
+class Conv2D(Layer):
+    """2-D convolution via im2col; input layout (n, c, h, w)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int,
+        rng: np.random.Generator,
+        stride: int = 1,
+        pad: int = 0,
+    ):
+        super().__init__()
+        fan_in = in_channels * kernel * kernel
+        scale = np.sqrt(2.0 / fan_in)
+        self.params["W"] = rng.normal(
+            0.0, scale, size=(out_channels, in_channels, kernel, kernel)
+        )
+        self.params["b"] = np.zeros(out_channels)
+        self.kernel = kernel
+        self.stride = stride
+        self.pad = pad
+        self._cache = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        k, s, p = self.kernel, self.stride, self.pad
+        cols, oh, ow = _im2col(x, k, k, s, p)
+        w = self.params["W"].reshape(self.params["W"].shape[0], -1)
+        out = cols @ w.T + self.params["b"]
+        n = x.shape[0]
+        out = out.reshape(n, oh, ow, -1).transpose(0, 3, 1, 2)
+        if train:
+            self._cache = (x.shape, cols, oh, ow)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x_shape, cols, oh, ow = self._cache
+        n = grad.shape[0]
+        grad_mat = grad.transpose(0, 2, 3, 1).reshape(n * oh * ow, -1)
+        w = self.params["W"]
+        self.grads["W"] = (grad_mat.T @ cols).reshape(w.shape)
+        self.grads["b"] = grad_mat.sum(axis=0)
+        dcols = grad_mat @ w.reshape(w.shape[0], -1)
+        return _col2im(
+            dcols, x_shape, self.kernel, self.kernel, self.stride, self.pad, oh, ow
+        )
+
+
+class MaxPool2D(Layer):
+    """Non-overlapping max pooling with square window."""
+
+    def __init__(self, size: int = 2):
+        super().__init__()
+        self.size = size
+        self._cache = None
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        n, c, h, w = x.shape
+        s = self.size
+        oh, ow = h // s, w // s
+        x_trim = x[:, :, : oh * s, : ow * s]
+        # (n, c, oh, ow, s*s): one row of pool-window entries per output.
+        windows = (
+            x_trim.reshape(n, c, oh, s, ow, s)
+            .transpose(0, 1, 2, 4, 3, 5)
+            .reshape(n, c, oh, ow, s * s)
+        )
+        out = windows.max(axis=-1)
+        if train:
+            # Break ties toward the first maximal element so the gradient
+            # is a partition of the upstream gradient.
+            first = np.argmax(windows, axis=-1)
+            onehot = np.zeros_like(windows, dtype=bool)
+            np.put_along_axis(onehot, first[..., None], True, axis=-1)
+            self._cache = (x.shape, onehot, oh, ow)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x_shape, onehot, oh, ow = self._cache
+        n, c, h, w = x_shape
+        s = self.size
+        expanded = onehot * grad[..., None]  # (n, c, oh, ow, s*s)
+        dx = np.zeros(x_shape)
+        block = (
+            expanded.reshape(n, c, oh, ow, s, s)
+            .transpose(0, 1, 2, 4, 3, 5)
+            .reshape(n, c, oh * s, ow * s)
+        )
+        dx[:, :, : oh * s, : ow * s] = block
+        return dx
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and gradient w.r.t. logits."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    n = logits.shape[0]
+    loss = -np.mean(np.log(probs[np.arange(n), labels] + 1e-12))
+    grad = probs.copy()
+    grad[np.arange(n), labels] -= 1.0
+    return loss, grad / n
+
+
+class Sequential:
+    """A feed-forward stack of layers with flat-parameter access."""
+
+    def __init__(self, layers: List[Layer]):
+        self.layers = layers
+
+    def forward(self, x: np.ndarray, train: bool = True) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, train=train)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    # ------------------------------------------------------------------
+    def parameter_items(self):
+        for li, layer in enumerate(self.layers):
+            for name in sorted(layer.params):
+                yield (li, name), layer.params[name]
+
+    @property
+    def num_params(self) -> int:
+        return sum(layer.num_params for layer in self.layers)
+
+    def get_flat_params(self) -> np.ndarray:
+        if self.num_params == 0:
+            return np.zeros(0)
+        return np.concatenate(
+            [p.reshape(-1) for _, p in self.parameter_items()]
+        )
+
+    def set_flat_params(self, flat: np.ndarray) -> None:
+        offset = 0
+        for (li, name), p in self.parameter_items():
+            size = p.size
+            self.layers[li].params[name] = flat[offset : offset + size].reshape(
+                p.shape
+            ).copy()
+            offset += size
+        if offset != flat.size:
+            raise ValueError(
+                f"flat vector has {flat.size} entries, model needs {offset}"
+            )
+
+    def get_flat_grads(self) -> np.ndarray:
+        chunks = []
+        for li, layer in enumerate(self.layers):
+            for name in sorted(layer.params):
+                chunks.append(layer.grads[name].reshape(-1))
+        return np.concatenate(chunks) if chunks else np.zeros(0)

@@ -1,0 +1,62 @@
+"""Local training of a client model (paper eqs. 24-25).
+
+A client downloads the global parameters, runs ``E`` local epochs of
+mini-batch SGD, and reports the *update* ``Delta = x_global - x_local``
+(eq. 24's sign convention: the server later applies
+``x <- x - eta_g * mean(Delta)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.fl.datasets.synthetic import Dataset
+from repro.fl.optim import SGD
+
+
+@dataclass(frozen=True)
+class LocalTrainingConfig:
+    """Hyper-parameters of a client's local phase.
+
+    The paper uses ``E = 5`` local epochs for the synchronous experiments
+    (Appendix D) and ``E >= 1`` local steps in the async setting.
+    """
+
+    epochs: int = 5
+    batch_size: int = 32
+    lr: float = 0.05
+    momentum: float = 0.0
+    weight_decay: float = 0.0
+
+    def __post_init__(self):
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise ReproError("epochs and batch_size must be positive")
+
+
+def local_update(
+    model,
+    global_params: np.ndarray,
+    dataset: Dataset,
+    config: LocalTrainingConfig,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Run local SGD from ``global_params``; return ``Delta`` (eq. 24).
+
+    The model's parameters are left at the locally trained point; callers
+    that reuse model objects across clients must reset them from the global
+    vector (which this function does on entry anyway).
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    model.set_flat_params(global_params)
+    optimizer = SGD(config.lr, config.momentum, config.weight_decay)
+    params = global_params.copy()
+    for _ in range(config.epochs):
+        for xb, yb in dataset.batches(config.batch_size, rng):
+            model.set_flat_params(params)
+            _, grad = model.loss_and_grad(xb, yb)
+            params = optimizer.step(params, grad)
+    return global_params - params

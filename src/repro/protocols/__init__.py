@@ -1,0 +1,54 @@
+"""Secure-aggregation protocols: LightSecAgg, SecAgg, SecAgg+, naive baseline."""
+
+from repro.protocols.base import (
+    PHASES,
+    SERVER,
+    AggregationResult,
+    Message,
+    RoundMetrics,
+    SecureAggregationProtocol,
+    Transcript,
+    sample_dropouts,
+)
+from repro.protocols.lightsecagg import (
+    LightSecAgg,
+    LSAParams,
+    LSAServer,
+    LSAUser,
+    choose_target_survivors,
+)
+from repro.protocols.chunking import Chunk, chunk_vector, exchange_times, reassemble
+from repro.protocols.naive import NaiveAggregation
+from repro.protocols.zhao_sun import TrustedThirdPartyMasking
+from repro.protocols.pairwise import (
+    PairwiseMaskingProtocol,
+    SecAgg,
+    SecAggPlus,
+    secagg_plus_degree,
+)
+
+__all__ = [
+    "TrustedThirdPartyMasking",
+    "Chunk",
+    "chunk_vector",
+    "reassemble",
+    "exchange_times",
+    "SecureAggregationProtocol",
+    "AggregationResult",
+    "RoundMetrics",
+    "Transcript",
+    "Message",
+    "PHASES",
+    "SERVER",
+    "sample_dropouts",
+    "LightSecAgg",
+    "LSAParams",
+    "LSAUser",
+    "LSAServer",
+    "choose_target_survivors",
+    "SecAgg",
+    "SecAggPlus",
+    "PairwiseMaskingProtocol",
+    "secagg_plus_degree",
+    "NaiveAggregation",
+]

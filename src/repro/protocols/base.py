@@ -1,0 +1,199 @@
+"""Protocol-layer abstractions shared by all secure-aggregation schemes.
+
+Every protocol implements :class:`SecureAggregationProtocol.run_round`:
+given per-user model updates already embedded in GF(q) and a set of dropped
+users, produce the exact field-sum of the surviving users' updates.  The
+run also fills a :class:`Transcript` with every message that crossed the
+(simulated) network, which downstream systems-simulation converts into
+bytes and wall-clock time.
+
+Phases follow the paper's terminology:
+
+* ``offline`` — seed agreement / mask encoding and sharing.
+* ``upload`` — masked model upload.
+* ``recovery`` — mask reconstruction traffic and server decoding.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.exceptions import DropoutError, ProtocolError
+from repro.field.arithmetic import FiniteField
+
+SERVER = -1  # sentinel participant id for the server
+
+PHASES = ("offline", "upload", "recovery")
+
+
+@dataclass(frozen=True)
+class Message:
+    """One network message: ``sender -> receiver`` of ``size`` field elements.
+
+    ``size`` counts GF(q) elements for mask/model payloads; small key-sized
+    payloads (DH public keys, Shamir shares of seeds) are recorded with
+    their element count as well, flagged by ``is_key_sized`` so the cost
+    model can weigh them by the seed length ``s`` instead of full field
+    width (Table 1 distinguishes ``s``-sized from ``d``-sized traffic).
+    """
+
+    sender: int
+    receiver: int
+    phase: str
+    size: int
+    is_key_sized: bool = False
+
+
+class Transcript:
+    """Accumulates all messages of a protocol round, queryable per phase."""
+
+    def __init__(self):
+        self.messages: List[Message] = []
+
+    def record(
+        self,
+        sender: int,
+        receiver: int,
+        phase: str,
+        size: int,
+        is_key_sized: bool = False,
+    ) -> None:
+        if phase not in PHASES:
+            raise ProtocolError(f"unknown phase {phase!r}")
+        if size < 0:
+            raise ProtocolError("message size must be non-negative")
+        self.messages.append(Message(sender, receiver, phase, size, is_key_sized))
+
+    # ------------------------------------------------------------------
+    # aggregate views used by the timing simulator and tests
+    # ------------------------------------------------------------------
+    def elements(
+        self,
+        phase: Optional[str] = None,
+        sender: Optional[int] = None,
+        receiver: Optional[int] = None,
+        key_sized: Optional[bool] = None,
+    ) -> int:
+        """Total field elements matching the given filters."""
+        total = 0
+        for m in self.messages:
+            if phase is not None and m.phase != phase:
+                continue
+            if sender is not None and m.sender != sender:
+                continue
+            if receiver is not None and m.receiver != receiver:
+                continue
+            if key_sized is not None and m.is_key_sized != key_sized:
+                continue
+            total += m.size
+        return total
+
+    def per_user_sent(self, phase: Optional[str] = None) -> Dict[int, int]:
+        """Elements sent by each non-server participant."""
+        out: Dict[int, int] = defaultdict(int)
+        for m in self.messages:
+            if m.sender == SERVER:
+                continue
+            if phase is not None and m.phase != phase:
+                continue
+            out[m.sender] += m.size
+        return dict(out)
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+
+@dataclass
+class RoundMetrics:
+    """Operation counts a protocol reports for the systems cost model."""
+
+    server_decode_ops: int = 0  # field ops in server-side mask recovery
+    server_prg_elements: int = 0  # PRG output elements evaluated at server
+    user_encode_ops: int = 0  # per-round total offline field ops at users
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class AggregationResult:
+    """Outcome of one secure-aggregation round."""
+
+    aggregate: np.ndarray  # field vector: sum of surviving users' updates
+    survivors: List[int]
+    transcript: Transcript
+    metrics: RoundMetrics
+
+
+class SecureAggregationProtocol(abc.ABC):
+    """Interface for one-round secure aggregation over GF(q)."""
+
+    name: str = "abstract"
+
+    def __init__(self, gf: FiniteField, num_users: int):
+        if num_users < 2:
+            raise ProtocolError(f"need at least 2 users, got {num_users}")
+        self.gf = gf
+        self.num_users = num_users
+
+    @abc.abstractmethod
+    def run_round(
+        self,
+        updates: Dict[int, np.ndarray],
+        dropouts: Set[int],
+        rng: Optional[np.random.Generator] = None,
+    ) -> AggregationResult:
+        """Aggregate the surviving users' updates.
+
+        ``updates`` maps every user id in ``range(num_users)`` to its field
+        vector.  ``dropouts`` are users that upload their masked model but
+        then become unreachable (the paper's worst-case dropout point);
+        their updates are excluded from the aggregate.
+        """
+
+    # ------------------------------------------------------------------
+    def _validate_round_inputs(
+        self, updates: Dict[int, np.ndarray], dropouts: Set[int]
+    ) -> List[int]:
+        if set(updates) != set(range(self.num_users)):
+            raise ProtocolError(
+                "updates must contain exactly one entry per user id "
+                f"0..{self.num_users - 1}"
+            )
+        bad = dropouts - set(range(self.num_users))
+        if bad:
+            raise ProtocolError(f"dropout ids {sorted(bad)} out of range")
+        survivors = [i for i in range(self.num_users) if i not in dropouts]
+        if not survivors:
+            raise DropoutError("all users dropped; nothing to aggregate")
+        dims = {np.asarray(u).shape for u in updates.values()}
+        if len(dims) != 1:
+            raise ProtocolError(f"inconsistent update shapes: {dims}")
+        return survivors
+
+    def expected_aggregate(
+        self, updates: Dict[int, np.ndarray], survivors: Sequence[int]
+    ) -> np.ndarray:
+        """Ground-truth field sum, for verification in tests/examples."""
+        total = self.gf.array(updates[survivors[0]]).copy()
+        for i in survivors[1:]:
+            total = self.gf.add(total, updates[i])
+        return total
+
+
+def sample_dropouts(
+    num_users: int,
+    dropout_rate: float,
+    rng: Optional[np.random.Generator] = None,
+) -> Set[int]:
+    """Sample ``floor(p * N)`` distinct users to drop, as in Sec. 7.1."""
+    if not 0.0 <= dropout_rate < 1.0:
+        raise ProtocolError(f"dropout rate must be in [0, 1), got {dropout_rate}")
+    rng = rng if rng is not None else np.random.default_rng()
+    count = int(dropout_rate * num_users)
+    if count == 0:
+        return set()
+    return set(rng.choice(num_users, size=count, replace=False).tolist())

@@ -1,0 +1,16 @@
+"""LightSecAgg protocol: params, user/server state machines, orchestration."""
+
+from repro.protocols.lightsecagg.encrypted import EncryptedLightSecAgg
+from repro.protocols.lightsecagg.params import LSAParams, choose_target_survivors
+from repro.protocols.lightsecagg.protocol import LightSecAgg
+from repro.protocols.lightsecagg.server import LSAServer
+from repro.protocols.lightsecagg.user import LSAUser
+
+__all__ = [
+    "EncryptedLightSecAgg",
+    "LSAParams",
+    "choose_target_survivors",
+    "LightSecAgg",
+    "LSAUser",
+    "LSAServer",
+]

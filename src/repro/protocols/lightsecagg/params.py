@@ -1,0 +1,94 @@
+"""LightSecAgg design parameters (N, T, D, U) — paper Sec. 4.1.
+
+The protocol is parameterized by the privacy guarantee ``T``, the
+dropout-resiliency guarantee ``D``, and the targeted number of surviving
+users ``U``, subject to ``N - D >= U > T >= 0`` (Theorem 1 requires
+``T + D < N``, which makes a valid ``U`` exist).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ParameterError
+
+
+@dataclass(frozen=True)
+class LSAParams:
+    """Validated LightSecAgg parameter tuple."""
+
+    num_users: int  # N
+    privacy: int  # T
+    dropout_tolerance: int  # D
+    target_survivors: int  # U
+
+    def __post_init__(self):
+        n, t, d, u = (
+            self.num_users,
+            self.privacy,
+            self.dropout_tolerance,
+            self.target_survivors,
+        )
+        if n < 2:
+            raise ParameterError(f"need N >= 2 users, got N={n}")
+        if t < 0 or d < 0:
+            raise ParameterError(f"T and D must be >= 0, got T={t}, D={d}")
+        if t + d >= n:
+            raise ParameterError(
+                f"Theorem 1 requires T + D < N, got T={t}, D={d}, N={n}"
+            )
+        if not (t < u <= n - d):
+            raise ParameterError(
+                f"require T < U <= N - D, got T={t}, U={u}, N-D={n - d}"
+            )
+
+    @property
+    def num_submasks(self) -> int:
+        """``U - T``, the number of data sub-masks per user."""
+        return self.target_survivors - self.privacy
+
+    @classmethod
+    def from_guarantees(
+        cls,
+        num_users: int,
+        privacy: int,
+        dropout_tolerance: int,
+        target_survivors: int = None,
+    ) -> "LSAParams":
+        """Build parameters, defaulting ``U`` to :func:`choose_target_survivors`."""
+        if target_survivors is None:
+            target_survivors = choose_target_survivors(
+                num_users, privacy, dropout_tolerance
+            )
+        return cls(num_users, privacy, dropout_tolerance, target_survivors)
+
+    @classmethod
+    def paper_defaults(cls, num_users: int, dropout_rate: float) -> "LSAParams":
+        """The evaluation's setting: ``T = N/2``, ``D = p*N`` (Sec. 7.1).
+
+        At ``p = 0.5`` the pair (T = N/2, D = N/2) violates ``T + D < N``;
+        the paper handles this by taking ``U = N/2 + 1``, i.e. tolerating
+        ``D = N/2 - 1`` drops.  We clamp ``D`` accordingly.
+        """
+        privacy = num_users // 2
+        dropout = min(int(dropout_rate * num_users), num_users - privacy - 1)
+        return cls.from_guarantees(num_users, privacy, dropout)
+
+
+def choose_target_survivors(
+    num_users: int, privacy: int, dropout_tolerance: int
+) -> int:
+    """Pick ``U`` within ``(T, N - D]`` following the paper's findings.
+
+    Sec. 7.2 ("Impact of U") reports that ``U = floor(0.7 N)`` was optimal
+    for ``p in {0.1, 0.3}``; larger ``U`` shrinks each coded symbol
+    (``d / (U - T)``) but raises decoding cost (``U log U``).  We use
+    ``floor(0.7 N)`` clamped into the feasible interval.
+    """
+    lo, hi = privacy + 1, num_users - dropout_tolerance
+    if lo > hi:
+        raise ParameterError(
+            f"no feasible U: T={privacy}, D={dropout_tolerance}, N={num_users}"
+        )
+    preferred = int(0.7 * num_users)
+    return min(max(preferred, lo), hi)

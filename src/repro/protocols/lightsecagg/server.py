@@ -1,0 +1,106 @@
+"""LightSecAgg server-side logic (paper Alg. 1, server lines).
+
+The server never learns any individual mask: it collects masked models,
+announces the surviving set, gathers ``U`` *aggregated* coded shares, MDS-
+decodes the aggregate mask in one shot, and subtracts it from the sum of
+masked models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import DropoutError, ProtocolError
+from repro.coding.mask_encoding import MaskEncoder
+from repro.field.arithmetic import FiniteField
+from repro.protocols.lightsecagg.params import LSAParams
+
+
+class LSAServer:
+    """Server state for one LightSecAgg round."""
+
+    def __init__(
+        self,
+        gf: FiniteField,
+        params: LSAParams,
+        model_dim: int,
+        generator: str = "lagrange",
+    ):
+        self.gf = gf
+        self.params = params
+        self.model_dim = model_dim
+        self.decoder = MaskEncoder(
+            gf,
+            num_users=params.num_users,
+            target_survivors=params.target_survivors,
+            privacy=params.privacy,
+            model_dim=model_dim,
+            generator=generator,
+        )
+        self._masked_updates: Dict[int, np.ndarray] = {}
+        self._aggregated_shares: Dict[int, np.ndarray] = {}
+        self._survivors: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------
+    def receive_masked_update(self, user_id: int, masked: np.ndarray) -> None:
+        """Store a masked model ``~x_i`` uploaded by user ``user_id``."""
+        if user_id in self._masked_updates:
+            raise ProtocolError(f"duplicate masked update from user {user_id}")
+        masked = self.gf.array(masked)
+        if masked.shape != (self.model_dim,):
+            raise ProtocolError(
+                f"masked update shape {masked.shape} != ({self.model_dim},)"
+            )
+        self._masked_updates[user_id] = masked
+
+    def identify_survivors(self, survivors: List[int]) -> List[int]:
+        """Fix the surviving set ``U1`` whose updates will be aggregated.
+
+        All survivors must have uploaded a masked update, and there must be
+        at least ``U`` of them for recovery to be possible.
+        """
+        missing = [i for i in survivors if i not in self._masked_updates]
+        if missing:
+            raise ProtocolError(f"survivors {missing} never uploaded updates")
+        if len(survivors) < self.params.target_survivors:
+            raise DropoutError(
+                f"only {len(survivors)} survivors, need U="
+                f"{self.params.target_survivors}"
+            )
+        self._survivors = sorted(survivors)
+        return self._survivors
+
+    def receive_aggregated_shares(self, user_id: int, agg_share: np.ndarray) -> None:
+        """Store ``sum_{i in U1} [~z_i]_j`` from surviving user ``j``."""
+        if self._survivors is None:
+            raise ProtocolError("identify_survivors must run first")
+        if user_id not in self._survivors:
+            raise ProtocolError(f"user {user_id} is not in the surviving set")
+        if user_id in self._aggregated_shares:
+            raise ProtocolError(f"duplicate aggregated share from {user_id}")
+        self._aggregated_shares[user_id] = self.gf.array(agg_share)
+
+    @property
+    def has_enough_shares(self) -> bool:
+        """True once any ``U`` aggregated shares have arrived."""
+        return len(self._aggregated_shares) >= self.params.target_survivors
+
+    def recover_aggregate(self) -> np.ndarray:
+        """One-shot recovery: decode the aggregate mask and cancel it.
+
+        Returns the exact field-sum ``sum_{i in U1} x_i``.
+        """
+        if self._survivors is None:
+            raise ProtocolError("identify_survivors must run first")
+        if not self.has_enough_shares:
+            raise DropoutError(
+                f"have {len(self._aggregated_shares)} aggregated shares, "
+                f"need U={self.params.target_survivors}"
+            )
+        aggregate_mask = self.decoder.decode_aggregate(self._aggregated_shares)
+        masked_sum = self._masked_updates[self._survivors[0]].copy()
+        for i in self._survivors[1:]:
+            masked_sum = self.gf.add(masked_sum, self._masked_updates[i])
+        return self.gf.sub(masked_sum, aggregate_mask)

@@ -1,0 +1,51 @@
+"""Insecure baseline: plain FedAvg-style aggregation with no masking.
+
+Useful as a correctness oracle (every secure protocol must produce the same
+field sum) and as the zero-overhead reference point in the systems
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+import numpy as np
+
+from repro.field.arithmetic import FiniteField
+from repro.protocols.base import (
+    SERVER,
+    AggregationResult,
+    RoundMetrics,
+    SecureAggregationProtocol,
+    Transcript,
+)
+
+
+class NaiveAggregation(SecureAggregationProtocol):
+    """Sums survivors' updates in the clear."""
+
+    name = "naive"
+
+    def __init__(self, gf: FiniteField, num_users: int, model_dim: int):
+        super().__init__(gf, num_users)
+        self.model_dim = model_dim
+
+    def run_round(
+        self,
+        updates: Dict[int, np.ndarray],
+        dropouts: Set[int],
+        rng: Optional[np.random.Generator] = None,
+    ) -> AggregationResult:
+        survivors = self._validate_round_inputs(updates, dropouts)
+        transcript = Transcript()
+        total = self.gf.array(updates[survivors[0]]).copy()
+        transcript.record(survivors[0], SERVER, "upload", self.model_dim)
+        for i in survivors[1:]:
+            total = self.gf.add(total, updates[i])
+            transcript.record(i, SERVER, "upload", self.model_dim)
+        return AggregationResult(
+            aggregate=total,
+            survivors=survivors,
+            transcript=transcript,
+            metrics=RoundMetrics(),
+        )

@@ -1,0 +1,27 @@
+"""Pairwise-masking protocols: SecAgg (complete graph) and SecAgg+ (sparse)."""
+
+from repro.protocols.pairwise.graph import (
+    complete_graph,
+    regular_graph,
+    secagg_plus_degree,
+    validate_adjacency,
+)
+from repro.protocols.pairwise.protocol import (
+    PairwiseMaskingProtocol,
+    SecAgg,
+    SecAggPlus,
+)
+from repro.protocols.pairwise.server import PairwiseServer
+from repro.protocols.pairwise.user import PairwiseUser
+
+__all__ = [
+    "PairwiseMaskingProtocol",
+    "SecAgg",
+    "SecAggPlus",
+    "PairwiseUser",
+    "PairwiseServer",
+    "complete_graph",
+    "regular_graph",
+    "secagg_plus_degree",
+    "validate_adjacency",
+]

@@ -1,0 +1,75 @@
+"""Communication graphs for pairwise-masking protocols.
+
+SecAgg (Bonawitz et al., 2017) uses the complete graph: every pair of users
+agrees on a pairwise seed.  SecAgg+ (Bell et al., 2020) replaces it with a
+sparse random regular graph of degree ``O(log N)``, which is what reduces
+both the offline cost and the server's reconstruction cost from
+``O(d N^2)`` to ``O(d N log N)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Set
+
+import networkx as nx
+
+from repro.exceptions import ProtocolError
+
+
+def complete_graph(num_users: int) -> Dict[int, List[int]]:
+    """Adjacency of the complete graph on ``num_users`` nodes (SecAgg)."""
+    if num_users < 2:
+        raise ProtocolError("need at least 2 users")
+    return {
+        i: [j for j in range(num_users) if j != i] for i in range(num_users)
+    }
+
+
+def secagg_plus_degree(num_users: int, safety_factor: float = 3.0) -> int:
+    """Default SecAgg+ degree ``k = O(log N)``.
+
+    Bell et al. prove correctness/privacy w.h.p. for ``k = Theta(log N)``;
+    the constant here (3 log2 N, floored at 6) keeps small graphs connected
+    in simulation while preserving the asymptotic.
+    """
+    if num_users < 2:
+        raise ProtocolError("need at least 2 users")
+    k = max(6, int(math.ceil(safety_factor * math.log2(max(num_users, 2)))))
+    k = min(k, num_users - 1)
+    if (k * num_users) % 2 == 1:
+        k = k - 1 if k == num_users - 1 else k + 1
+    return max(k, 1)
+
+
+def regular_graph(num_users: int, degree: int, seed: int = 0) -> Dict[int, List[int]]:
+    """Random ``degree``-regular graph adjacency (SecAgg+).
+
+    ``degree * num_users`` must be even (handled by
+    :func:`secagg_plus_degree`); falls back to the complete graph when the
+    requested degree saturates it.
+    """
+    if degree >= num_users - 1:
+        return complete_graph(num_users)
+    if (degree * num_users) % 2 == 1:
+        raise ProtocolError(
+            f"degree * num_users must be even, got k={degree}, N={num_users}"
+        )
+    g = nx.random_regular_graph(degree, num_users, seed=seed)
+    return {i: sorted(g.neighbors(i)) for i in range(num_users)}
+
+
+def validate_adjacency(adjacency: Dict[int, List[int]], num_users: int) -> None:
+    """Check symmetry, no self-loops, and full node coverage."""
+    if set(adjacency) != set(range(num_users)):
+        raise ProtocolError("adjacency must cover exactly users 0..N-1")
+    for i, neighbors in adjacency.items():
+        seen: Set[int] = set()
+        for j in neighbors:
+            if j == i:
+                raise ProtocolError(f"self-loop at user {i}")
+            if j in seen:
+                raise ProtocolError(f"duplicate neighbor {j} for user {i}")
+            seen.add(j)
+            if i not in adjacency.get(j, []):
+                raise ProtocolError(f"asymmetric edge {i} -> {j}")

@@ -1,0 +1,243 @@
+"""Orchestration of SecAgg and SecAgg+ rounds (paper Sec. 3).
+
+:class:`PairwiseMaskingProtocol` drives users and server through key
+advertisement, pairwise agreement, secret sharing, masking, and recovery,
+recording all traffic.  :class:`SecAgg` fixes the complete graph;
+:class:`SecAggPlus` uses a sparse random regular graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.exceptions import DropoutError
+from repro.crypto.dh import DiffieHellman
+from repro.crypto.prg import PRG
+from repro.field.arithmetic import FiniteField
+from repro.protocols.base import (
+    SERVER,
+    AggregationResult,
+    RoundMetrics,
+    SecureAggregationProtocol,
+    Transcript,
+)
+from repro.protocols.pairwise.graph import (
+    complete_graph,
+    regular_graph,
+    secagg_plus_degree,
+    validate_adjacency,
+)
+from repro.protocols.pairwise.server import PairwiseServer
+from repro.protocols.pairwise.user import SEED_BITS, PairwiseUser
+from repro.coding.shamir import ShamirSecretSharing
+from repro.utils.ints import limbs_needed
+
+
+class PairwiseMaskingProtocol(SecureAggregationProtocol):
+    """Generic pairwise-masking secure aggregation over a neighbor graph."""
+
+    name = "pairwise"
+
+    def __init__(
+        self,
+        gf: FiniteField,
+        num_users: int,
+        model_dim: int,
+        adjacency: Dict[int, List[int]],
+        shamir_threshold: Optional[int] = None,
+        prg_backend: str = "pcg64",
+    ):
+        super().__init__(gf, num_users)
+        validate_adjacency(adjacency, num_users)
+        self.model_dim = model_dim
+        self.adjacency = adjacency
+        self.prg = PRG(gf, backend=prg_backend)
+        self.dh = DiffieHellman()
+        min_degree = min(len(v) for v in adjacency.values())
+        if shamir_threshold is None:
+            # Default privacy threshold: strictly less than half the
+            # smallest neighborhood, mirroring SecAgg's t < N/2 default.
+            shamir_threshold = max(1, min_degree // 2)
+        if shamir_threshold >= min_degree + 1:
+            raise DropoutError(
+                f"Shamir threshold {shamir_threshold} infeasible for minimum "
+                f"degree {min_degree}"
+            )
+        self.shamir_threshold = shamir_threshold
+
+    # ------------------------------------------------------------------
+    def _shamir_for(self, user_id: int) -> ShamirSecretSharing:
+        return ShamirSecretSharing(
+            self.gf,
+            num_shares=len(self.adjacency[user_id]),
+            threshold=self.shamir_threshold,
+        )
+
+    def run_round(
+        self,
+        updates: Dict[int, np.ndarray],
+        dropouts: Set[int],
+        rng: Optional[np.random.Generator] = None,
+    ) -> AggregationResult:
+        survivors = self._validate_round_inputs(updates, dropouts)
+        rng = rng if rng is not None else np.random.default_rng()
+        transcript = Transcript()
+        seed_limbs = limbs_needed(SEED_BITS, self.gf.q)
+        sk_limbs = limbs_needed(self.dh.prime.bit_length(), self.gf.q)
+
+        users = [
+            PairwiseUser(
+                i,
+                self.gf,
+                self.num_users,
+                self.adjacency[i],
+                self.model_dim,
+                self.shamir_threshold,
+                prg=self.prg,
+                dh=self.dh,
+            )
+            for i in range(self.num_users)
+        ]
+        server = PairwiseServer(
+            self.gf,
+            self.num_users,
+            self.adjacency,
+            self.model_dim,
+            self.shamir_threshold,
+            self.prg,
+            self.dh,
+        )
+
+        # Round 0 — advertise public keys (via server broadcast).
+        publics: Dict[int, int] = {}
+        for user in users:
+            publics[user.user_id] = user.generate_keys(rng)
+            transcript.record(user.user_id, SERVER, "offline", 1, is_key_sized=True)
+            server.register_public_key(user.user_id, publics[user.user_id])
+        for user in users:
+            # Server relays the neighbor keys to each user.
+            transcript.record(
+                SERVER, user.user_id, "offline", len(user.neighbors),
+                is_key_sized=True,
+            )
+            user.agree_pairwise(publics)
+
+        # Round 1 — Shamir-share b_i and sk_i with neighbors.
+        for user in users:
+            shares = user.share_secrets(rng)
+            for j, payload in shares.items():
+                users[j].receive_shares(user.user_id, payload)
+                transcript.record(
+                    user.user_id, j, "offline", seed_limbs + sk_limbs,
+                    is_key_sized=True,
+                )
+
+        # Round 2 — masking and upload (worst case: dropped users upload too).
+        for user in users:
+            masked = user.mask_update(updates[user.user_id])
+            server.receive_masked_update(user.user_id, masked)
+            transcript.record(user.user_id, SERVER, "upload", self.model_dim)
+
+        # Round 3 — recovery: collect shares from surviving neighbors.
+        survivor_set = set(survivors)
+        dropped = sorted(dropouts)
+        collected_b: Dict[int, list] = {}
+        collected_sk: Dict[int, list] = {}
+        for i in survivors:
+            shares = []
+            for j in self.adjacency[i]:
+                if j in survivor_set and len(shares) <= self.shamir_threshold:
+                    shares.append(users[j].reveal_share(i, "b"))
+                    transcript.record(j, SERVER, "recovery", seed_limbs,
+                                      is_key_sized=True)
+            if len(shares) < self.shamir_threshold + 1:
+                raise DropoutError(
+                    f"cannot reconstruct b_{i}: only {len(shares)} surviving "
+                    f"neighbor shares"
+                )
+            collected_b[i] = shares
+        for i in dropped:
+            shares = []
+            for j in self.adjacency[i]:
+                if j in survivor_set and len(shares) <= self.shamir_threshold:
+                    shares.append(users[j].reveal_share(i, "sk"))
+                    transcript.record(j, SERVER, "recovery", sk_limbs,
+                                      is_key_sized=True)
+            if len(shares) < self.shamir_threshold + 1:
+                raise DropoutError(
+                    f"cannot reconstruct sk_{i}: only {len(shares)} surviving "
+                    f"neighbor shares"
+                )
+            collected_sk[i] = shares
+
+        aggregate = server.recover_aggregate(
+            survivors, dropped, collected_b, collected_sk, self._shamir_for
+        )
+
+        metrics = RoundMetrics(
+            server_decode_ops=0,
+            server_prg_elements=server.prg_elements_expanded,
+            user_encode_ops=sum(
+                len(self.adjacency[i]) * self.model_dim
+                for i in range(self.num_users)
+            ),
+        )
+        return AggregationResult(
+            aggregate=aggregate,
+            survivors=survivors,
+            transcript=transcript,
+            metrics=metrics,
+        )
+
+
+class SecAgg(PairwiseMaskingProtocol):
+    """Bonawitz et al. (2017): pairwise masking on the complete graph."""
+
+    name = "secagg"
+
+    def __init__(
+        self,
+        gf: FiniteField,
+        num_users: int,
+        model_dim: int,
+        shamir_threshold: Optional[int] = None,
+        prg_backend: str = "pcg64",
+    ):
+        super().__init__(
+            gf,
+            num_users,
+            model_dim,
+            complete_graph(num_users),
+            shamir_threshold=shamir_threshold,
+            prg_backend=prg_backend,
+        )
+
+
+class SecAggPlus(PairwiseMaskingProtocol):
+    """Bell et al. (2020): pairwise masking on a sparse regular graph."""
+
+    name = "secagg+"
+
+    def __init__(
+        self,
+        gf: FiniteField,
+        num_users: int,
+        model_dim: int,
+        degree: Optional[int] = None,
+        shamir_threshold: Optional[int] = None,
+        graph_seed: int = 0,
+        prg_backend: str = "pcg64",
+    ):
+        if degree is None:
+            degree = secagg_plus_degree(num_users)
+        self.degree = degree
+        super().__init__(
+            gf,
+            num_users,
+            model_dim,
+            regular_graph(num_users, degree, seed=graph_seed),
+            shamir_threshold=shamir_threshold,
+            prg_backend=prg_backend,
+        )

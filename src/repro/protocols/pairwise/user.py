@@ -1,0 +1,160 @@
+"""User-side logic of pairwise-masking secure aggregation (SecAgg family).
+
+Implements the user role of Sec. 3: Diffie-Hellman pairwise seed agreement
+with graph neighbors, a private self-mask seed ``b_i``, double masking of
+the model update, and Shamir sharing of both ``b_i`` and the DH secret key
+``sk_i`` with neighbors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import ProtocolError
+from repro.coding.shamir import ShamirSecretSharing, ShamirShare
+from repro.crypto.dh import DiffieHellman, KeyPair
+from repro.crypto.prg import PRG
+from repro.field.arithmetic import FiniteField
+from repro.utils.ints import int_to_limbs, limbs_needed
+
+#: Bit-length of self-mask seeds b_i (matches a 256-bit PRG seed).
+SEED_BITS = 256
+
+
+class PairwiseUser:
+    """One participant in SecAgg / SecAgg+.
+
+    ``neighbors`` is the set of users this one shares pairwise masks and
+    secret shares with — all peers for SecAgg, ``O(log N)`` peers for
+    SecAgg+.
+    """
+
+    def __init__(
+        self,
+        user_id: int,
+        gf: FiniteField,
+        num_users: int,
+        neighbors: List[int],
+        model_dim: int,
+        shamir_threshold: int,
+        prg: Optional[PRG] = None,
+        dh: Optional[DiffieHellman] = None,
+    ):
+        if user_id in neighbors:
+            raise ProtocolError("a user cannot neighbor itself")
+        self.user_id = user_id
+        self.gf = gf
+        self.num_users = num_users
+        self.neighbors = sorted(neighbors)
+        self.model_dim = model_dim
+        self.prg = prg if prg is not None else PRG(gf)
+        self.dh = dh if dh is not None else DiffieHellman()
+        if shamir_threshold >= len(self.neighbors):
+            raise ProtocolError(
+                f"Shamir threshold {shamir_threshold} too large for "
+                f"{len(self.neighbors)} neighbors"
+            )
+        self.shamir = ShamirSecretSharing(
+            gf, num_shares=len(self.neighbors), threshold=shamir_threshold
+        )
+        self.keypair: Optional[KeyPair] = None
+        self.self_seed: Optional[int] = None
+        self._pairwise_seeds: Dict[int, int] = {}
+        # Shares received from peers: source -> (kind -> ShamirShare)
+        self._received_shares: Dict[int, Dict[str, ShamirShare]] = {}
+
+    # ------------------------------------------------------------------
+    # round 0/1: keys and seed agreement
+    # ------------------------------------------------------------------
+    def generate_keys(self, rng: np.random.Generator) -> int:
+        """Generate the DH key pair; returns the public key to advertise."""
+        self.keypair = self.dh.generate_keypair(rng)
+        return self.keypair.public
+
+    def agree_pairwise(self, peer_publics: Dict[int, int]) -> None:
+        """Derive ``a_{i,j}`` with every neighbor from advertised keys."""
+        if self.keypair is None:
+            raise ProtocolError("generate_keys must run first")
+        for j in self.neighbors:
+            if j not in peer_publics:
+                raise ProtocolError(f"missing public key for neighbor {j}")
+            self._pairwise_seeds[j] = self.dh.agree(
+                self.keypair.secret, peer_publics[j]
+            )
+
+    # ------------------------------------------------------------------
+    # round 2: share b_i and sk_i with neighbors
+    # ------------------------------------------------------------------
+    def share_secrets(
+        self, rng: np.random.Generator
+    ) -> Dict[int, Dict[str, ShamirShare]]:
+        """Draw ``b_i`` and Shamir-share ``b_i`` and ``sk_i``.
+
+        Returns ``{neighbor: {"b": share, "sk": share}}``; share ``x``
+        coordinates are assigned by neighbor rank so reconstruction uses
+        consistent evaluation points.
+        """
+        if self.keypair is None:
+            raise ProtocolError("generate_keys must run first")
+        self.self_seed = int.from_bytes(rng.bytes(SEED_BITS // 8), "little")
+        n_limbs_b = limbs_needed(SEED_BITS, self.gf.q)
+        n_limbs_sk = limbs_needed(self.dh.prime.bit_length(), self.gf.q)
+        b_shares = self.shamir.share(
+            int_to_limbs(self.self_seed, self.gf.q, n_limbs_b), rng
+        )
+        sk_shares = self.shamir.share(
+            int_to_limbs(self.keypair.secret, self.gf.q, n_limbs_sk), rng
+        )
+        out: Dict[int, Dict[str, ShamirShare]] = {}
+        for rank, j in enumerate(self.neighbors):
+            x = rank + 1  # Shamir evaluation points are 1..len(neighbors)
+            out[j] = {"b": b_shares[x], "sk": sk_shares[x]}
+        return out
+
+    def receive_shares(self, source: int, shares: Dict[str, ShamirShare]) -> None:
+        """Store the Shamir shares of a neighbor's ``b`` and ``sk``."""
+        if source in self._received_shares:
+            raise ProtocolError(f"duplicate shares from {source}")
+        self._received_shares[source] = shares
+
+    # ------------------------------------------------------------------
+    # round 3: double masking
+    # ------------------------------------------------------------------
+    def mask_update(self, update: np.ndarray) -> np.ndarray:
+        """``~x_i = x_i + PRG(b_i) + sum_{j>i} PRG(a_ij) - sum_{j<i} PRG(a_ij)``."""
+        if self.self_seed is None:
+            raise ProtocolError("share_secrets must run before mask_update")
+        update = self.gf.array(update)
+        if update.shape != (self.model_dim,):
+            raise ProtocolError(
+                f"update shape {update.shape} != ({self.model_dim},)"
+            )
+        masked = self.gf.add(update, self.prg.expand(self.self_seed, self.model_dim))
+        for j in self.neighbors:
+            pairwise = self.prg.expand(self._pairwise_seeds[j], self.model_dim)
+            if self.user_id < j:
+                masked = self.gf.add(masked, pairwise)
+            else:
+                masked = self.gf.sub(masked, pairwise)
+        return masked
+
+    # ------------------------------------------------------------------
+    # round 4: reveal shares for recovery
+    # ------------------------------------------------------------------
+    def reveal_share(self, target: int, kind: str) -> ShamirShare:
+        """Reveal the held share of ``target``'s secret of the given kind.
+
+        The SecAgg security argument requires that a user never reveals
+        *both* kinds for the same target: ``b`` for survivors, ``sk`` for
+        dropped users.  Enforcement of the exclusivity is the server
+        driver's job; this method just returns the requested share.
+        """
+        if kind not in ("b", "sk"):
+            raise ProtocolError(f"unknown share kind {kind!r}")
+        if target not in self._received_shares:
+            raise ProtocolError(
+                f"user {self.user_id} holds no shares from {target}"
+            )
+        return self._received_shares[target][kind]

@@ -1,0 +1,153 @@
+"""The trusted-third-party one-shot scheme of Zhao & Sun (2021).
+
+The paper's Appendix C / Table 6 comparator: it achieves the same one-shot
+aggregate-mask recovery as LightSecAgg but relies on a trusted third party
+(TTP) that, *before* the round, prepares coded material for **every**
+possible surviving set — which is what makes its randomness and storage
+grow exponentially in N.
+
+Construction implemented here (faithful to the accounting the paper
+reports, workable at test-scale N):
+
+* The TTP draws each user's mask ``z_i`` and partitions it into ``U - T``
+  sub-mask symbols — ``N (U - T)`` symbols of randomness total.
+* For every admissible surviving set ``S`` (``|S| >= U``) it draws ``T``
+  fresh noise symbols, forms the ``U``-row message
+  ``[sum_{i in S} [z_i]_1, ..., sum_{i in S} [z_i]_{U-T}, noise...]``,
+  MDS-encodes it into ``|S|`` coded symbols, and gives one to each member
+  of ``S``.  Per-user storage: own ``U - T`` sub-masks plus one symbol per
+  surviving set containing the user — exactly Table 6's
+  ``U - T + sum_{v>=U} C(N, v) * v / N`` on average.
+* At aggregation time the server learns the realized surviving set ``S``
+  and collects any ``U`` members' stored symbols for that ``S``; MDS
+  decoding yields ``sum_{i in S} z_i`` in one shot.  Privacy against ``T``
+  colluders comes from the ``T`` noise symbols, exactly as in
+  LightSecAgg's encoder.
+
+The implementation exists to (a) demonstrate functional equivalence of the
+recovery path, and (b) let tests *count* the generated randomness and
+per-user storage and check them against the closed forms in
+:mod:`repro.simulation.storage`.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from repro.coding.mds import MDSCode
+from repro.coding.partition import partition, piece_length, unpartition
+from repro.exceptions import DropoutError, ProtocolError
+from repro.field.arithmetic import FiniteField
+from repro.protocols.lightsecagg.params import LSAParams
+
+
+class TrustedThirdPartyMasking:
+    """Pre-round TTP setup and one-shot recovery for Zhao & Sun's scheme.
+
+    Only sensible for small ``N`` — the setup enumerates all ``C(N, v)``
+    surviving sets with ``v >= U``, which is the scheme's documented
+    drawback.
+    """
+
+    def __init__(
+        self,
+        gf: FiniteField,
+        params: LSAParams,
+        model_dim: int,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        n = params.num_users
+        if n > 16:
+            raise ProtocolError(
+                "TTP setup enumerates all surviving sets; use N <= 16 "
+                "(the exponential blow-up is the point of Table 6)"
+            )
+        self.gf = gf
+        self.params = params
+        self.model_dim = model_dim
+        rng = rng if rng is not None else np.random.default_rng()
+        u, t = params.target_survivors, params.privacy
+        self.share_dim = piece_length(model_dim, u - t)
+
+        # --- TTP randomness generation, with exact symbol accounting.
+        self.randomness_symbols = 0
+        self.masks: List[np.ndarray] = []
+        sub_masks: List[np.ndarray] = []
+        for _ in range(n):
+            z = gf.random(model_dim, rng)
+            self.masks.append(z)
+            sub_masks.append(partition(z, u - t))  # (U-T, share_dim)
+            self.randomness_symbols += u - t
+
+        # Per-survivor-set coded symbols, stored at the users.
+        # storage[user][frozenset(S)] = that user's coded symbol for S.
+        self.storage: List[Dict[FrozenSet[int], np.ndarray]] = [
+            {} for _ in range(n)
+        ]
+        for size in range(u, n + 1):
+            for subset in combinations(range(n), size):
+                s = frozenset(subset)
+                agg = sub_masks[subset[0]].copy()
+                for i in subset[1:]:
+                    agg = gf.add(agg, sub_masks[i])
+                noise = gf.random((t, self.share_dim), rng)
+                self.randomness_symbols += t
+                data = np.concatenate([agg, noise], axis=0)  # (U, share_dim)
+                code = MDSCode(gf, n=size, k=u)
+                coded = code.encode(data)  # (|S|, share_dim)
+                for rank, user in enumerate(subset):
+                    self.storage[user][s] = coded[rank]
+
+    # ------------------------------------------------------------------
+    def storage_symbols_per_user(self, user: int) -> int:
+        """Stored symbols at ``user``: own U-T sub-masks + per-set symbol."""
+        if not 0 <= user < self.params.num_users:
+            raise ProtocolError("user out of range")
+        return self.params.num_submasks + len(self.storage[user])
+
+    def mask_update(self, user: int, update: np.ndarray) -> np.ndarray:
+        """``~x_i = x_i + z_i`` with the TTP-assigned mask."""
+        update = self.gf.array(update)
+        if update.shape != (self.model_dim,):
+            raise ProtocolError("update dimension mismatch")
+        return self.gf.add(update, self.masks[user])
+
+    def recover_aggregate_mask(
+        self, surviving_set: FrozenSet[int], responders: List[int]
+    ) -> np.ndarray:
+        """One-shot decode of ``sum_{i in S} z_i`` from any U responders."""
+        s = frozenset(surviving_set)
+        size = len(s)
+        u = self.params.target_survivors
+        if size < u:
+            raise DropoutError(f"surviving set of {size} < U={u}")
+        ordered = sorted(s)
+        valid = [r for r in responders if r in s]
+        if len(set(valid)) < u:
+            raise DropoutError(f"need {u} responders from the surviving set")
+        code = MDSCode(self.gf, n=size, k=u)
+        shares = {}
+        for r in sorted(set(valid))[:u]:
+            rank = ordered.index(r)
+            shares[rank] = self.storage[r][s]
+        data = code.decode(shares)  # (U, share_dim)
+        return unpartition(data[: self.params.num_submasks], self.model_dim)
+
+    def run_round(
+        self,
+        updates: Dict[int, np.ndarray],
+        dropouts: Optional[set] = None,
+    ) -> Tuple[np.ndarray, List[int]]:
+        """Full round: masked uploads, set identification, one-shot decode."""
+        dropouts = dropouts or set()
+        n = self.params.num_users
+        survivors = [i for i in range(n) if i not in dropouts]
+        s = frozenset(survivors)
+        masked_sum = self.gf.zeros(self.model_dim)
+        for i in survivors:
+            masked_sum = self.gf.add(masked_sum, self.mask_update(i, updates[i]))
+        agg_mask = self.recover_aggregate_mask(s, survivors)
+        return self.gf.sub(masked_sum, agg_mask), survivors

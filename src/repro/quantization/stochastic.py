@@ -1,0 +1,77 @@
+"""Stochastic rounding — paper eq. (29).
+
+``Q_c(x)`` rounds ``c * x`` to one of its two neighbouring integers with
+probabilities proportional to proximity, then divides by ``c``.  The
+estimator is unbiased (``E[Q_c(x)] = x``) with variance at most
+``1 / (4 c^2)`` per coordinate (paper Lemma 2), which is what makes the
+quantized FL updates behave like the unquantized ones up to a small extra
+variance term (Theorem 2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import QuantizationError
+
+
+def stochastic_round(
+    x: np.ndarray,
+    levels: int,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Unbiased stochastic rounding of ``x`` onto the grid ``Z / levels``.
+
+    Parameters
+    ----------
+    x:
+        Real array to round.
+    levels:
+        The paper's ``c`` — grid resolution.  Must be a positive integer.
+    rng:
+        Randomness source; a fresh default generator when omitted.
+
+    Returns
+    -------
+    Array of the same shape with entries on the ``1/levels`` grid,
+    satisfying ``|out - x| < 1/levels`` elementwise and ``E[out] = x``.
+    """
+    if levels <= 0:
+        raise QuantizationError(f"levels must be a positive int, got {levels}")
+    rng = rng if rng is not None else np.random.default_rng()
+    x = np.asarray(x, dtype=np.float64)
+    scaled = x * levels
+    floor = np.floor(scaled)
+    frac = scaled - floor
+    round_up = rng.random(size=x.shape) < frac
+    return (floor + round_up) / levels
+
+
+def stochastic_round_to_int(
+    x: np.ndarray,
+    levels: int,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """``c * Q_c(x)`` as int64 — the integer grid index of eq. (30).
+
+    This is the quantity embedded into the finite field: the paper computes
+    ``phi(c_l * Q_{c_l}(Delta))``.
+    """
+    if levels <= 0:
+        raise QuantizationError(f"levels must be a positive int, got {levels}")
+    rng = rng if rng is not None else np.random.default_rng()
+    x = np.asarray(x, dtype=np.float64)
+    scaled = x * levels
+    floor = np.floor(scaled)
+    frac = scaled - floor
+    round_up = rng.random(size=x.shape) < frac
+    return (floor + round_up).astype(np.int64)
+
+
+def rounding_variance_bound(levels: int, dim: int) -> float:
+    """The Lemma-2 variance bound ``d / (4 c^2)`` for a length-``d`` vector."""
+    if levels <= 0:
+        raise QuantizationError(f"levels must be a positive int, got {levels}")
+    return dim / (4.0 * levels * levels)

@@ -1,0 +1,90 @@
+"""Systems simulation: cost model, network/machine profiles, round timing."""
+
+from repro.simulation.costmodel import (
+    ROWS,
+    PROTOCOLS,
+    SYMBOLIC_TABLE,
+    CostParams,
+    complexity_table,
+    paper_operating_point,
+)
+from repro.simulation.heterogeneous import (
+    HeterogeneousRoundResult,
+    UserProfile,
+    sample_fleet,
+    simulate_heterogeneous_round,
+)
+from repro.simulation.machine import PAPER_TESTBED, MachineProfile
+from repro.simulation.network import (
+    BANDWIDTH_SETTINGS,
+    ELEMENT_BYTES,
+    LTE_4G,
+    NR_5G,
+    TESTBED_320,
+    BandwidthProfile,
+)
+from repro.simulation.runtime import (
+    PROTOCOL_NAMES,
+    TRAINING_TIMES,
+    GainReport,
+    PhaseTimes,
+    SimulationConfig,
+    compute_gains,
+    simulate,
+    simulate_lightsecagg,
+    simulate_secagg,
+    simulate_secagg_plus,
+)
+from repro.simulation.training_time import (
+    TrainingTimeProjection,
+    project_training_time,
+    rounds_to_accuracy,
+)
+from repro.simulation.storage import (
+    StorageComparison,
+    compare_storage,
+    lightsecagg_storage_per_user,
+    lightsecagg_total_randomness,
+    zhao_sun_storage_per_user,
+    zhao_sun_total_randomness,
+)
+
+__all__ = [
+    "TrainingTimeProjection",
+    "project_training_time",
+    "rounds_to_accuracy",
+    "UserProfile",
+    "sample_fleet",
+    "simulate_heterogeneous_round",
+    "HeterogeneousRoundResult",
+    "CostParams",
+    "complexity_table",
+    "paper_operating_point",
+    "SYMBOLIC_TABLE",
+    "ROWS",
+    "PROTOCOLS",
+    "MachineProfile",
+    "PAPER_TESTBED",
+    "BandwidthProfile",
+    "LTE_4G",
+    "TESTBED_320",
+    "NR_5G",
+    "BANDWIDTH_SETTINGS",
+    "ELEMENT_BYTES",
+    "PhaseTimes",
+    "SimulationConfig",
+    "simulate",
+    "simulate_lightsecagg",
+    "simulate_secagg",
+    "simulate_secagg_plus",
+    "compute_gains",
+    "GainReport",
+    "TRAINING_TIMES",
+    "PROTOCOL_NAMES",
+    "StorageComparison",
+    "compare_storage",
+    "zhao_sun_total_randomness",
+    "zhao_sun_storage_per_user",
+    "lightsecagg_total_randomness",
+    "lightsecagg_storage_per_user",
+]

@@ -1,0 +1,135 @@
+"""Heterogeneous-user (straggler) simulation of a LightSecAgg round.
+
+The closed-form model in :mod:`repro.simulation.runtime` assumes identical
+users.  Real cross-device fleets are heterogeneous, and LightSecAgg has a
+structural advantage there: the server needs only the *U fastest* recovery
+responses (an order statistic), not the slowest user's — Remark 2's
+"at least U surviving users at any time" in systems terms.
+
+This discrete-event-style simulation draws per-user compute/bandwidth
+scales, plays out one round, and reports both the LightSecAgg completion
+time (U-th order statistic) and the wait-for-all alternative, quantifying
+the straggler resilience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.coding.partition import piece_length
+from repro.exceptions import SimulationError
+from repro.protocols.lightsecagg.params import LSAParams
+from repro.simulation.machine import MachineProfile, PAPER_TESTBED
+from repro.simulation.network import BandwidthProfile, TESTBED_320
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """Per-user speed multipliers (1.0 = the nominal machine/link)."""
+
+    compute_scale: float = 1.0
+    bandwidth_scale: float = 1.0
+
+    def __post_init__(self):
+        if self.compute_scale <= 0 or self.bandwidth_scale <= 0:
+            raise SimulationError("scales must be positive")
+
+
+def sample_fleet(
+    num_users: int,
+    straggler_fraction: float = 0.1,
+    straggler_slowdown: float = 4.0,
+    rng: Optional[np.random.Generator] = None,
+) -> List[UserProfile]:
+    """A fleet where a fraction of devices is uniformly slower."""
+    if not 0 <= straggler_fraction <= 1:
+        raise SimulationError("straggler fraction must be in [0, 1]")
+    if straggler_slowdown < 1:
+        raise SimulationError("slowdown must be >= 1")
+    rng = rng if rng is not None else np.random.default_rng()
+    profiles = []
+    for _ in range(num_users):
+        slow = rng.random() < straggler_fraction
+        scale = 1.0 / straggler_slowdown if slow else 1.0
+        jitter = float(rng.uniform(0.9, 1.1))
+        profiles.append(
+            UserProfile(compute_scale=scale * jitter, bandwidth_scale=scale)
+        )
+    return profiles
+
+
+@dataclass(frozen=True)
+class HeterogeneousRoundResult:
+    """Completion times of one heterogeneous LightSecAgg round."""
+
+    upload_complete: float  # all survivors' masked models at the server
+    recovery_wait_u: float  # U-th fastest recovery response (LightSecAgg)
+    recovery_wait_all: float  # hypothetical wait-for-every-survivor
+    decode_time: float
+
+    @property
+    def total(self) -> float:
+        return self.upload_complete + self.recovery_wait_u + self.decode_time
+
+    @property
+    def straggler_savings(self) -> float:
+        """Recovery time saved by needing only U responses."""
+        return self.recovery_wait_all - self.recovery_wait_u
+
+
+def simulate_heterogeneous_round(
+    params: LSAParams,
+    model_dim: int,
+    fleet: List[UserProfile],
+    dropouts: Optional[set] = None,
+    machine: MachineProfile = PAPER_TESTBED,
+    bandwidth: BandwidthProfile = TESTBED_320,
+    training_time: float = 0.0,
+) -> HeterogeneousRoundResult:
+    """Play out upload + recovery with per-user speeds.
+
+    Dropped users upload but never answer the recovery request (the
+    paper's worst-case dropout point).  Requires at least ``U`` surviving
+    users, as the protocol does.
+    """
+    n = params.num_users
+    if len(fleet) != n:
+        raise SimulationError(f"fleet size {len(fleet)} != N={n}")
+    dropouts = dropouts or set()
+    survivors = [i for i in range(n) if i not in dropouts]
+    u = params.target_survivors
+    if len(survivors) < u:
+        raise SimulationError("not enough survivors for recovery")
+    share_dim = piece_length(model_dim, params.num_submasks)
+
+    # Upload: each user trains (scaled) then pushes d elements on its link.
+    upload_done = []
+    for i in survivors:
+        prof = fleet[i]
+        train = training_time / prof.compute_scale
+        push = bandwidth.seconds(model_dim) / prof.bandwidth_scale
+        upload_done.append(train + push)
+    upload_complete = max(upload_done)
+
+    # Recovery: each survivor aggregates its held shares (compute) and
+    # uploads one coded share; the server proceeds at the U-th response.
+    responses = []
+    for i in survivors:
+        prof = fleet[i]
+        aggregate = machine.field_time(len(survivors) * share_dim) / prof.compute_scale
+        push = bandwidth.seconds(share_dim) / prof.bandwidth_scale
+        responses.append(aggregate + push)
+    responses.sort()
+    recovery_wait_u = responses[u - 1]
+    recovery_wait_all = responses[-1]
+    decode_time = machine.field_time(u * model_dim + u * u)
+
+    return HeterogeneousRoundResult(
+        upload_complete=upload_complete,
+        recovery_wait_u=recovery_wait_u,
+        recovery_wait_all=recovery_wait_all,
+        decode_time=decode_time,
+    )

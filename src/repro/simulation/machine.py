@@ -1,0 +1,100 @@
+"""Machine profile: compute-throughput constants for the timing model.
+
+The paper's absolute numbers come from AWS EC2 ``m3.medium`` instances; our
+simulator reproduces their *shape* by charging analytic operation counts
+against calibrated throughputs.  The defaults below are tuned so that the
+FEMNIST-CNN / N=200 breakdown lands in the paper's Table-4 ballpark; call
+:meth:`MachineProfile.calibrate` to measure the current host instead.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+
+
+@dataclass(frozen=True)
+class MachineProfile:
+    """Throughput constants (per second) used by the runtime simulator.
+
+    Attributes
+    ----------
+    prg_elements_per_sec:
+        PRG output rate in field elements/s.  Dominates SecAgg's server
+        recovery (mask re-expansion).
+    field_ops_per_sec:
+        Throughput of GF(q) multiply-accumulate, used for MDS
+        encode/decode work.
+    dh_agreements_per_sec:
+        Pairwise Diffie-Hellman agreements per second.
+    shamir_shares_per_sec:
+        Shamir share evaluations (per share) per second.
+    """
+
+    prg_elements_per_sec: float = 5.0e6
+    field_ops_per_sec: float = 1.5e7
+    dh_agreements_per_sec: float = 250.0
+    shamir_shares_per_sec: float = 5.0e4
+
+    def __post_init__(self):
+        for name in (
+            "prg_elements_per_sec",
+            "field_ops_per_sec",
+            "dh_agreements_per_sec",
+            "shamir_shares_per_sec",
+        ):
+            if getattr(self, name) <= 0:
+                raise SimulationError(f"{name} must be positive")
+
+    # ------------------------------------------------------------------
+    def prg_time(self, elements: int) -> float:
+        return elements / self.prg_elements_per_sec
+
+    def field_time(self, ops: int) -> float:
+        return ops / self.field_ops_per_sec
+
+    def dh_time(self, agreements: int) -> float:
+        return agreements / self.dh_agreements_per_sec
+
+    def shamir_time(self, shares: int) -> float:
+        return shares / self.shamir_shares_per_sec
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def calibrate(cls, sample_size: int = 1 << 20) -> "MachineProfile":
+        """Measure this host's kernels and return a matching profile.
+
+        Uses the library's own PRG and field-multiply kernels, so the
+        simulated times reflect what running the real protocol here would
+        cost (up to the paper's slower EC2 hardware).
+        """
+        from repro.crypto.prg import PRG
+        from repro.field.arithmetic import FiniteField
+
+        gf = FiniteField()
+        prg = PRG(gf)
+        start = time.perf_counter()
+        prg.expand(12345, sample_size)
+        prg_rate = sample_size / max(time.perf_counter() - start, 1e-9)
+
+        rng = np.random.default_rng(0)
+        a = gf.random(sample_size, rng)
+        b = gf.random(sample_size, rng)
+        start = time.perf_counter()
+        gf.mul(a, b)
+        field_rate = sample_size / max(time.perf_counter() - start, 1e-9)
+
+        base = cls()
+        return replace(
+            base,
+            prg_elements_per_sec=prg_rate,
+            field_ops_per_sec=field_rate,
+        )
+
+
+#: Profile approximating the paper's m3.medium testbed nodes.
+PAPER_TESTBED = MachineProfile()

@@ -1,0 +1,44 @@
+"""Network model: bandwidth profiles and transfer-time accounting.
+
+The paper evaluates three user-side bandwidth settings (Table 3): 4G/LTE-A
+at 98 Mbps, the measured testbed at 320 Mbps, and 5G at 802 Mbps.  Field
+elements travel as 4-byte words (q < 2**32); key-sized payloads (seeds,
+public keys, Shamir shares of seeds) are charged by the same element size,
+matching the paper's ``s``-vs-``d`` accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import SimulationError
+
+#: Bytes on the wire per GF(q) element (q < 2**32).
+ELEMENT_BYTES = 4
+
+
+@dataclass(frozen=True)
+class BandwidthProfile:
+    """A named symmetric link speed in megabits per second."""
+
+    name: str
+    mbps: float
+
+    def __post_init__(self):
+        if self.mbps <= 0:
+            raise SimulationError(f"bandwidth must be positive, got {self.mbps}")
+
+    def seconds(self, num_elements: int, element_bytes: int = ELEMENT_BYTES) -> float:
+        """Time to move ``num_elements`` field elements over this link."""
+        if num_elements < 0:
+            raise SimulationError("element count must be non-negative")
+        bits = num_elements * element_bytes * 8
+        return bits / (self.mbps * 1e6)
+
+
+#: The paper's three bandwidth settings (Table 3).
+LTE_4G = BandwidthProfile("4G (LTE-A)", 98.0)
+TESTBED_320 = BandwidthProfile("320 Mbps", 320.0)
+NR_5G = BandwidthProfile("5G", 802.0)
+
+BANDWIDTH_SETTINGS = (LTE_4G, TESTBED_320, NR_5G)

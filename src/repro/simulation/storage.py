@@ -1,0 +1,86 @@
+"""Storage / randomness accounting — the paper's Table 6.
+
+Compares LightSecAgg against the trusted-third-party scheme of Zhao & Sun
+(2021).  Quantities are counted in symbols of ``F_q^{d/(U-T)}`` exactly as
+in the paper:
+
+* Zhao & Sun must pre-generate, for *every* possible surviving set of size
+  ``>= U``, ``T`` fresh random symbols — a total that grows exponentially
+  in ``N`` — and each user stores its slice of all of them.
+* LightSecAgg generates ``U`` symbols per user locally (``U - T`` data
+  sub-masks + ``T`` paddings), a total of ``N * U`` symbols, and each user
+  stores its own ``U - T`` sub-masks plus ``N`` received coded shares.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import SimulationError
+
+
+def _check(n: int, u: int, t: int) -> None:
+    if not 0 <= t < u <= n:
+        raise SimulationError(f"need 0 <= T < U <= N, got N={n}, U={u}, T={t}")
+
+
+def zhao_sun_total_randomness(n: int, u: int, t: int) -> int:
+    """``N (U - T) + T * sum_{v=U}^{N} C(N, v)`` symbols (Table 6, col 1)."""
+    _check(n, u, t)
+    subsets = sum(math.comb(n, v) for v in range(u, n + 1))
+    return n * (u - t) + t * subsets
+
+
+def zhao_sun_storage_per_user(n: int, u: int, t: int) -> float:
+    """``U - T + sum_{v=U}^{N} C(N, v) * v / N`` symbols (Table 6, col 1)."""
+    _check(n, u, t)
+    weighted = sum(math.comb(n, v) * v for v in range(u, n + 1))
+    return (u - t) + weighted / n
+
+
+def lightsecagg_total_randomness(n: int, u: int, t: int) -> int:
+    """``N * U`` symbols (Table 6, col 2)."""
+    _check(n, u, t)
+    return n * u
+
+
+def lightsecagg_storage_per_user(n: int, u: int, t: int) -> int:
+    """``U - T + N`` symbols (Table 6, col 2)."""
+    _check(n, u, t)
+    return (u - t) + n
+
+
+@dataclass(frozen=True)
+class StorageComparison:
+    """One Table-6 comparison row for given (N, U, T)."""
+
+    num_users: int
+    target_survivors: int
+    privacy: int
+    zhao_sun_randomness: int
+    zhao_sun_per_user: float
+    lightsecagg_randomness: int
+    lightsecagg_per_user: int
+
+    @property
+    def randomness_ratio(self) -> float:
+        """How many times more randomness Zhao & Sun needs."""
+        return self.zhao_sun_randomness / self.lightsecagg_randomness
+
+    @property
+    def storage_ratio(self) -> float:
+        return self.zhao_sun_per_user / self.lightsecagg_per_user
+
+
+def compare_storage(n: int, u: int, t: int) -> StorageComparison:
+    """Assemble the Table-6 comparison for one parameter point."""
+    return StorageComparison(
+        num_users=n,
+        target_survivors=u,
+        privacy=t,
+        zhao_sun_randomness=zhao_sun_total_randomness(n, u, t),
+        zhao_sun_per_user=zhao_sun_storage_per_user(n, u, t),
+        lightsecagg_randomness=lightsecagg_total_randomness(n, u, t),
+        lightsecagg_per_user=lightsecagg_storage_per_user(n, u, t),
+    )

@@ -1,0 +1,77 @@
+"""Discrete-event core for the system runtime.
+
+A minimal event simulator: callbacks scheduled at simulated times, run in
+time order.  Entities (clients, server) schedule their own work — compute
+tasks occupy an entity's serial compute resource, messages occupy links —
+so phase overlap (e.g. training in parallel with mask encoding, the
+paper's Sec. 6 design) emerges from how tasks are scheduled rather than
+from closed-form assumptions.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.exceptions import SimulationError
+
+
+class EventSimulator:
+    """Priority-queue event loop over simulated seconds."""
+
+    def __init__(self):
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self.now: float = 0.0
+        self._running = False
+
+    def schedule(self, when: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at simulated time ``when`` (>= now)."""
+        if when < self.now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule in the past: {when} < {self.now}"
+            )
+        heapq.heappush(self._queue, (when, next(self._counter), callback))
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain the queue (optionally up to ``until``); returns end time."""
+        self._running = True
+        while self._queue:
+            when, _, callback = self._queue[0]
+            if until is not None and when > until:
+                break
+            heapq.heappop(self._queue)
+            self.now = when
+            callback()
+        self._running = False
+        return self.now
+
+
+class SerialResource:
+    """A resource that serializes work (one CPU core, one link direction).
+
+    ``acquire(sim, start, duration, on_done)`` queues the work: it begins
+    at ``max(start, resource free time)`` and calls ``on_done(end_time)``.
+    """
+
+    def __init__(self, name: str = "resource"):
+        self.name = name
+        self.busy_until: float = 0.0
+        self.total_busy: float = 0.0
+
+    def acquire(
+        self,
+        sim: EventSimulator,
+        start: float,
+        duration: float,
+        on_done: Callable[[float], None],
+    ) -> float:
+        if duration < 0:
+            raise SimulationError("duration must be non-negative")
+        begin = max(start, self.busy_until)
+        end = begin + duration
+        self.busy_until = end
+        self.total_busy += duration
+        sim.schedule(end, lambda: on_done(end))
+        return end

@@ -1,0 +1,128 @@
+"""Reusable verification helpers for downstream users and the test suite.
+
+Secure-aggregation code fails in ways that are easy to miss (a wrong mask
+still produces *a* vector), so the library ships the assertions we use
+internally: exact-aggregate verification against the naive oracle, field-
+array validity checks, and quick statistical uniformity tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.field.arithmetic import FiniteField
+from repro.protocols.base import AggregationResult, SecureAggregationProtocol
+
+
+def make_random_updates(
+    gf: FiniteField,
+    num_users: int,
+    model_dim: int,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[int, np.ndarray]:
+    """One uniform field vector per user — standard protocol-test input."""
+    rng = rng if rng is not None else np.random.default_rng()
+    return {i: gf.random(model_dim, rng) for i in range(num_users)}
+
+
+def assert_field_vector(gf: FiniteField, arr: np.ndarray, dim: int) -> None:
+    """Raise unless ``arr`` is a valid reduced GF(q) vector of length dim."""
+    if not isinstance(arr, np.ndarray) or arr.shape != (dim,):
+        raise ReproError(f"expected shape ({dim},), got {getattr(arr, 'shape', None)}")
+    if arr.dtype != np.uint64:
+        raise ReproError(f"expected uint64 residues, got dtype {arr.dtype}")
+    if arr.size and int(arr.max()) >= gf.q:
+        raise ReproError("entries exceed the field modulus")
+
+
+def assert_exact_aggregate(
+    protocol: SecureAggregationProtocol,
+    result: AggregationResult,
+    updates: Dict[int, np.ndarray],
+) -> None:
+    """Raise unless the round output equals the plain sum of survivors."""
+    expected = protocol.expected_aggregate(updates, result.survivors)
+    if not np.array_equal(result.aggregate, expected):
+        diff = int(np.count_nonzero(result.aggregate != expected))
+        raise ReproError(
+            f"aggregate mismatch on {diff}/{expected.size} coordinates for "
+            f"survivors {result.survivors}"
+        )
+
+
+def run_and_verify(
+    protocol: SecureAggregationProtocol,
+    model_dim: int,
+    dropouts: Optional[Set[int]] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> AggregationResult:
+    """Run one round on random inputs and verify it end to end."""
+    rng = rng if rng is not None else np.random.default_rng()
+    updates = make_random_updates(protocol.gf, protocol.num_users, model_dim, rng)
+    result = protocol.run_round(updates, dropouts or set(), rng)
+    assert_exact_aggregate(protocol, result, updates)
+    assert_field_vector(protocol.gf, result.aggregate, model_dim)
+    return result
+
+
+def conformance_suite(
+    protocol_factory,
+    model_dim: int = 24,
+    seed: int = 0,
+    max_dropouts: int = 2,
+) -> int:
+    """Battery of behaviours every SecureAggregationProtocol must satisfy.
+
+    ``protocol_factory()`` returns a fresh protocol instance.  Checks:
+    exact aggregation for every dropout count up to ``max_dropouts``,
+    determinism under a fixed rng, statelessness across rounds, and
+    transcript sanity.  Returns the number of rounds exercised; raises
+    :class:`ReproError` (or the protocol's own error) on any violation.
+    """
+    proto = protocol_factory()
+    rounds = 0
+    for num_drops in range(max_dropouts + 1):
+        rng = np.random.default_rng(seed + num_drops)
+        updates = make_random_updates(proto.gf, proto.num_users, model_dim, rng)
+        dropouts = set(range(num_drops))
+        result = proto.run_round(updates, dropouts, rng)
+        assert_exact_aggregate(proto, result, updates)
+        assert_field_vector(proto.gf, result.aggregate, model_dim)
+        if len(result.transcript) == 0 and proto.num_users > 1:
+            raise ReproError("protocol recorded no messages")
+        if result.transcript.elements() < 0:
+            raise ReproError("negative transcript accounting")
+        # Determinism: same inputs and rng seed reproduce the aggregate.
+        again = proto.run_round(
+            updates, dropouts, np.random.default_rng(seed + num_drops)
+        )
+        repeat = proto.run_round(
+            updates, dropouts, np.random.default_rng(seed + num_drops)
+        )
+        if not np.array_equal(again.aggregate, repeat.aggregate):
+            raise ReproError("protocol is nondeterministic under a fixed rng")
+        rounds += 3
+    return rounds
+
+
+def chi_square_uniformity(
+    samples: Sequence[int], modulus: int, significance_chi2: float
+) -> float:
+    """Chi-square statistic of ``samples`` against uniform over [0, q).
+
+    Returns the statistic; raises when it exceeds the caller-provided
+    critical value (callers pick it for their degrees of freedom).
+    """
+    counts = np.bincount(np.asarray(samples, dtype=np.int64), minlength=modulus)
+    expected = len(samples) / modulus
+    if expected <= 0:
+        raise ReproError("no samples supplied")
+    chi2 = float(((counts - expected) ** 2 / expected).sum())
+    if chi2 > significance_chi2:
+        raise ReproError(
+            f"uniformity rejected: chi2={chi2:.1f} > {significance_chi2}"
+        )
+    return chi2

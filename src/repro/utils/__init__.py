@@ -1,0 +1,5 @@
+"""Shared small utilities."""
+
+from repro.utils.ints import int_to_limbs, limbs_needed, limbs_to_int
+
+__all__ = ["int_to_limbs", "limbs_to_int", "limbs_needed"]

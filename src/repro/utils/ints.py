@@ -1,0 +1,42 @@
+"""Big-integer <-> GF(q) limb conversion.
+
+SecAgg Shamir-shares 256-bit PRG seeds and DH secret keys, but our Shamir
+scheme operates over GF(q) with q < 2**32.  Large integers are therefore
+split into base-q limbs (little-endian), shared limb-wise, and reassembled
+after reconstruction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import CodingError
+
+
+def limbs_needed(bits: int, q: int) -> int:
+    """Number of base-q limbs required to hold a ``bits``-bit integer."""
+    if bits <= 0:
+        raise CodingError("bits must be positive")
+    per_limb = (q - 1).bit_length() - 1  # bits we can safely store per limb
+    return -(-bits // per_limb)
+
+
+def int_to_limbs(value: int, q: int, count: int) -> np.ndarray:
+    """Split a non-negative int into ``count`` base-q limbs (little-endian)."""
+    if value < 0:
+        raise CodingError("value must be non-negative")
+    limbs = np.zeros(count, dtype=np.uint64)
+    for k in range(count):
+        limbs[k] = value % q
+        value //= q
+    if value:
+        raise CodingError(f"value does not fit in {count} base-{q} limbs")
+    return limbs
+
+
+def limbs_to_int(limbs: np.ndarray, q: int) -> int:
+    """Inverse of :func:`int_to_limbs`."""
+    value = 0
+    for limb in reversed(np.asarray(limbs).tolist()):
+        value = value * q + int(limb)
+    return value

@@ -1,0 +1,50 @@
+"""Tests for the async update buffer."""
+
+import numpy as np
+import pytest
+
+from repro.asyncfl.buffer import BufferedUpdate, UpdateBuffer
+from repro.exceptions import ProtocolError
+
+
+class TestBuffer:
+    def test_fill_and_drain(self):
+        buf = UpdateBuffer(capacity=3)
+        for k in range(3):
+            buf.push(BufferedUpdate(user_id=k, download_round=0,
+                                    payload=np.zeros(2)))
+        assert buf.is_full
+        items = buf.drain()
+        assert [i.user_id for i in items] == [0, 1, 2]
+        assert len(buf) == 0
+
+    def test_drain_requires_full(self):
+        buf = UpdateBuffer(capacity=2)
+        buf.push(BufferedUpdate(0, 0, np.zeros(1)))
+        with pytest.raises(ProtocolError, match="not ready"):
+            buf.drain()
+
+    def test_push_beyond_capacity(self):
+        buf = UpdateBuffer(capacity=1)
+        buf.push(BufferedUpdate(0, 0, None))
+        with pytest.raises(ProtocolError, match="full"):
+            buf.push(BufferedUpdate(1, 0, None))
+
+    def test_capacity_validation(self):
+        with pytest.raises(ProtocolError):
+            UpdateBuffer(capacity=0)
+
+    def test_fifo_order_preserved(self):
+        buf = UpdateBuffer(capacity=3)
+        for uid in (5, 1, 9):
+            buf.push(BufferedUpdate(uid, uid * 10, None))
+        drained = buf.drain()
+        assert [d.user_id for d in drained] == [5, 1, 9]
+        assert [d.download_round for d in drained] == [50, 10, 90]
+
+    def test_reusable_after_drain(self):
+        buf = UpdateBuffer(capacity=1)
+        buf.push(BufferedUpdate(0, 0, None))
+        buf.drain()
+        buf.push(BufferedUpdate(1, 1, None))
+        assert buf.is_full

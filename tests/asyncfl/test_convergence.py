@@ -1,0 +1,99 @@
+"""Tests for the Theorem 2 convergence-bound evaluator."""
+
+import pytest
+
+from repro.asyncfl.convergence import (
+    ConvergenceConstants,
+    convergence_bound,
+    quantization_excess,
+)
+from repro.exceptions import ReproError
+
+
+def constants(**overrides):
+    base = dict(
+        smoothness=1.0,
+        initial_gap=10.0,
+        grad_bound=1.0,
+        local_variance=0.01,
+        global_variance=0.05,
+        model_dim=7850,
+        quant_levels=1 << 16,
+        buffer_size=10,
+        local_steps=1,
+        tau_max=10,
+        eta_local=0.01,
+        eta_global=1.0,
+    )
+    base.update(overrides)
+    return ConvergenceConstants(**base)
+
+
+class TestBoundStructure:
+    def test_bound_positive_and_finite(self):
+        b = convergence_bound(constants(), rounds=100)
+        assert 0 < b < float("inf")
+
+    def test_decreases_with_rounds(self):
+        c = constants()
+        assert convergence_bound(c, 1000) < convergence_bound(c, 10)
+
+    def test_optimization_term_vanishes(self):
+        """As J -> inf the bound approaches the variance floor."""
+        c = constants()
+        b1 = convergence_bound(c, 10**6)
+        b2 = convergence_bound(c, 10**9)
+        assert abs(b1 - b2) / b1 < 0.01
+
+    def test_step_size_condition_enforced(self):
+        c = constants(eta_local=1.0, eta_global=1.0, buffer_size=10)
+        assert not c.learning_rates_feasible()
+        with pytest.raises(ReproError, match="1/L"):
+            convergence_bound(c, 10)
+
+    def test_rounds_validated(self):
+        with pytest.raises(ReproError):
+            convergence_bound(constants(), 0)
+
+    def test_constant_validation(self):
+        with pytest.raises(ReproError):
+            constants(smoothness=0.0)
+        with pytest.raises(ReproError):
+            constants(grad_bound=-1.0)
+        with pytest.raises(ReproError):
+            constants(tau_max=-1)
+
+
+class TestPaperClaims:
+    def test_sigma_cl_formula(self):
+        c = constants(model_dim=400, quant_levels=10, local_variance=0.5)
+        assert c.sigma_cl_sq == pytest.approx(400 / 400 + 0.5)
+
+    def test_finer_quantization_tightens_bound(self):
+        coarse = constants(quant_levels=4)
+        fine = constants(quant_levels=1 << 16)
+        assert convergence_bound(fine, 100) < convergence_bound(coarse, 100)
+
+    def test_quantization_excess_negligible_at_paper_cl(self):
+        """Remark 6: at c_l = 2^16 the extra d/(4 c_l^2) variance is tiny
+        relative to the bound itself."""
+        c = constants(quant_levels=1 << 16)
+        excess = quantization_excess(c, 100)
+        total = convergence_bound(c, 100)
+        assert excess / total < 1e-3
+
+    def test_quantization_excess_material_at_small_cl(self):
+        c = constants(quant_levels=2)
+        excess = quantization_excess(c, 10**7)
+        total = convergence_bound(c, 10**7)
+        assert excess / total > 0.5
+
+    def test_staleness_hurts(self):
+        fresh = constants(tau_max=0)
+        stale = constants(tau_max=20)
+        assert convergence_bound(stale, 100) > convergence_bound(fresh, 100)
+
+    def test_matches_fedbuff_when_unquantized(self):
+        """With c_l -> inf the bound reduces to FedBuff's (sigma_l only)."""
+        c = constants()
+        assert quantization_excess(c, 100) >= 0

@@ -1,0 +1,131 @@
+"""Tests making Remark 1 executable: pairwise masking fails under
+asynchrony exactly when timestamps differ, while async LightSecAgg
+succeeds in the same configuration."""
+
+import numpy as np
+import pytest
+
+from repro.asyncfl.incompatibility import (
+    attempt_async_pairwise_aggregation,
+    pairwise_masked_upload,
+    residue_matrix,
+    round_seed,
+)
+from repro.asyncfl.secure_aggregator import AsyncDelivery, AsyncSecureAggregator
+from repro.asyncfl.staleness import QuantizedStaleness
+from repro.crypto.prg import PRG
+from repro.exceptions import ProtocolError
+from repro.protocols.lightsecagg.params import LSAParams
+from repro.quantization import ModelQuantizer, QuantizationConfig
+
+
+class TestRoundSeed:
+    def test_symmetric_in_pair(self):
+        assert round_seed(7, 2, 5, 3) == round_seed(7, 5, 2, 3)
+
+    def test_differs_across_rounds(self):
+        assert round_seed(7, 2, 5, 3) != round_seed(7, 2, 5, 4)
+
+    def test_differs_across_pairs(self):
+        assert round_seed(7, 2, 5, 3) != round_seed(7, 2, 6, 3)
+
+
+class TestSynchronousCancellation:
+    def test_same_round_cancels_exactly(self, gf, rng):
+        """Sanity: with equal timestamps this *is* SecAgg and must work."""
+        updates = [gf.random(32, rng) for _ in range(5)]
+        outcome = attempt_async_pairwise_aggregation(
+            gf, updates, download_rounds=[4] * 5
+        )
+        assert not outcome.is_corrupted
+        assert np.array_equal(
+            outcome.aggregate_with_masks, outcome.true_aggregate
+        )
+
+    def test_all_pairs_cancel_when_synchronous(self, gf):
+        report = residue_matrix(gf, 4, [2, 2, 2, 2], dim=8)
+        assert all(cancelled for _, _, cancelled in report)
+
+
+class TestAsynchronousCorruption:
+    def test_mixed_rounds_corrupt_the_sum(self, gf, rng):
+        updates = [gf.random(32, rng) for _ in range(5)]
+        outcome = attempt_async_pairwise_aggregation(
+            gf, updates, download_rounds=[0, 1, 2, 3, 4]
+        )
+        assert outcome.is_corrupted
+
+    def test_single_stale_user_suffices(self, gf, rng):
+        updates = [gf.random(16, rng) for _ in range(4)]
+        outcome = attempt_async_pairwise_aggregation(
+            gf, updates, download_rounds=[5, 5, 5, 6]
+        )
+        assert outcome.is_corrupted
+
+    def test_residue_is_full_magnitude(self, gf, rng):
+        """The residue is PRG noise — uniform over the field, not a small
+        perturbation; the aggregate is useless, not merely inexact."""
+        updates = [gf.zeros(2000) for _ in range(3)]
+        outcome = attempt_async_pairwise_aggregation(
+            gf, updates, download_rounds=[0, 1, 2]
+        )
+        residue = outcome.residue.astype(np.float64)
+        assert abs(residue.mean() / gf.q - 0.5) < 0.05  # uniform-ish
+
+    def test_residue_matrix_localizes_failures(self, gf):
+        report = residue_matrix(gf, 3, [0, 0, 9], dim=8)
+        by_pair = {(i, j): c for i, j, c in report}
+        assert by_pair[(0, 1)] is True  # same round -> cancels
+        assert by_pair[(0, 2)] is False
+        assert by_pair[(1, 2)] is False
+
+    def test_validation(self, gf):
+        with pytest.raises(ProtocolError):
+            attempt_async_pairwise_aggregation(gf, [gf.zeros(4)], [0])
+        with pytest.raises(ProtocolError):
+            attempt_async_pairwise_aggregation(
+                gf, [gf.zeros(4), gf.zeros(5)], [0, 1]
+            )
+
+
+class TestLightSecAggSucceedsWhereSecAggFails:
+    def test_same_staleness_pattern_exact_recovery(self, gf, rng):
+        """The paper's punchline: identical buffered setting (mixed
+        timestamps, no dropouts) — pairwise masking corrupts, LightSecAgg
+        recovers exactly up to quantization."""
+        taus = [0, 1, 2, 3, 4]
+        # Pairwise masking: corrupted.
+        field_updates = [gf.random(24, rng) for _ in range(5)]
+        assert attempt_async_pairwise_aggregation(
+            gf, field_updates, taus
+        ).is_corrupted
+
+        # Async LightSecAgg: exact weighted recovery.
+        params = LSAParams.from_guarantees(5, privacy=1, dropout_tolerance=1)
+        quant = ModelQuantizer(gf, QuantizationConfig(levels=1 << 16, clip=4.0))
+        agg = AsyncSecureAggregator(
+            gf, params, 24, quant, QuantizedStaleness(levels=64)
+        )
+        reals = [rng.normal(0, 0.5, 24) for _ in range(5)]
+        deliveries = [
+            AsyncDelivery(user_id=i, staleness=taus[i], update=reals[i])
+            for i in range(5)
+        ]
+        out = agg.aggregate(deliveries, rng)
+        assert np.allclose(out, np.mean(reals, axis=0), atol=1e-3)
+
+
+class TestUploadHelper:
+    def test_upload_masks_the_update(self, gf, rng):
+        prg = PRG(gf)
+        update = gf.random(16, rng)
+        masked = pairwise_masked_upload(gf, prg, 0, 3, update, 0, base_seed=1)
+        assert not np.array_equal(masked, update)
+
+    def test_opposite_signs_cancel_pairwise(self, gf, rng):
+        prg = PRG(gf)
+        d = 16
+        zero = gf.zeros(d)
+        m0 = pairwise_masked_upload(gf, prg, 0, 2, zero, 3, base_seed=1)
+        m1 = pairwise_masked_upload(gf, prg, 1, 2, zero, 3, base_seed=1)
+        assert np.all(gf.add(m0, m1) == 0)

@@ -1,0 +1,98 @@
+"""Tests for asynchronous LightSecAgg aggregation (Appendix F.3)."""
+
+import numpy as np
+import pytest
+
+from repro.asyncfl.secure_aggregator import AsyncDelivery, AsyncSecureAggregator
+from repro.asyncfl.staleness import QuantizedStaleness, polynomial_staleness
+from repro.exceptions import DropoutError, ProtocolError
+from repro.field import FiniteField
+from repro.protocols.lightsecagg.params import LSAParams
+from repro.quantization import ModelQuantizer, QuantizationConfig
+
+
+@pytest.fixture
+def aggregator(gf):
+    params = LSAParams.from_guarantees(8, privacy=2, dropout_tolerance=2)
+    quant = ModelQuantizer(gf, QuantizationConfig(levels=1 << 16, clip=4.0))
+    return AsyncSecureAggregator(
+        gf, params, model_dim=12, quantizer=quant,
+        staleness=QuantizedStaleness(levels=64),
+    )
+
+
+def deliveries_from(updates, staleness):
+    return [
+        AsyncDelivery(user_id=i, staleness=s, update=u)
+        for i, (u, s) in enumerate(zip(updates, staleness))
+    ]
+
+
+class TestCorrectness:
+    def test_uniform_weights_average(self, aggregator, rng):
+        updates = [rng.normal(0, 1, 12) for _ in range(4)]
+        out = aggregator.aggregate(deliveries_from(updates, [0, 0, 0, 0]), rng)
+        expected = np.mean(updates, axis=0)
+        assert np.allclose(out, expected, atol=1e-3)
+
+    def test_mixed_staleness_weighted_average(self, gf, rng):
+        params = LSAParams.from_guarantees(8, 2, 2)
+        quant = ModelQuantizer(gf, QuantizationConfig(levels=1 << 16, clip=4.0))
+        agg = AsyncSecureAggregator(
+            gf, params, 12, quant,
+            QuantizedStaleness(levels=64, fn=polynomial_staleness(1.0)),
+        )
+        updates = [rng.normal(0, 1, 12) for _ in range(3)]
+        taus = [0, 1, 3]
+        out = agg.aggregate(deliveries_from(updates, taus), rng)
+        weights = np.asarray([1.0, 0.5, 0.25])
+        expected = (weights[:, None] * np.stack(updates)).sum(0) / weights.sum()
+        assert np.allclose(out, expected, atol=2e-2)
+
+    def test_masks_from_different_rounds_cancel(self, aggregator, rng):
+        """The async selling point: masks generated at different timestamps
+        still cancel exactly because encoding is linear."""
+        updates = [rng.normal(0, 1, 12) for _ in range(5)]
+        taus = [0, 2, 5, 7, 9]
+        out = aggregator.aggregate(deliveries_from(updates, taus), rng)
+        # All constant staleness => plain average.
+        assert np.allclose(out, np.mean(updates, axis=0), atol=1e-3)
+
+    def test_recovery_dropouts_tolerated(self, aggregator, rng):
+        updates = [rng.normal(0, 1, 12) for _ in range(4)]
+        out = aggregator.aggregate(
+            deliveries_from(updates, [0] * 4), rng, recovery_dropouts={0, 5},
+        )
+        assert np.allclose(out, np.mean(updates, axis=0), atol=1e-3)
+
+    def test_too_many_recovery_dropouts(self, aggregator, rng):
+        updates = [rng.normal(0, 1, 12) for _ in range(4)]
+        with pytest.raises(DropoutError):
+            aggregator.aggregate(
+                deliveries_from(updates, [0] * 4), rng,
+                recovery_dropouts={0, 1, 2, 3},
+            )
+
+    def test_empty_buffer_rejected(self, aggregator, rng):
+        with pytest.raises(ProtocolError):
+            aggregator.aggregate([], rng)
+
+    def test_update_shape_validated(self, aggregator, rng):
+        bad = [AsyncDelivery(0, 0, np.zeros(5))]
+        with pytest.raises(ProtocolError):
+            aggregator.aggregate(bad, rng)
+
+    def test_single_delivery(self, aggregator, rng):
+        updates = [rng.normal(0, 1, 12)]
+        out = aggregator.aggregate(deliveries_from(updates, [0]), rng)
+        assert np.allclose(out, updates[0], atol=1e-3)
+
+    def test_deterministic_given_rng(self, aggregator):
+        updates = [np.linspace(-1, 1, 12) for _ in range(3)]
+        a = aggregator.aggregate(
+            deliveries_from(updates, [0, 1, 2]), np.random.default_rng(3)
+        )
+        b = aggregator.aggregate(
+            deliveries_from(updates, [0, 1, 2]), np.random.default_rng(3)
+        )
+        assert np.array_equal(a, b)

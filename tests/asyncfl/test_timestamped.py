@@ -1,0 +1,135 @@
+"""Tests for timestamped mask bookkeeping (faithful async schedule)."""
+
+import numpy as np
+import pytest
+
+from repro.asyncfl.timestamped import (
+    MaskAnnouncement,
+    TimestampedAsyncNetwork,
+    TimestampedMaskStore,
+)
+from repro.exceptions import DropoutError, ProtocolError
+from repro.protocols.lightsecagg.params import LSAParams
+
+
+@pytest.fixture
+def network(gf):
+    params = LSAParams.from_guarantees(6, privacy=2, dropout_tolerance=2)
+    return TimestampedAsyncNetwork(gf, params, model_dim=20)
+
+
+class TestStore:
+    def test_put_and_combine(self, gf, rng):
+        store = TimestampedMaskStore(gf, share_dim=4)
+        s1, s2 = gf.random(4, rng), gf.random(4, rng)
+        store.put(0, 5, s1)
+        store.put(1, 7, s2)
+        out = store.combine(
+            MaskAnnouncement(entries=((0, 5, 2), (1, 7, 3)))
+        )
+        expected = gf.add(gf.mul(s1, 2), gf.mul(s2, 3))
+        assert np.array_equal(out, expected)
+
+    def test_duplicate_rejected(self, gf, rng):
+        store = TimestampedMaskStore(gf, 4)
+        store.put(0, 5, gf.zeros(4))
+        with pytest.raises(ProtocolError, match="duplicate"):
+            store.put(0, 5, gf.zeros(4))
+
+    def test_same_user_different_rounds_coexist(self, gf, rng):
+        store = TimestampedMaskStore(gf, 4)
+        store.put(0, 5, gf.zeros(4))
+        store.put(0, 6, gf.zeros(4))
+        assert len(store) == 2
+
+    def test_missing_share_detected(self, gf):
+        store = TimestampedMaskStore(gf, 4)
+        with pytest.raises(ProtocolError, match="missing"):
+            store.combine(MaskAnnouncement(entries=((0, 1, 1),)))
+
+    def test_shape_checked(self, gf):
+        store = TimestampedMaskStore(gf, 4)
+        with pytest.raises(ProtocolError):
+            store.put(0, 1, gf.zeros(5))
+
+    def test_negative_weight_rejected(self, gf):
+        store = TimestampedMaskStore(gf, 4)
+        store.put(0, 1, gf.zeros(4))
+        with pytest.raises(ProtocolError):
+            store.combine(MaskAnnouncement(entries=((0, 1, -1),)))
+
+    def test_empty_announcement(self, gf):
+        store = TimestampedMaskStore(gf, 4)
+        with pytest.raises(ProtocolError):
+            store.combine(MaskAnnouncement(entries=()))
+
+    def test_evict_before(self, gf):
+        store = TimestampedMaskStore(gf, 4)
+        for r in range(5):
+            store.put(0, r, gf.zeros(4))
+        assert store.evict_before(3) == 3
+        assert not store.has(0, 2)
+        assert store.has(0, 3)
+
+
+class TestCrossRoundRecovery:
+    def test_commutativity_of_coding_and_addition(self, network, gf, rng):
+        """The core Appendix-F claim: shares encoded at different rounds
+        combine into a decodable encoding of the weighted mask sum."""
+        masks = {
+            (0, 3): network.begin_round(0, 3, rng),
+            (1, 5): network.begin_round(1, 5, rng),
+            (2, 4): network.begin_round(2, 4, rng),
+        }
+        weights = {(0, 3): 4, (1, 5): 2, (2, 4): 1}
+        ann = MaskAnnouncement(
+            entries=tuple((u, r, weights[(u, r)]) for (u, r) in masks)
+        )
+        recovered = network.recover(ann, responders=range(6))
+        expected = gf.zeros(20)
+        for key, z in masks.items():
+            expected = gf.add(expected, gf.mul(z, weights[key]))
+        assert np.array_equal(recovered, expected)
+
+    def test_end_to_end_masked_updates(self, network, gf, rng):
+        """Full buffered flow: masked uploads + cross-round mask recovery
+        yields the exact weighted update sum."""
+        entries = []
+        masked_sum = gf.zeros(20)
+        expected = gf.zeros(20)
+        for user, round_index, weight in ((0, 1, 2), (3, 2, 1), (5, 1, 3)):
+            network.begin_round(user, round_index, rng)
+            update = gf.random(20, rng)
+            masked = network.mask_update(user, round_index, update)
+            masked_sum = gf.add(masked_sum, gf.mul(masked, weight))
+            expected = gf.add(expected, gf.mul(update, weight))
+            entries.append((user, round_index, weight))
+        agg_mask = network.recover(
+            MaskAnnouncement(entries=tuple(entries)), responders=range(6)
+        )
+        assert np.array_equal(gf.sub(masked_sum, agg_mask), expected)
+
+    def test_same_user_two_rounds_in_one_buffer(self, network, gf, rng):
+        """A fast user can appear twice with different timestamps."""
+        z1 = network.begin_round(2, 10, rng)
+        z2 = network.begin_round(2, 11, rng)
+        ann = MaskAnnouncement(entries=((2, 10, 1), (2, 11, 1)))
+        recovered = network.recover(ann, responders=range(6))
+        assert np.array_equal(recovered, gf.add(z1, z2))
+
+    def test_recovery_dropout_tolerance(self, network, gf, rng):
+        network.begin_round(0, 1, rng)
+        ann = MaskAnnouncement(entries=((0, 1, 1),))
+        # Fewer responders than U=4 -> failure.
+        assert network.params.target_survivors == 4
+        with pytest.raises(DropoutError):
+            network.recover(ann, responders=[0, 1, 2])
+
+    def test_double_begin_rejected(self, network, rng):
+        network.begin_round(0, 1, rng)
+        with pytest.raises(ProtocolError):
+            network.begin_round(0, 1, rng)
+
+    def test_mask_update_requires_begin(self, network, gf):
+        with pytest.raises(ProtocolError):
+            network.mask_update(0, 99, gf.zeros(20))

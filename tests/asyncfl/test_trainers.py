@@ -1,0 +1,112 @@
+"""Tests for FedBuff and async-LightSecAgg trainers (paper Fig. 7/11)."""
+
+import numpy as np
+import pytest
+
+from repro.asyncfl import AsyncLightSecAggTrainer, FedBuffTrainer
+from repro.asyncfl.staleness import polynomial_staleness
+from repro.exceptions import ReproError
+from repro.fl import (
+    LocalTrainingConfig,
+    iid_partition,
+    logistic_regression,
+    make_mnist_like,
+)
+from repro.fl.datasets.synthetic import train_test_split
+
+
+@pytest.fixture(scope="module")
+def async_setup():
+    full = make_mnist_like(900, seed=5, noise=1.0)
+    train, test = train_test_split(full, 0.25, seed=1)
+    clients = iid_partition(train, 15, seed=1)
+    return clients, test
+
+
+CFG = LocalTrainingConfig(epochs=1, batch_size=32, lr=0.05)
+
+
+class TestFedBuff:
+    def test_learns(self, async_setup):
+        clients, test = async_setup
+        trainer = FedBuffTrainer(
+            logistic_regression(seed=0), clients,
+            buffer_size=5, tau_max=4, local_config=CFG, seed=0,
+        )
+        hist = trainer.fit(5, test_set=test)
+        assert hist.accuracies[-1] > 0.8
+
+    def test_staleness_recorded_and_bounded(self, async_setup):
+        clients, test = async_setup
+        trainer = FedBuffTrainer(
+            logistic_regression(seed=0), clients,
+            buffer_size=4, tau_max=3, local_config=CFG, seed=0,
+        )
+        trainer.fit(6)
+        for rec in trainer.history.records:
+            assert len(rec.participants) == 4
+            assert all(0 <= t <= 3 for t in rec.staleness)
+            # Staleness cannot exceed the round index.
+            assert all(t <= rec.round_index for t in rec.staleness)
+
+    def test_validation(self, async_setup):
+        clients, _ = async_setup
+        with pytest.raises(ReproError):
+            FedBuffTrainer(logistic_regression(), clients, buffer_size=0)
+        with pytest.raises(ReproError):
+            FedBuffTrainer(logistic_regression(), clients, buffer_size=99)
+        with pytest.raises(ReproError):
+            FedBuffTrainer(logistic_regression(), clients, tau_max=-1)
+
+
+class TestAsyncLightSecAgg:
+    def test_learns(self, async_setup):
+        clients, test = async_setup
+        trainer = AsyncLightSecAggTrainer(
+            logistic_regression(seed=0), clients,
+            buffer_size=5, tau_max=4, local_config=CFG, seed=0,
+        )
+        hist = trainer.fit(5, test_set=test)
+        assert hist.accuracies[-1] > 0.8
+
+    def test_matches_fedbuff_closely(self, async_setup):
+        """Fig. 7/11: async-LSA ~ FedBuff up to quantization noise, under
+        the identical delivery schedule (same seed)."""
+        clients, test = async_setup
+        fb = FedBuffTrainer(
+            logistic_regression(seed=0), clients,
+            buffer_size=5, tau_max=4, local_config=CFG, seed=7,
+            staleness_fn=polynomial_staleness(1.0),
+        )
+        ls = AsyncLightSecAggTrainer(
+            logistic_regression(seed=0), clients,
+            buffer_size=5, tau_max=4, local_config=CFG, seed=7,
+            staleness_fn=polynomial_staleness(1.0),
+        )
+        h1 = fb.fit(4, test_set=test)
+        h2 = ls.fit(4, test_set=test)
+        assert abs(h1.accuracies[-1] - h2.accuracies[-1]) < 0.1
+
+    def test_poly_staleness_compensation(self, async_setup):
+        clients, test = async_setup
+        trainer = AsyncLightSecAggTrainer(
+            logistic_regression(seed=0), clients,
+            buffer_size=5, tau_max=6, local_config=CFG, seed=0,
+            staleness_fn=polynomial_staleness(1.0),
+        )
+        hist = trainer.fit(4, test_set=test)
+        assert hist.accuracies[-1] > 0.75
+
+    def test_wraparound_budget_guard(self, async_setup):
+        """A quantization config that risks field wrap-around must be
+        rejected at construction, not corrupt training silently."""
+        from repro.quantization import QuantizationConfig
+        from repro.exceptions import QuantizationError
+
+        clients, _ = async_setup
+        with pytest.raises(QuantizationError):
+            AsyncLightSecAggTrainer(
+                logistic_regression(seed=0), clients,
+                buffer_size=10, tau_max=2, local_config=CFG, seed=0,
+                quantization=QuantizationConfig(levels=1 << 26, clip=100.0),
+            )

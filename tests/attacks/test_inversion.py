@@ -1,0 +1,75 @@
+"""Tests for the gradient-inversion attack and its defeat by aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    attack_success,
+    invert_logistic_gradient,
+    logistic_gradient,
+)
+from repro.exceptions import ReproError
+
+
+@pytest.fixture
+def problem(rng):
+    in_dim, classes = 32, 5
+    weights = rng.normal(0, 0.1, size=(in_dim, classes))
+    bias = np.zeros(classes)
+    x = rng.normal(0, 1, size=in_dim)
+    y = 3
+    return x, y, weights, bias
+
+
+class TestAttackOnIndividualGradient:
+    def test_exact_reconstruction(self, problem):
+        x, y, w, b = problem
+        gw, gb = logistic_gradient(x, y, w, b)
+        result = invert_logistic_gradient(gw, gb, true_input=x)
+        assert result.recovered_label == y
+        assert attack_success(result)
+        # Up to scale: reconstruction is exactly proportional to x.
+        assert result.cosine_similarity > 0.9999
+
+    def test_label_recovery_all_classes(self, rng):
+        w = rng.normal(0, 0.1, size=(16, 4))
+        b = np.zeros(4)
+        for y in range(4):
+            x = rng.normal(size=16)
+            gw, gb = logistic_gradient(x, y, w, b)
+            assert invert_logistic_gradient(gw, gb).recovered_label == y
+
+    def test_shape_validation(self):
+        with pytest.raises(ReproError):
+            invert_logistic_gradient(np.zeros((3, 2)), np.zeros(3))
+
+    def test_rejects_non_single_example_gradient(self, rng):
+        with pytest.raises(ReproError, match="negative"):
+            invert_logistic_gradient(np.zeros((4, 3)), np.ones(3))
+
+
+class TestAggregationDefeatsAttack:
+    def test_aggregated_gradient_resists(self, rng):
+        """The paper's motivation in reverse: an aggregate of many users'
+        gradients does not reveal any single user's input."""
+        in_dim, classes, users = 32, 5, 30
+        w = rng.normal(0, 0.1, size=(in_dim, classes))
+        b = np.zeros(classes)
+        inputs = [rng.normal(size=in_dim) for _ in range(users)]
+        labels = rng.integers(0, classes, users)
+        agg_w = np.zeros_like(w)
+        agg_b = np.zeros_like(b)
+        for x, y in zip(inputs, labels):
+            gw, gb = logistic_gradient(x, int(y), w, b)
+            agg_w += gw
+            agg_b += gb
+        result = invert_logistic_gradient(agg_w, agg_b, true_input=inputs[0])
+        assert not attack_success(result)
+        assert abs(result.cosine_similarity) < 0.7
+
+    def test_success_threshold(self, problem):
+        x, y, w, b = problem
+        gw, gb = logistic_gradient(x, y, w, b)
+        res = invert_logistic_gradient(gw, gb, true_input=x)
+        assert attack_success(res, threshold=0.99)
+        assert not attack_success(res, threshold=1.1)

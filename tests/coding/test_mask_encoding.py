@@ -1,0 +1,162 @@
+"""Tests for the T-private LightSecAgg mask encoder (paper eq. 5/28)."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.coding.mask_encoding import MaskEncoder
+from repro.exceptions import CodingError, NotEnoughSharesError
+from repro.field import FiniteField
+from repro.field.linalg import is_invertible
+
+
+class TestConstruction:
+    def test_parameter_validation(self, gf):
+        with pytest.raises(CodingError):
+            MaskEncoder(gf, num_users=4, target_survivors=2, privacy=2, model_dim=8)
+        with pytest.raises(CodingError):
+            MaskEncoder(gf, num_users=4, target_survivors=5, privacy=1, model_dim=8)
+        with pytest.raises(CodingError):
+            MaskEncoder(gf, num_users=4, target_survivors=3, privacy=-1, model_dim=8)
+        with pytest.raises(CodingError):
+            MaskEncoder(gf, num_users=4, target_survivors=3, privacy=1, model_dim=0)
+
+    def test_share_dim(self, gf):
+        enc = MaskEncoder(gf, 6, target_survivors=4, privacy=2, model_dim=10)
+        # d=10 split into U-T=2 pieces -> 5 each.
+        assert enc.share_dim == 5
+        assert enc.num_submasks == 2
+
+    def test_share_dim_with_padding(self, gf):
+        enc = MaskEncoder(gf, 6, target_survivors=5, privacy=2, model_dim=10)
+        # 10 into 3 pieces -> padded to 12 -> 4 each.
+        assert enc.share_dim == 4
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("generator", ["lagrange", "vandermonde"])
+    def test_single_mask_recovery(self, gf, rng, generator):
+        """With one user 'aggregated', decoding returns that user's mask."""
+        enc = MaskEncoder(gf, 5, 4, 2, 13, generator=generator)
+        z = enc.generate_mask(rng)
+        shares = enc.encode(z, rng)
+        agg = {j: shares[j] for j in range(4)}
+        assert np.array_equal(enc.decode_aggregate(agg), z)
+
+    def test_aggregate_recovery_every_survivor_subset(self, gf, rng):
+        """Exhaustive: every dropout pattern up to D recovers exactly."""
+        n, u, t, d = 5, 3, 1, 7
+        enc = MaskEncoder(gf, n, u, t, d)
+        masks = [enc.generate_mask(rng) for _ in range(n)]
+        shares = [enc.encode(z, rng) for z in masks]
+        for surv_size in range(u, n + 1):
+            for survivors in combinations(range(n), surv_size):
+                expected = gf.zeros(d)
+                for i in survivors:
+                    expected = gf.add(expected, masks[i])
+                # Any U of the survivors respond.
+                responders = survivors[:u]
+                agg = {
+                    j: enc.aggregate_shares(
+                        {i: shares[i][j] for i in survivors}
+                    )
+                    for j in responders
+                }
+                assert np.array_equal(enc.decode_aggregate(agg), expected)
+
+    def test_any_u_responders_work(self, gf, rng):
+        n, u, t, d = 6, 4, 2, 11
+        enc = MaskEncoder(gf, n, u, t, d)
+        masks = [enc.generate_mask(rng) for _ in range(n)]
+        shares = [enc.encode(z, rng) for z in masks]
+        survivors = [0, 1, 3, 4, 5]
+        expected = gf.zeros(d)
+        for i in survivors:
+            expected = gf.add(expected, masks[i])
+        for responders in combinations(survivors, u):
+            agg = {
+                j: enc.aggregate_shares({i: shares[i][j] for i in survivors})
+                for j in responders
+            }
+            assert np.array_equal(enc.decode_aggregate(agg), expected)
+
+    def test_too_few_aggregated_shares(self, gf, rng):
+        enc = MaskEncoder(gf, 5, 4, 2, 8)
+        z = enc.generate_mask(rng)
+        shares = enc.encode(z, rng)
+        with pytest.raises(NotEnoughSharesError):
+            enc.decode_aggregate({0: shares[0], 1: shares[1]})
+
+    def test_mask_shape_checked(self, gf, rng):
+        enc = MaskEncoder(gf, 5, 4, 2, 8)
+        with pytest.raises(CodingError):
+            enc.encode(gf.zeros(9), rng)
+
+    def test_aggregate_shares_empty(self, gf):
+        enc = MaskEncoder(gf, 5, 4, 2, 8)
+        with pytest.raises(CodingError):
+            enc.aggregate_shares({})
+
+    def test_deterministic_given_rng(self, gf):
+        enc = MaskEncoder(gf, 5, 4, 2, 8)
+        z = enc.generate_mask(np.random.default_rng(7))
+        s1 = enc.encode(z, np.random.default_rng(9))
+        s2 = enc.encode(z, np.random.default_rng(9))
+        assert np.array_equal(s1, s2)
+
+    def test_paper_prime(self, gf_paper, rng):
+        enc = MaskEncoder(gf_paper, 4, 3, 1, 9)
+        masks = [enc.generate_mask(rng) for _ in range(4)]
+        shares = [enc.encode(z, rng) for z in masks]
+        survivors = [0, 2, 3]
+        agg = {
+            j: enc.aggregate_shares({i: shares[i][j] for i in survivors})
+            for j in survivors
+        }
+        expected = gf_paper.add(gf_paper.add(masks[0], masks[2]), masks[3])
+        assert np.array_equal(enc.decode_aggregate(agg), expected)
+
+
+class TestTPrivacy:
+    """Structural and statistical checks of the T-privacy property."""
+
+    @pytest.mark.parametrize("generator", ["lagrange", "vandermonde"])
+    def test_padding_mixing_submatrix_invertible(self, gf, generator):
+        """The paper's T-private-MDS condition: the submatrix mapping the T
+        random paddings into any T coded shares must be invertible — then
+        those shares are uniform regardless of z."""
+        n, u, t = 6, 4, 2
+        enc = MaskEncoder(gf, n, u, t, 8, generator=generator)
+        g = enc.code.generator_matrix  # (U, N)
+        padding_rows = g[u - t:, :]  # (T, N)
+        for cols in combinations(range(n), t):
+            sub = padding_rows[:, list(cols)]
+            assert is_invertible(gf, sub), cols
+
+    def test_t_shares_statistically_uniform(self, gf_small):
+        """Empirical: with fixed z, any T shares look uniform over GF(97)."""
+        n, u, t, d = 4, 3, 1, 2
+        enc = MaskEncoder(gf_small, n, u, t, d)
+        z = gf_small.array([5, 10])
+        rng = np.random.default_rng(0)
+        samples = []
+        for _ in range(4000):
+            shares = enc.encode(z, rng)
+            samples.append(int(shares[0][0]))
+        counts = np.bincount(samples, minlength=97)
+        # Chi-square against uniform; dof=96, 99.9% quantile ~ 148.
+        expected = len(samples) / 97
+        chi2 = float(((counts - expected) ** 2 / expected).sum())
+        assert chi2 < 160, chi2
+
+    def test_t_plus_one_shares_determine_coded_values(self, gf_small):
+        """Sanity: privacy does NOT extend to T+1 shares — with U-T=... the
+        shares do depend on z, so decoding from U shares must recover it."""
+        n, u, t, d = 4, 3, 1, 2
+        enc = MaskEncoder(gf_small, n, u, t, d)
+        rng = np.random.default_rng(1)
+        z1 = enc.generate_mask(rng)
+        shares = enc.encode(z1, rng)
+        agg = {j: shares[j] for j in range(u)}
+        assert np.array_equal(enc.decode_aggregate(agg), z1)

@@ -1,0 +1,122 @@
+"""Tests for the (n, k) MDS erasure code."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.coding.mds import MDSCode
+from repro.exceptions import CodingError, NotEnoughSharesError
+from repro.field.linalg import is_mds
+
+
+@pytest.fixture(params=["lagrange", "vandermonde"])
+def generator(request):
+    return request.param
+
+
+class TestConstruction:
+    def test_invalid_params(self, gf):
+        with pytest.raises(CodingError):
+            MDSCode(gf, n=3, k=4)
+        with pytest.raises(CodingError):
+            MDSCode(gf, n=3, k=0)
+
+    def test_unknown_generator(self, gf):
+        with pytest.raises(CodingError, match="generator"):
+            MDSCode(gf, n=4, k=2, generator="fourier")
+
+    def test_field_too_small(self, gf_small):
+        with pytest.raises(CodingError, match="too small"):
+            MDSCode(gf_small, n=90, k=20)
+
+    def test_generator_matrix_is_mds(self, gf, generator):
+        code = MDSCode(gf, n=7, k=3, generator=generator)
+        assert is_mds(gf, code.generator_matrix)
+
+    def test_repr(self, gf):
+        assert "MDSCode" in repr(MDSCode(gf, 4, 2))
+
+
+class TestRoundTrip:
+    def test_all_k_subsets_decode(self, gf, generator, rng):
+        n, k, width = 6, 3, 4
+        code = MDSCode(gf, n=n, k=k, generator=generator)
+        data = gf.random((k, width), rng)
+        coded = code.encode(data)
+        for subset in combinations(range(n), k):
+            shares = {j: coded[j] for j in subset}
+            assert np.array_equal(code.decode(shares), data), subset
+
+    def test_scalar_symbols(self, gf, generator, rng):
+        code = MDSCode(gf, n=5, k=2, generator=generator)
+        data = gf.random(2, rng)
+        coded = code.encode(data)
+        assert coded.shape == (5,)
+        out = code.decode({1: coded[1], 3: coded[3]})
+        assert np.array_equal(out, data)
+
+    def test_extra_shares_ignored(self, gf, generator, rng):
+        code = MDSCode(gf, n=6, k=3, generator=generator)
+        data = gf.random((3, 2), rng)
+        coded = code.encode(data)
+        shares = {j: coded[j] for j in range(6)}
+        assert np.array_equal(code.decode(shares), data)
+
+    def test_paper_prime_field(self, gf_paper, generator, rng):
+        code = MDSCode(gf_paper, n=8, k=5, generator=generator)
+        data = gf_paper.random((5, 3), rng)
+        coded = code.encode(data)
+        shares = {j: coded[j] for j in (0, 2, 4, 6, 7)}
+        assert np.array_equal(code.decode(shares), data)
+
+    def test_linearity(self, gf, generator, rng):
+        """encode(a) + encode(b) == encode(a + b) — the LightSecAgg core."""
+        code = MDSCode(gf, n=6, k=3, generator=generator)
+        a = gf.random((3, 4), rng)
+        b = gf.random((3, 4), rng)
+        lhs = gf.add(code.encode(a), code.encode(b))
+        rhs = code.encode(gf.add(a, b))
+        assert np.array_equal(lhs, rhs)
+
+
+class TestErrors:
+    def test_not_enough_shares(self, gf, rng):
+        code = MDSCode(gf, n=5, k=3)
+        data = gf.random((3, 2), rng)
+        coded = code.encode(data)
+        with pytest.raises(NotEnoughSharesError):
+            code.decode({0: coded[0], 1: coded[1]})
+
+    def test_wrong_data_rows(self, gf, rng):
+        code = MDSCode(gf, n=5, k=3)
+        with pytest.raises(CodingError):
+            code.encode(gf.random((4, 2), rng))
+
+    def test_share_index_out_of_range(self, gf, rng):
+        code = MDSCode(gf, n=5, k=2)
+        coded = code.encode(gf.random((2, 2), rng))
+        with pytest.raises(CodingError, match="out of range"):
+            code.decode({0: coded[0], 9: coded[1]})
+
+    def test_inconsistent_share_shapes(self, gf, rng):
+        code = MDSCode(gf, n=5, k=2)
+        with pytest.raises(CodingError, match="inconsistent"):
+            code.decode({0: gf.zeros(3), 1: gf.zeros(4)})
+
+
+class TestDecodeAt:
+    def test_reencode_matches(self, gf, rng):
+        """decode_at on the alpha points reproduces the coded symbols."""
+        code = MDSCode(gf, n=6, k=3, generator="lagrange")
+        data = gf.random((3, 2), rng)
+        coded = code.encode(data)
+        shares = {j: coded[j] for j in (0, 2, 5)}
+        again = code.decode_at(shares, code.alpha)
+        assert np.array_equal(again, coded)
+
+    def test_vandermonde_rejected(self, gf, rng):
+        code = MDSCode(gf, n=5, k=2, generator="vandermonde")
+        coded = code.encode(gf.random((2, 2), rng))
+        with pytest.raises(CodingError):
+            code.decode_at({0: coded[0], 1: coded[1]}, [1])

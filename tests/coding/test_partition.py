@@ -1,0 +1,73 @@
+"""Tests for vector partitioning with padding."""
+
+import numpy as np
+import pytest
+
+from repro.coding.partition import (
+    padded_length,
+    partition,
+    piece_length,
+    unpartition,
+)
+from repro.exceptions import CodingError
+
+
+class TestPaddedLength:
+    def test_exact_multiple(self):
+        assert padded_length(12, 4) == 12
+
+    def test_rounds_up(self):
+        assert padded_length(13, 4) == 16
+        assert padded_length(1, 4) == 4
+
+    def test_zero_length(self):
+        assert padded_length(0, 4) == 0
+
+    def test_invalid_pieces(self):
+        with pytest.raises(CodingError):
+            padded_length(10, 0)
+
+    def test_negative_length(self):
+        with pytest.raises(CodingError):
+            padded_length(-1, 2)
+
+
+class TestPieceLength:
+    def test_divisible(self):
+        assert piece_length(12, 4) == 3
+
+    def test_padded(self):
+        assert piece_length(13, 4) == 4
+
+
+class TestPartitionRoundTrip:
+    @pytest.mark.parametrize("d,pieces", [(12, 4), (13, 4), (1, 5), (100, 7)])
+    def test_round_trip(self, d, pieces):
+        vec = np.arange(d, dtype=np.uint64)
+        parts = partition(vec, pieces)
+        assert parts.shape == (pieces, piece_length(d, pieces))
+        back = unpartition(parts, d)
+        assert np.array_equal(back, vec)
+
+    def test_padding_is_zero(self):
+        vec = np.ones(5, dtype=np.uint64)
+        parts = partition(vec, 3)
+        assert parts.reshape(-1)[5:].tolist() == [0]
+
+    def test_partition_requires_1d(self):
+        with pytest.raises(CodingError):
+            partition(np.zeros((2, 2), dtype=np.uint64), 2)
+
+    def test_unpartition_requires_2d(self):
+        with pytest.raises(CodingError):
+            unpartition(np.zeros(4, dtype=np.uint64), 4)
+
+    def test_unpartition_length_check(self):
+        with pytest.raises(CodingError):
+            unpartition(np.zeros((2, 2), dtype=np.uint64), 5)
+
+    def test_unpartition_returns_copy(self):
+        parts = np.arange(6, dtype=np.uint64).reshape(2, 3)
+        out = unpartition(parts, 6)
+        out[0] = 99
+        assert parts[0, 0] == 0

@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.field import DEFAULT_PRIME, PAPER_PRIME, FiniteField
+
+
+@pytest.fixture
+def gf() -> FiniteField:
+    """The default field GF(2^31 - 1)."""
+    return FiniteField(DEFAULT_PRIME)
+
+
+@pytest.fixture
+def gf_paper() -> FiniteField:
+    """The paper's field GF(2^32 - 5)."""
+    return FiniteField(PAPER_PRIME)
+
+
+@pytest.fixture
+def gf_small() -> FiniteField:
+    """A small prime field for exhaustive checks."""
+    return FiniteField(97)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(params=[DEFAULT_PRIME, PAPER_PRIME, 97, 65537])
+def gf_any(request) -> FiniteField:
+    """Parametrized over representative field sizes."""
+    return FiniteField(request.param)

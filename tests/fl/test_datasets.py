@@ -1,0 +1,160 @@
+"""Tests for synthetic datasets and FL partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.fl.datasets.synthetic import (
+    Dataset,
+    dirichlet_partition,
+    iid_partition,
+    make_cifar10_like,
+    make_classification,
+    make_femnist_like,
+    make_gld23k_like,
+    make_mnist_like,
+    shard_partition,
+    train_test_split,
+)
+
+
+class TestFactories:
+    @pytest.mark.parametrize(
+        "factory,shape,classes",
+        [
+            (make_mnist_like, (1, 28, 28), 10),
+            (make_femnist_like, (1, 28, 28), 62),
+            (make_cifar10_like, (3, 32, 32), 10),
+            (make_gld23k_like, (3, 64, 64), 203),
+        ],
+    )
+    def test_shapes_match_paper_datasets(self, factory, shape, classes):
+        ds = factory(num_samples=50, seed=0)
+        assert ds.input_shape == shape
+        assert ds.num_classes == classes
+        assert len(ds) == 50
+
+    def test_deterministic(self):
+        a = make_mnist_like(20, seed=5)
+        b = make_mnist_like(20, seed=5)
+        assert np.array_equal(a.x, b.x) and np.array_equal(a.y, b.y)
+
+    def test_different_seeds_differ(self):
+        a = make_mnist_like(20, seed=5)
+        b = make_mnist_like(20, seed=6)
+        assert not np.array_equal(a.x, b.x)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            make_classification(0, (2, 2), 3)
+        with pytest.raises(ReproError):
+            make_classification(10, (2, 2), 1)
+
+    def test_learnable_at_low_noise(self):
+        """Nearest-prototype classification should be nearly perfect."""
+        ds = make_classification(200, (1, 6, 6), 4, noise=0.2, seed=1)
+        rng = np.random.default_rng(1)
+        protos = np.stack(
+            [ds.x[ds.y == c].mean(axis=0) for c in range(4)]
+        )
+        flat_x = ds.x.reshape(len(ds), -1)
+        flat_p = protos.reshape(4, -1)
+        preds = np.argmin(
+            ((flat_x[:, None, :] - flat_p[None]) ** 2).sum(-1), axis=1
+        )
+        assert (preds == ds.y).mean() > 0.95
+
+
+class TestDatasetOps:
+    def test_subset(self):
+        ds = make_mnist_like(30, seed=0)
+        sub = ds.subset(np.asarray([0, 5, 7]))
+        assert len(sub) == 3
+        assert np.array_equal(sub.y, ds.y[[0, 5, 7]])
+
+    def test_batches_cover_everything(self, rng):
+        ds = make_mnist_like(25, seed=0)
+        seen = 0
+        for xb, yb in ds.batches(8, rng):
+            seen += len(yb)
+            assert xb.shape[0] == yb.shape[0]
+        assert seen == 25
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ReproError):
+            Dataset(np.zeros((3, 2)), np.zeros(4, dtype=np.int64), 2)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        ds = make_mnist_like(100, seed=0)
+        train, test = train_test_split(ds, 0.2, seed=1)
+        assert len(train) == 80 and len(test) == 20
+
+    def test_disjoint(self):
+        ds = make_mnist_like(50, seed=0)
+        train, test = train_test_split(ds, 0.3, seed=1)
+        # No sample appears in both (check by matching rows).
+        train_rows = {t.tobytes() for t in train.x}
+        test_rows = {t.tobytes() for t in test.x}
+        assert not (train_rows & test_rows)
+
+    def test_invalid_fraction(self):
+        ds = make_mnist_like(10, seed=0)
+        with pytest.raises(ReproError):
+            train_test_split(ds, 0.0)
+
+
+class TestPartitioners:
+    def test_iid_covers_all_samples(self):
+        ds = make_mnist_like(100, seed=0)
+        clients = iid_partition(ds, 7, seed=0)
+        assert len(clients) == 7
+        assert sum(len(c) for c in clients) == 100
+
+    def test_iid_roughly_balanced(self):
+        ds = make_mnist_like(100, seed=0)
+        clients = iid_partition(ds, 7, seed=0)
+        sizes = [len(c) for c in clients]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_iid_too_many_clients(self):
+        ds = make_mnist_like(5, seed=0)
+        with pytest.raises(ReproError):
+            iid_partition(ds, 10)
+
+    def test_dirichlet_covers_and_nonempty(self):
+        ds = make_mnist_like(300, seed=0)
+        clients = dirichlet_partition(ds, 10, alpha=0.3, seed=0)
+        assert len(clients) == 10
+        assert all(len(c) >= 1 for c in clients)
+        assert sum(len(c) for c in clients) == 300
+
+    def test_dirichlet_skew_increases_as_alpha_drops(self):
+        ds = make_mnist_like(2000, seed=0)
+
+        def label_skew(clients):
+            """Mean per-client entropy of the label distribution."""
+            ents = []
+            for c in clients:
+                p = np.bincount(c.y, minlength=10) / max(len(c), 1)
+                nz = p[p > 0]
+                ents.append(-(nz * np.log(nz)).sum())
+            return np.mean(ents)
+
+        uniform = label_skew(dirichlet_partition(ds, 10, alpha=100.0, seed=1))
+        skewed = label_skew(dirichlet_partition(ds, 10, alpha=0.1, seed=1))
+        assert skewed < uniform
+
+    def test_dirichlet_invalid_alpha(self):
+        ds = make_mnist_like(20, seed=0)
+        with pytest.raises(ReproError):
+            dirichlet_partition(ds, 2, alpha=0.0)
+
+    def test_shard_partition_label_concentration(self):
+        ds = make_mnist_like(500, seed=0)
+        clients = shard_partition(ds, 10, shards_per_client=2, seed=0)
+        assert len(clients) == 10
+        # Each client should see few distinct labels (pathological non-IID).
+        distinct = [len(np.unique(c.y)) for c in clients]
+        assert np.mean(distinct) <= 5

@@ -1,0 +1,191 @@
+"""Tests for the synchronous secure FedAvg loop."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProtocolError, ReproError
+from repro.field import FiniteField
+from repro.fl import (
+    LocalTrainingConfig,
+    SecureFederatedAveraging,
+    iid_partition,
+    logistic_regression,
+    make_mnist_like,
+)
+from repro.fl.datasets.synthetic import train_test_split
+from repro.fl.optim import SGD
+from repro.fl.trainer import local_update
+from repro.protocols import LightSecAgg, LSAParams, NaiveAggregation, SecAgg
+from repro.quantization import ModelQuantizer, QuantizationConfig
+
+
+@pytest.fixture
+def small_fl_setup():
+    gf = FiniteField()
+    full = make_mnist_like(450, seed=2, noise=0.8)
+    train, test = train_test_split(full, 0.2, seed=1)
+    clients = iid_partition(train, 6, seed=1)
+    model = logistic_regression(seed=0)
+    return gf, clients, test, model
+
+
+class TestOptim:
+    def test_sgd_step(self):
+        opt = SGD(lr=0.1)
+        p = np.asarray([1.0, 2.0])
+        g = np.asarray([1.0, -1.0])
+        assert np.allclose(opt.step(p, g), [0.9, 2.1])
+
+    def test_momentum_accumulates(self):
+        opt = SGD(lr=1.0, momentum=0.5)
+        p = np.zeros(1)
+        g = np.ones(1)
+        p = opt.step(p, g)  # v=1, p=-1
+        p = opt.step(p, g)  # v=1.5, p=-2.5
+        assert p[0] == pytest.approx(-2.5)
+
+    def test_weight_decay(self):
+        opt = SGD(lr=1.0, weight_decay=0.1)
+        p = np.asarray([10.0])
+        out = opt.step(p, np.zeros(1))
+        assert out[0] == pytest.approx(9.0)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            SGD(lr=0)
+        with pytest.raises(ReproError):
+            SGD(lr=0.1, momentum=1.0)
+        with pytest.raises(ReproError):
+            SGD(lr=0.1, weight_decay=-1)
+
+    def test_shape_mismatch(self):
+        opt = SGD(lr=0.1)
+        with pytest.raises(ReproError):
+            opt.step(np.zeros(2), np.zeros(3))
+
+
+class TestLocalUpdate:
+    def test_delta_sign_convention(self, small_fl_setup, rng):
+        """Delta = global - local; applying x - delta reaches the local point."""
+        gf, clients, test, model = small_fl_setup
+        g0 = model.get_flat_params()
+        cfg = LocalTrainingConfig(epochs=1, batch_size=16, lr=0.1)
+        delta = local_update(model, g0, clients[0], cfg, rng)
+        local_point = g0 - delta
+        model.set_flat_params(local_point)
+        loss_after, _ = model.evaluate(clients[0].x, clients[0].y)
+        model.set_flat_params(g0)
+        loss_before, _ = model.evaluate(clients[0].x, clients[0].y)
+        assert loss_after < loss_before
+
+    def test_config_validation(self):
+        with pytest.raises(ReproError):
+            LocalTrainingConfig(epochs=0)
+        with pytest.raises(ReproError):
+            LocalTrainingConfig(batch_size=0)
+
+
+class TestSecureFedAvg:
+    def test_learns_with_lightsecagg(self, small_fl_setup):
+        gf, clients, test, model = small_fl_setup
+        params = LSAParams.from_guarantees(6, privacy=2, dropout_tolerance=2)
+        proto = LightSecAgg(gf, params, model.dim)
+        trainer = SecureFederatedAveraging(
+            model, clients, proto,
+            local_config=LocalTrainingConfig(epochs=2, batch_size=32, lr=0.1),
+        )
+        hist = trainer.fit(3, dropout_rate=0.2,
+                           rng=np.random.default_rng(0), test_set=test)
+        assert hist.accuracies[-1] > 0.85
+
+    def test_secure_matches_naive_trajectory(self, small_fl_setup):
+        """Secure and naive aggregation produce near-identical trajectories
+        (difference bounded by quantization error)."""
+        gf, clients, test, _ = small_fl_setup
+        cfg = LocalTrainingConfig(epochs=1, batch_size=32, lr=0.1)
+
+        def run(protocol_factory):
+            model = logistic_regression(seed=0)
+            proto = protocol_factory(model.dim)
+            trainer = SecureFederatedAveraging(
+                model, clients, proto, local_config=cfg
+            )
+            trainer.run_round(dropouts={1}, rng=np.random.default_rng(42))
+            return trainer.global_params
+
+        lsa_params = LSAParams.from_guarantees(6, 2, 2)
+        p_secure = run(lambda d: LightSecAgg(gf, lsa_params, d))
+        p_naive = run(lambda d: NaiveAggregation(gf, 6, d))
+        assert np.allclose(p_secure, p_naive, atol=1e-3)
+
+    def test_secagg_protocol_plugs_in(self, small_fl_setup):
+        gf, clients, test, model = small_fl_setup
+        proto = SecAgg(gf, 6, model.dim)
+        trainer = SecureFederatedAveraging(
+            model, clients, proto,
+            local_config=LocalTrainingConfig(epochs=1, batch_size=32, lr=0.1),
+        )
+        rec = trainer.run_round(dropouts={0}, rng=np.random.default_rng(1),
+                                test_set=test)
+        assert rec.survivors == [1, 2, 3, 4, 5]
+        assert rec.test_accuracy is not None
+
+    def test_weighted_aggregation(self, small_fl_setup):
+        """Remark 3: integer weights recover the weighted average."""
+        gf, clients, test, model = small_fl_setup
+        params = LSAParams.from_guarantees(6, 2, 2)
+        proto = LightSecAgg(gf, params, model.dim)
+        weights = [len(c) for c in clients]
+        trainer = SecureFederatedAveraging(
+            model, clients, proto, weights=weights,
+            local_config=LocalTrainingConfig(epochs=1, batch_size=32, lr=0.1),
+        )
+        rec = trainer.run_round(dropouts=set(), rng=np.random.default_rng(0),
+                                test_set=test)
+        assert rec.test_accuracy is not None
+
+    def test_user_count_mismatch_rejected(self, small_fl_setup):
+        gf, clients, test, model = small_fl_setup
+        proto = NaiveAggregation(gf, 5, model.dim)  # wrong N
+        with pytest.raises(ProtocolError):
+            SecureFederatedAveraging(model, clients, proto)
+
+    def test_quantizer_field_mismatch_rejected(self, small_fl_setup):
+        gf, clients, test, model = small_fl_setup
+        proto = NaiveAggregation(gf, 6, model.dim)
+        bad_quant = ModelQuantizer(FiniteField(97), QuantizationConfig())
+        with pytest.raises(ProtocolError):
+            SecureFederatedAveraging(model, clients, proto, quantizer=bad_quant)
+
+    def test_invalid_weights_rejected(self, small_fl_setup):
+        gf, clients, test, model = small_fl_setup
+        proto = NaiveAggregation(gf, 6, model.dim)
+        with pytest.raises(ReproError):
+            SecureFederatedAveraging(model, clients, proto, weights=[1] * 5)
+        with pytest.raises(ReproError):
+            SecureFederatedAveraging(model, clients, proto, weights=[0] * 6)
+
+    def test_history_records(self, small_fl_setup):
+        gf, clients, test, model = small_fl_setup
+        proto = NaiveAggregation(gf, 6, model.dim)
+        trainer = SecureFederatedAveraging(
+            model, clients, proto,
+            local_config=LocalTrainingConfig(epochs=1, batch_size=32, lr=0.05),
+        )
+        trainer.fit(2, rng=np.random.default_rng(0))
+        assert len(trainer.history.records) == 2
+        assert trainer.history.records[1].round_index == 1
+        assert len(trainer.history.losses) == 2
+
+    def test_comm_accounting_recorded(self, small_fl_setup):
+        gf, clients, test, model = small_fl_setup
+        params = LSAParams.from_guarantees(6, 2, 2)
+        proto = LightSecAgg(gf, params, model.dim)
+        trainer = SecureFederatedAveraging(
+            model, clients, proto,
+            local_config=LocalTrainingConfig(epochs=1, batch_size=32, lr=0.05),
+        )
+        rec = trainer.run_round(dropouts={2}, rng=np.random.default_rng(0))
+        assert rec.comm_elements["upload"] == 6 * model.dim
+        assert rec.comm_elements["offline"] > 0
+        assert rec.comm_elements["recovery"] > 0

@@ -1,0 +1,183 @@
+"""Numeric gradient checks and shape tests for the layer library."""
+
+import numpy as np
+import pytest
+
+from repro.fl.models.layers import (
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+    softmax_cross_entropy,
+)
+
+
+def numeric_grad_check(net, x, y, rng, num_coords=6, eps=1e-6, tol=1e-3):
+    """Compare analytic flat gradient against finite differences."""
+    params = net.get_flat_params()
+    logits = net.forward(x, train=True)
+    loss0, dlogits = softmax_cross_entropy(logits, y)
+    net.backward(dlogits)
+    grad = net.get_flat_grads()
+    for i in rng.choice(params.size, size=min(num_coords, params.size),
+                        replace=False):
+        bumped = params.copy()
+        bumped[i] += eps
+        net.set_flat_params(bumped)
+        loss1, _ = softmax_cross_entropy(net.forward(x, train=True), y)
+        numeric = (loss1 - loss0) / eps
+        assert abs(numeric - grad[i]) < tol * (1 + abs(grad[i])), i
+    net.set_flat_params(params)
+
+
+class TestDense:
+    def test_forward_shape(self, rng):
+        layer = Dense(4, 3, rng)
+        out = layer.forward(rng.normal(size=(5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_gradient(self, rng):
+        net = Sequential([Dense(6, 4, rng), ReLU(), Dense(4, 3, rng)])
+        x = rng.normal(size=(8, 6))
+        y = rng.integers(0, 3, 8)
+        numeric_grad_check(net, x, y, rng)
+
+    def test_num_params(self, rng):
+        layer = Dense(4, 3, rng)
+        assert layer.num_params == 4 * 3 + 3
+
+
+class TestConv2D:
+    def test_forward_shape_valid_conv(self, rng):
+        layer = Conv2D(3, 8, 5, rng)
+        out = layer.forward(rng.normal(size=(2, 3, 12, 12)))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_forward_shape_with_padding(self, rng):
+        layer = Conv2D(1, 4, 3, rng, pad=1)
+        out = layer.forward(rng.normal(size=(2, 1, 8, 8)))
+        assert out.shape == (2, 4, 8, 8)
+
+    def test_forward_shape_with_stride(self, rng):
+        layer = Conv2D(1, 4, 3, rng, stride=2)
+        out = layer.forward(rng.normal(size=(2, 1, 9, 9)))
+        assert out.shape == (2, 4, 4, 4)
+
+    def test_matches_direct_convolution(self, rng):
+        """im2col result equals a naive nested-loop convolution."""
+        layer = Conv2D(2, 3, 3, rng)
+        x = rng.normal(size=(1, 2, 5, 5))
+        out = layer.forward(x)
+        w, b = layer.params["W"], layer.params["b"]
+        for oc in range(3):
+            for i in range(3):
+                for j in range(3):
+                    expected = b[oc] + np.sum(
+                        w[oc] * x[0, :, i : i + 3, j : j + 3]
+                    )
+                    assert out[0, oc, i, j] == pytest.approx(expected)
+
+    def test_gradient(self, rng):
+        net = Sequential(
+            [Conv2D(1, 3, 3, rng), ReLU(), Flatten(), Dense(3 * 4 * 4, 2, rng)]
+        )
+        x = rng.normal(size=(4, 1, 6, 6))
+        y = rng.integers(0, 2, 4)
+        numeric_grad_check(net, x, y, rng)
+
+    def test_gradient_with_stride_and_pad(self, rng):
+        net = Sequential(
+            [
+                Conv2D(2, 3, 3, rng, stride=2, pad=1),
+                ReLU(),
+                Flatten(),
+                Dense(3 * 4 * 4, 2, rng),
+            ]
+        )
+        x = rng.normal(size=(3, 2, 7, 7))
+        y = rng.integers(0, 2, 3)
+        numeric_grad_check(net, x, y, rng)
+
+
+class TestMaxPool:
+    def test_forward(self, rng):
+        pool = MaxPool2D(2)
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = pool.forward(x)
+        assert out.shape == (1, 1, 2, 2)
+        assert out[0, 0].tolist() == [[5, 7], [13, 15]]
+
+    def test_gradient_routes_to_max(self, rng):
+        pool = MaxPool2D(2)
+        x = np.asarray([[[[1.0, 2.0], [3.0, 9.0]]]])
+        pool.forward(x, train=True)
+        dx = pool.backward(np.asarray([[[[1.0]]]]))
+        assert dx[0, 0].tolist() == [[0, 0], [0, 1.0]]
+
+    def test_gradient_check_through_pool(self, rng):
+        net = Sequential(
+            [
+                Conv2D(1, 2, 3, rng),
+                ReLU(),
+                MaxPool2D(2),
+                Flatten(),
+                Dense(2 * 3 * 3, 2, rng),
+            ]
+        )
+        x = rng.normal(size=(3, 1, 8, 8))
+        y = rng.integers(0, 2, 3)
+        numeric_grad_check(net, x, y, rng)
+
+    def test_tie_breaking_partitions_gradient(self):
+        """Equal values in a window must not double-count gradient."""
+        pool = MaxPool2D(2)
+        x = np.ones((1, 1, 2, 2))
+        pool.forward(x, train=True)
+        dx = pool.backward(np.asarray([[[[2.0]]]]))
+        assert dx.sum() == pytest.approx(2.0)
+
+
+class TestSequentialFlatParams:
+    def test_round_trip(self, rng):
+        net = Sequential([Dense(3, 4, rng), ReLU(), Dense(4, 2, rng)])
+        flat = net.get_flat_params()
+        assert flat.shape == (3 * 4 + 4 + 4 * 2 + 2,)
+        net.set_flat_params(flat * 2)
+        assert np.allclose(net.get_flat_params(), flat * 2)
+
+    def test_set_wrong_size(self, rng):
+        net = Sequential([Dense(3, 2, rng)])
+        with pytest.raises(ValueError):
+            net.set_flat_params(np.zeros(5))
+
+    def test_set_copies(self, rng):
+        net = Sequential([Dense(2, 2, rng)])
+        flat = np.zeros(6)
+        net.set_flat_params(flat)
+        flat[0] = 99
+        assert net.get_flat_params()[0] == 0
+
+
+class TestSoftmaxCrossEntropy:
+    def test_loss_value(self):
+        logits = np.asarray([[100.0, 0.0], [0.0, 100.0]])
+        loss, _ = softmax_cross_entropy(logits, np.asarray([0, 1]))
+        assert loss == pytest.approx(0.0, abs=1e-6)
+
+    def test_uniform_logits(self):
+        logits = np.zeros((4, 10))
+        loss, grad = softmax_cross_entropy(logits, np.zeros(4, dtype=int))
+        assert loss == pytest.approx(np.log(10))
+        assert grad.shape == (4, 10)
+
+    def test_grad_sums_to_zero_per_row(self, rng):
+        logits = rng.normal(size=(5, 7))
+        _, grad = softmax_cross_entropy(logits, rng.integers(0, 7, 5))
+        assert np.allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_numerical_stability_large_logits(self):
+        logits = np.asarray([[1e4, -1e4]])
+        loss, grad = softmax_cross_entropy(logits, np.asarray([0]))
+        assert np.isfinite(loss) and np.all(np.isfinite(grad))

@@ -1,0 +1,96 @@
+"""Tests for chunked mask transfer and the duplex exchange model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.protocols.chunking import (
+    Chunk,
+    chunk_vector,
+    exchange_times,
+    reassemble,
+)
+from repro.simulation.network import LTE_4G, TESTBED_320
+
+
+class TestChunkReassemble:
+    def test_round_trip_exact_multiple(self, gf, rng):
+        vec = gf.random(64, rng)
+        chunks = chunk_vector(vec, 16, source=1, dest=2)
+        assert len(chunks) == 4
+        assert np.array_equal(reassemble(chunks), vec)
+
+    def test_round_trip_ragged(self, gf, rng):
+        vec = gf.random(70, rng)
+        chunks = chunk_vector(vec, 16)
+        assert len(chunks) == 5
+        assert chunks[-1].payload.shape == (6,)
+        assert np.array_equal(reassemble(chunks), vec)
+
+    def test_out_of_order_reassembly(self, gf, rng):
+        vec = gf.random(48, rng)
+        chunks = chunk_vector(vec, 16)
+        assert np.array_equal(reassemble(list(reversed(chunks))), vec)
+
+    def test_missing_chunk_detected(self, gf, rng):
+        chunks = chunk_vector(gf.random(48, rng), 16)
+        with pytest.raises(ProtocolError, match="missing"):
+            reassemble(chunks[:-1])
+
+    def test_duplicate_chunk_detected(self, gf, rng):
+        chunks = chunk_vector(gf.random(48, rng), 16)
+        with pytest.raises(ProtocolError):
+            reassemble(chunks + [chunks[0]])
+
+    def test_mixed_transfers_detected(self, gf, rng):
+        a = chunk_vector(gf.random(16, rng), 16, source=0, dest=1)
+        b = chunk_vector(gf.random(16, rng), 16, source=2, dest=1)
+        with pytest.raises(ProtocolError, match="mixed"):
+            reassemble([a[0], b[0]])
+
+    def test_single_chunk(self, gf, rng):
+        vec = gf.random(5, rng)
+        chunks = chunk_vector(vec, 100)
+        assert len(chunks) == 1
+        assert np.array_equal(reassemble(chunks), vec)
+
+    def test_validation(self, gf):
+        with pytest.raises(ProtocolError):
+            chunk_vector(gf.zeros(4), 0)
+        with pytest.raises(ProtocolError):
+            chunk_vector(gf.zeros((2, 2)), 2)
+        with pytest.raises(ProtocolError):
+            reassemble([])
+
+    def test_chunks_are_copies(self, gf, rng):
+        vec = gf.random(16, rng)
+        chunks = chunk_vector(vec, 8)
+        vec[0] = np.uint64(0) if vec[0] else np.uint64(1)
+        assert not np.array_equal(chunks[0].payload[0], vec[0])
+
+
+class TestExchangeModel:
+    def test_duplex_halves_serial(self):
+        t = exchange_times(num_peers=199, share_elems=30_000,
+                           bandwidth=TESTBED_320)
+        assert t.duplex_speedup == pytest.approx(2.0, rel=0.01)
+
+    def test_pipelining_beats_plain_duplex(self):
+        t = exchange_times(num_peers=199, share_elems=30_000,
+                           bandwidth=TESTBED_320)
+        assert t.chunk_pipelined <= t.duplex
+
+    def test_slow_link_dominated_by_wire_time(self):
+        t = exchange_times(num_peers=100, share_elems=100_000,
+                           bandwidth=LTE_4G)
+        wire = LTE_4G.seconds(100 * 100_000)
+        assert t.chunk_pipelined >= wire
+        assert t.chunk_pipelined < wire * 1.5
+
+    def test_zero_peers(self):
+        t = exchange_times(0, 1000, TESTBED_320)
+        assert t.serial >= 0 and t.duplex >= 0
+
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            exchange_times(-1, 10, TESTBED_320)

@@ -1,0 +1,64 @@
+"""Tests for the channel-encrypted LightSecAgg variant."""
+
+import numpy as np
+import pytest
+
+from repro.protocols import NaiveAggregation
+from repro.protocols.lightsecagg.encrypted import EncryptedLightSecAgg
+from repro.protocols.lightsecagg.params import LSAParams
+
+
+@pytest.fixture
+def proto(gf):
+    params = LSAParams.from_guarantees(6, privacy=2, dropout_tolerance=2)
+    return EncryptedLightSecAgg(gf, params, model_dim=14)
+
+
+class TestCorrectness:
+    def test_matches_naive(self, gf, rng, proto):
+        updates = {i: gf.random(14, rng) for i in range(6)}
+        result = proto.run_round(updates, {1, 4}, rng)
+        naive = NaiveAggregation(gf, 6, 14).run_round(updates, {1, 4}, rng)
+        assert np.array_equal(result.aggregate, naive.aggregate)
+
+    def test_no_dropouts(self, gf, rng, proto):
+        updates = {i: gf.random(14, rng) for i in range(6)}
+        result = proto.run_round(updates, set(), rng)
+        expected = proto.expected_aggregate(updates, list(range(6)))
+        assert np.array_equal(result.aggregate, expected)
+
+    def test_offline_dropouts_not_supported(self, gf, rng, proto):
+        updates = {i: gf.random(14, rng) for i in range(6)}
+        with pytest.raises(NotImplementedError):
+            proto.run_round(updates, set(), rng, offline_dropouts={0})
+
+
+class TestRelayAccounting:
+    def test_share_traffic_doubles_through_relay(self, gf, rng, proto):
+        """Every share crosses two hops (user->server, server->peer), so
+        the offline share traffic is twice the peer-to-peer variant's."""
+        from repro.protocols import LightSecAgg
+
+        updates = {i: gf.random(14, rng) for i in range(6)}
+        enc = proto.run_round(updates, set(), rng)
+        base = LightSecAgg(gf, proto.params, 14).run_round(updates, set(), rng)
+        enc_share_traffic = enc.transcript.elements(
+            phase="offline", key_sized=False
+        )
+        base_share_traffic = base.transcript.elements(
+            phase="offline", key_sized=False
+        )
+        assert enc_share_traffic == 2 * base_share_traffic
+
+    def test_key_advertisement_traffic_present(self, gf, rng, proto):
+        updates = {i: gf.random(14, rng) for i in range(6)}
+        result = proto.run_round(updates, set(), rng)
+        assert result.transcript.elements(phase="offline", key_sized=True) > 0
+
+    def test_recovery_unchanged(self, gf, rng, proto):
+        updates = {i: gf.random(14, rng) for i in range(6)}
+        result = proto.run_round(updates, {0}, rng)
+        share_dim = -(-14 // proto.params.num_submasks)
+        assert result.transcript.elements(phase="recovery") == (
+            proto.params.target_survivors * share_dim
+        )

@@ -1,0 +1,199 @@
+"""End-to-end tests of the LightSecAgg protocol (paper Alg. 1)."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DropoutError, ProtocolError
+from repro.field import FiniteField
+from repro.protocols import LightSecAgg, LSAParams, NaiveAggregation
+from repro.protocols.base import SERVER
+from repro.protocols.lightsecagg import LSAServer, LSAUser
+
+
+def make_protocol(gf, n=6, t=2, d_tol=2, dim=17, **kw):
+    params = LSAParams.from_guarantees(n, privacy=t, dropout_tolerance=d_tol)
+    return LightSecAgg(gf, params, dim, **kw), params
+
+
+class TestCorrectness:
+    def test_no_dropouts(self, gf, rng):
+        proto, _ = make_protocol(gf)
+        updates = {i: gf.random(17, rng) for i in range(6)}
+        result = proto.run_round(updates, set(), rng)
+        expected = proto.expected_aggregate(updates, list(range(6)))
+        assert np.array_equal(result.aggregate, expected)
+
+    def test_every_dropout_pattern_up_to_d(self, gf, rng):
+        """Theorem 1 worst-case resiliency: *any* D-subset may drop."""
+        proto, params = make_protocol(gf, n=5, t=1, d_tol=2, dim=9)
+        updates = {i: gf.random(9, rng) for i in range(5)}
+        for size in range(params.dropout_tolerance + 1):
+            for dropouts in combinations(range(5), size):
+                result = proto.run_round(updates, set(dropouts), rng)
+                survivors = [i for i in range(5) if i not in dropouts]
+                expected = proto.expected_aggregate(updates, survivors)
+                assert np.array_equal(result.aggregate, expected), dropouts
+
+    def test_vandermonde_generator(self, gf, rng):
+        proto, _ = make_protocol(gf, generator="vandermonde")
+        updates = {i: gf.random(17, rng) for i in range(6)}
+        result = proto.run_round(updates, {0}, rng)
+        expected = proto.expected_aggregate(updates, [1, 2, 3, 4, 5])
+        assert np.array_equal(result.aggregate, expected)
+
+    def test_paper_field(self, gf_paper, rng):
+        params = LSAParams.from_guarantees(4, 1, 1)
+        proto = LightSecAgg(gf_paper, params, 11)
+        updates = {i: gf_paper.random(11, rng) for i in range(4)}
+        result = proto.run_round(updates, {2}, rng)
+        expected = proto.expected_aggregate(updates, [0, 1, 3])
+        assert np.array_equal(result.aggregate, expected)
+
+    def test_matches_naive_oracle(self, gf, rng):
+        proto, _ = make_protocol(gf, n=8, t=2, d_tol=3, dim=33)
+        naive = NaiveAggregation(gf, 8, 33)
+        updates = {i: gf.random(33, rng) for i in range(8)}
+        dropouts = {1, 6}
+        a = proto.run_round(updates, dropouts, rng).aggregate
+        b = naive.run_round(updates, dropouts, rng).aggregate
+        assert np.array_equal(a, b)
+
+    def test_dim_not_divisible_by_submasks(self, gf, rng):
+        """Padding path: d % (U - T) != 0."""
+        params = LSAParams(6, 2, 2, 4)  # U - T = 2
+        proto = LightSecAgg(gf, params, 15)  # 15 odd
+        updates = {i: gf.random(15, rng) for i in range(6)}
+        result = proto.run_round(updates, {3}, rng)
+        expected = proto.expected_aggregate(updates, [0, 1, 2, 4, 5])
+        assert np.array_equal(result.aggregate, expected)
+
+    def test_too_many_dropouts(self, gf, rng):
+        proto, params = make_protocol(gf, n=5, t=1, d_tol=1)
+        updates = {i: gf.random(17, rng) for i in range(5)}
+        with pytest.raises(DropoutError):
+            proto.run_round(updates, {0, 1, 2}, rng)
+
+    def test_deterministic_given_rng(self, gf):
+        proto, _ = make_protocol(gf)
+        updates = {
+            i: FiniteField().random(17, np.random.default_rng(i)) for i in range(6)
+        }
+        r1 = proto.run_round(updates, {1}, np.random.default_rng(9))
+        r2 = proto.run_round(updates, {1}, np.random.default_rng(9))
+        assert np.array_equal(r1.aggregate, r2.aggregate)
+
+
+class TestTranscript:
+    def test_message_counts(self, gf, rng):
+        n, dim = 6, 17
+        proto, params = make_protocol(gf, n=n, dim=dim)
+        updates = {i: gf.random(dim, rng) for i in range(n)}
+        result = proto.run_round(updates, {2}, rng)
+        t = result.transcript
+        share_dim = -(-dim // params.num_submasks)
+        # Offline: every user sends N-1 shares.
+        assert t.elements(phase="offline") == n * (n - 1) * share_dim
+        # Upload: all N users upload d (worst-case dropout point).
+        assert t.elements(phase="upload") == n * dim
+        # Recovery: exactly U survivors answer with one share each.
+        assert t.elements(phase="recovery") == params.target_survivors * share_dim
+
+    def test_recovery_traffic_independent_of_dropouts(self, gf, rng):
+        """The LightSecAgg selling point: recovery cost does not grow with
+        the number of dropped users."""
+        proto, params = make_protocol(gf, n=8, t=2, d_tol=3, dim=24)
+        updates = {i: gf.random(24, rng) for i in range(8)}
+        r0 = proto.run_round(updates, set(), rng)
+        r3 = proto.run_round(updates, {0, 4, 7}, rng)
+        assert r0.transcript.elements(phase="recovery") == r3.transcript.elements(
+            phase="recovery"
+        )
+        assert r0.metrics.server_decode_ops == r3.metrics.server_decode_ops
+
+    def test_no_server_prg_work(self, gf, rng):
+        proto, _ = make_protocol(gf)
+        updates = {i: gf.random(17, rng) for i in range(6)}
+        result = proto.run_round(updates, {1}, rng)
+        assert result.metrics.server_prg_elements == 0
+
+
+class TestUserServerStateMachines:
+    def test_user_requires_offline_before_mask(self, gf):
+        params = LSAParams(4, 1, 1, 3)
+        user = LSAUser(0, gf, params, 8)
+        with pytest.raises(ProtocolError):
+            user.mask_update(gf.zeros(8))
+
+    def test_user_rejects_duplicate_share(self, gf, rng):
+        params = LSAParams(4, 1, 1, 3)
+        user = LSAUser(0, gf, params, 8)
+        share = gf.zeros(user.encoder.share_dim)
+        user.receive_share(1, share)
+        with pytest.raises(ProtocolError):
+            user.receive_share(1, share)
+
+    def test_user_rejects_bad_share_shape(self, gf):
+        params = LSAParams(4, 1, 1, 3)
+        user = LSAUser(0, gf, params, 8)
+        with pytest.raises(ProtocolError):
+            user.receive_share(1, gf.zeros(999))
+
+    def test_user_aggregate_requires_all_survivor_shares(self, gf, rng):
+        params = LSAParams(4, 1, 1, 3)
+        user = LSAUser(0, gf, params, 8)
+        user.receive_share(1, gf.zeros(user.encoder.share_dim))
+        with pytest.raises(ProtocolError, match="lacks shares"):
+            user.aggregate_encoded_masks([1, 2])
+
+    def test_user_id_range_checked(self, gf):
+        params = LSAParams(4, 1, 1, 3)
+        with pytest.raises(ProtocolError):
+            LSAUser(4, gf, params, 8)
+
+    def test_server_requires_enough_survivors(self, gf, rng):
+        params = LSAParams(4, 1, 1, 3)
+        server = LSAServer(gf, params, 8)
+        for i in range(4):
+            server.receive_masked_update(i, gf.random(8, rng))
+        with pytest.raises(DropoutError):
+            server.identify_survivors([0, 1])
+
+    def test_server_rejects_unknown_survivor(self, gf, rng):
+        params = LSAParams(4, 1, 1, 3)
+        server = LSAServer(gf, params, 8)
+        server.receive_masked_update(0, gf.random(8, rng))
+        with pytest.raises(ProtocolError, match="never uploaded"):
+            server.identify_survivors([0, 1, 2])
+
+    def test_server_rejects_duplicate_upload(self, gf, rng):
+        params = LSAParams(4, 1, 1, 3)
+        server = LSAServer(gf, params, 8)
+        server.receive_masked_update(0, gf.random(8, rng))
+        with pytest.raises(ProtocolError, match="duplicate"):
+            server.receive_masked_update(0, gf.random(8, rng))
+
+    def test_server_share_phase_ordering(self, gf, rng):
+        params = LSAParams(4, 1, 1, 3)
+        server = LSAServer(gf, params, 8)
+        with pytest.raises(ProtocolError):
+            server.receive_aggregated_shares(0, gf.zeros(3))
+
+    def test_server_rejects_share_from_non_survivor(self, gf, rng):
+        params = LSAParams(4, 1, 1, 3)
+        server = LSAServer(gf, params, 8)
+        for i in range(4):
+            server.receive_masked_update(i, gf.random(8, rng))
+        server.identify_survivors([0, 1, 2])
+        with pytest.raises(ProtocolError, match="not in the surviving set"):
+            server.receive_aggregated_shares(3, gf.zeros(3))
+
+    def test_server_recover_needs_u_shares(self, gf, rng):
+        params = LSAParams(4, 1, 1, 3)
+        server = LSAServer(gf, params, 8)
+        for i in range(4):
+            server.receive_masked_update(i, gf.random(8, rng))
+        server.identify_survivors([0, 1, 2, 3])
+        with pytest.raises(DropoutError):
+            server.recover_aggregate()

@@ -1,0 +1,74 @@
+"""Tests for LightSecAgg parameter validation (paper Sec. 4.1 constraints)."""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.protocols.lightsecagg.params import LSAParams, choose_target_survivors
+
+
+class TestValidation:
+    def test_valid(self):
+        p = LSAParams(10, privacy=3, dropout_tolerance=3, target_survivors=7)
+        assert p.num_submasks == 4
+
+    def test_theorem1_boundary(self):
+        # T + D < N: T=4, D=5, N=10 is allowed (U must be in (4, 5]).
+        LSAParams(10, 4, 5, 5)
+        with pytest.raises(ParameterError, match="T \\+ D < N"):
+            LSAParams(10, 5, 5, 5)
+
+    def test_u_range(self):
+        with pytest.raises(ParameterError):
+            LSAParams(10, 3, 3, 3)  # U must exceed T
+        with pytest.raises(ParameterError):
+            LSAParams(10, 3, 3, 8)  # U must be <= N - D
+
+    def test_negative_params(self):
+        with pytest.raises(ParameterError):
+            LSAParams(10, -1, 3, 5)
+        with pytest.raises(ParameterError):
+            LSAParams(10, 3, -1, 5)
+
+    def test_tiny_n(self):
+        with pytest.raises(ParameterError):
+            LSAParams(1, 0, 0, 1)
+
+
+class TestChooseU:
+    def test_prefers_seventy_percent(self):
+        # Sec. 7.2: U = floor(0.7 N) optimal for p in {0.1, 0.3}.
+        assert choose_target_survivors(200, 100, 20) == 140
+        assert choose_target_survivors(200, 100, 60) == 140
+
+    def test_clamps_to_feasible_high(self):
+        # p = 0.5-ish: U can only be T + 1.
+        assert choose_target_survivors(200, 100, 99) == 101
+
+    def test_clamps_to_feasible_low(self):
+        assert choose_target_survivors(10, 1, 1) == 7
+
+    def test_infeasible(self):
+        with pytest.raises(ParameterError):
+            choose_target_survivors(10, 5, 5)
+
+
+class TestFactories:
+    def test_from_guarantees_default_u(self):
+        p = LSAParams.from_guarantees(100, privacy=50, dropout_tolerance=10)
+        assert p.target_survivors == 70
+
+    def test_from_guarantees_explicit_u(self):
+        p = LSAParams.from_guarantees(100, 50, 10, target_survivors=60)
+        assert p.target_survivors == 60
+
+    def test_paper_defaults(self):
+        p = LSAParams.paper_defaults(200, dropout_rate=0.1)
+        assert p.privacy == 100
+        assert p.dropout_tolerance == 20
+        assert p.target_survivors == 140
+
+    def test_paper_defaults_half_dropout_clamped(self):
+        p = LSAParams.paper_defaults(200, dropout_rate=0.5)
+        assert p.privacy == 100
+        assert p.dropout_tolerance == 99  # clamped: U = N/2 + 1
+        assert p.target_survivors == 101

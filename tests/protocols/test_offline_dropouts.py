@@ -1,0 +1,73 @@
+"""Tests for Remark 2: users dropping *during* the offline phase.
+
+LightSecAgg only needs U users to survive at any point — users who vanish
+mid-share-distribution are simply excluded and their partial shares are
+never consulted.
+"""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DropoutError
+from repro.protocols import LightSecAgg, LSAParams
+
+
+@pytest.fixture
+def proto(gf):
+    params = LSAParams.from_guarantees(6, privacy=1, dropout_tolerance=3)
+    return LightSecAgg(gf, params, 12)
+
+
+class TestOfflineDropouts:
+    def test_offline_dropout_excluded_from_aggregate(self, proto, gf, rng):
+        updates = {i: gf.random(12, rng) for i in range(6)}
+        result = proto.run_round(updates, set(), rng, offline_dropouts={2})
+        survivors = [0, 1, 3, 4, 5]
+        assert result.survivors == survivors
+        expected = proto.expected_aggregate(updates, survivors)
+        assert np.array_equal(result.aggregate, expected)
+
+    def test_mixed_offline_and_upload_dropouts(self, proto, gf, rng):
+        updates = {i: gf.random(12, rng) for i in range(6)}
+        result = proto.run_round(
+            updates, {4}, rng, offline_dropouts={1}
+        )
+        survivors = [0, 2, 3, 5]
+        assert result.survivors == survivors
+        expected = proto.expected_aggregate(updates, survivors)
+        assert np.array_equal(result.aggregate, expected)
+
+    def test_every_single_offline_dropout(self, proto, gf, rng):
+        updates = {i: gf.random(12, rng) for i in range(6)}
+        for victim in range(6):
+            result = proto.run_round(
+                updates, set(), rng, offline_dropouts={victim}
+            )
+            survivors = [i for i in range(6) if i != victim]
+            expected = proto.expected_aggregate(updates, survivors)
+            assert np.array_equal(result.aggregate, expected), victim
+
+    def test_offline_dropouts_up_to_tolerance(self, proto, gf, rng):
+        updates = {i: gf.random(12, rng) for i in range(6)}
+        for drops in combinations(range(6), 2):
+            result = proto.run_round(
+                updates, set(), rng, offline_dropouts=set(drops)
+            )
+            survivors = [i for i in range(6) if i not in drops]
+            expected = proto.expected_aggregate(updates, survivors)
+            assert np.array_equal(result.aggregate, expected), drops
+
+    def test_offline_dropout_never_uploads(self, proto, gf, rng):
+        updates = {i: gf.random(12, rng) for i in range(6)}
+        result = proto.run_round(updates, set(), rng, offline_dropouts={3})
+        # Only 5 model uploads happened.
+        assert result.transcript.elements(phase="upload") == 5 * 12
+
+    def test_too_many_total_dropouts(self, proto, gf, rng):
+        updates = {i: gf.random(12, rng) for i in range(6)}
+        with pytest.raises(DropoutError):
+            proto.run_round(
+                updates, {0, 1}, rng, offline_dropouts={2, 3}
+            )

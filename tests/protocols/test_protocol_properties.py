@@ -1,0 +1,102 @@
+"""Property-based tests across all secure-aggregation protocols."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.field import FiniteField
+from repro.protocols import (
+    LightSecAgg,
+    LSAParams,
+    NaiveAggregation,
+    SecAgg,
+    SecAggPlus,
+)
+
+GF = FiniteField()
+
+
+@st.composite
+def lsa_scenario(draw):
+    """Random feasible (N, T, D, U), dims, updates and dropout set."""
+    n = draw(st.integers(3, 9))
+    t = draw(st.integers(0, n - 2))
+    d_tol = draw(st.integers(0, n - t - 1))
+    u = draw(st.integers(t + 1, n - d_tol))
+    dim = draw(st.integers(1, 30))
+    num_drops = draw(st.integers(0, d_tol))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return n, t, d_tol, u, dim, num_drops, seed
+
+
+@given(lsa_scenario())
+@settings(max_examples=40, deadline=None)
+def test_lightsecagg_correct_for_random_params(scenario):
+    n, t, d_tol, u, dim, num_drops, seed = scenario
+    rng = np.random.default_rng(seed)
+    params = LSAParams(n, t, d_tol, u)
+    proto = LightSecAgg(GF, params, dim)
+    updates = {i: GF.random(dim, rng) for i in range(n)}
+    dropouts = set(
+        rng.choice(n, size=num_drops, replace=False).tolist()
+    ) if num_drops else set()
+    result = proto.run_round(updates, dropouts, rng)
+    survivors = [i for i in range(n) if i not in dropouts]
+    expected = proto.expected_aggregate(updates, survivors)
+    assert np.array_equal(result.aggregate, expected)
+
+
+@st.composite
+def pairwise_scenario(draw):
+    n = draw(st.integers(3, 8))
+    dim = draw(st.integers(1, 25))
+    num_drops = draw(st.integers(0, max(0, n // 2 - 1)))
+    seed = draw(st.integers(0, 2**31 - 1))
+    return n, dim, num_drops, seed
+
+
+@given(pairwise_scenario())
+@settings(max_examples=15, deadline=None)
+def test_secagg_matches_naive_for_random_inputs(scenario):
+    n, dim, num_drops, seed = scenario
+    rng = np.random.default_rng(seed)
+    updates = {i: GF.random(dim, rng) for i in range(n)}
+    dropouts = set(
+        rng.choice(n, size=num_drops, replace=False).tolist()
+    ) if num_drops else set()
+    secure = SecAgg(GF, n, dim, shamir_threshold=1)
+    naive = NaiveAggregation(GF, n, dim)
+    a = secure.run_round(updates, dropouts, rng).aggregate
+    b = naive.run_round(updates, dropouts, rng).aggregate
+    assert np.array_equal(a, b)
+
+
+@given(st.integers(6, 14), st.integers(1, 20), st.integers(0, 2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_secagg_plus_matches_naive_random(n, dim, seed):
+    rng = np.random.default_rng(seed)
+    updates = {i: GF.random(dim, rng) for i in range(n)}
+    dropouts = {int(rng.integers(0, n))}
+    secure = SecAggPlus(GF, n, dim, graph_seed=seed % 97, shamir_threshold=1)
+    naive = NaiveAggregation(GF, n, dim)
+    a = secure.run_round(updates, dropouts, rng).aggregate
+    b = naive.run_round(updates, dropouts, rng).aggregate
+    assert np.array_equal(a, b)
+
+
+@given(lsa_scenario())
+@settings(max_examples=20, deadline=None)
+def test_lightsecagg_recovery_traffic_invariant(scenario):
+    """Recovery traffic is exactly U * ceil(dim / (U - T)) regardless of
+    which users dropped — the protocol's defining property."""
+    n, t, d_tol, u, dim, num_drops, seed = scenario
+    rng = np.random.default_rng(seed)
+    params = LSAParams(n, t, d_tol, u)
+    proto = LightSecAgg(GF, params, dim)
+    updates = {i: GF.random(dim, rng) for i in range(n)}
+    dropouts = set(
+        rng.choice(n, size=num_drops, replace=False).tolist()
+    ) if num_drops else set()
+    result = proto.run_round(updates, dropouts, rng)
+    share_dim = -(-dim // (u - t))
+    assert result.transcript.elements(phase="recovery") == u * share_dim

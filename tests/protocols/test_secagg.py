@@ -1,0 +1,167 @@
+"""End-to-end tests of the SecAgg baseline (paper Sec. 3, eq. 1)."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DropoutError, ProtocolError
+from repro.protocols import NaiveAggregation, SecAgg
+from repro.protocols.pairwise.user import PairwiseUser
+from repro.crypto.prg import PRG
+from repro.crypto.dh import DiffieHellman
+
+
+class TestCorrectness:
+    def test_no_dropouts(self, gf, rng):
+        proto = SecAgg(gf, 5, 13)
+        updates = {i: gf.random(13, rng) for i in range(5)}
+        result = proto.run_round(updates, set(), rng)
+        expected = proto.expected_aggregate(updates, list(range(5)))
+        assert np.array_equal(result.aggregate, expected)
+
+    def test_single_dropout(self, gf, rng):
+        proto = SecAgg(gf, 4, 9)
+        updates = {i: gf.random(9, rng) for i in range(4)}
+        result = proto.run_round(updates, {1}, rng)
+        expected = proto.expected_aggregate(updates, [0, 2, 3])
+        assert np.array_equal(result.aggregate, expected)
+
+    def test_all_dropout_patterns(self, gf, rng):
+        n = 5
+        proto = SecAgg(gf, n, 7, shamir_threshold=1)
+        updates = {i: gf.random(7, rng) for i in range(n)}
+        for size in range(3):
+            for dropouts in combinations(range(n), size):
+                result = proto.run_round(updates, set(dropouts), rng)
+                survivors = [i for i in range(n) if i not in dropouts]
+                expected = proto.expected_aggregate(updates, survivors)
+                assert np.array_equal(result.aggregate, expected), dropouts
+
+    def test_matches_naive(self, gf, rng):
+        proto = SecAgg(gf, 6, 21)
+        naive = NaiveAggregation(gf, 6, 21)
+        updates = {i: gf.random(21, rng) for i in range(6)}
+        a = proto.run_round(updates, {0, 5}, rng).aggregate
+        b = naive.run_round(updates, {0, 5}, rng).aggregate
+        assert np.array_equal(a, b)
+
+    def test_sha256_prg_backend(self, gf, rng):
+        proto = SecAgg(gf, 4, 9, prg_backend="sha256")
+        updates = {i: gf.random(9, rng) for i in range(4)}
+        result = proto.run_round(updates, {2}, rng)
+        expected = proto.expected_aggregate(updates, [0, 1, 3])
+        assert np.array_equal(result.aggregate, expected)
+
+    def test_paper_field(self, gf_paper, rng):
+        proto = SecAgg(gf_paper, 4, 9)
+        updates = {i: gf_paper.random(9, rng) for i in range(4)}
+        result = proto.run_round(updates, {0}, rng)
+        expected = proto.expected_aggregate(updates, [1, 2, 3])
+        assert np.array_equal(result.aggregate, expected)
+
+    def test_too_many_dropouts_fail_reconstruction(self, gf, rng):
+        """With threshold t, reconstruction needs t+1 surviving neighbors."""
+        proto = SecAgg(gf, 4, 9, shamir_threshold=2)
+        updates = {i: gf.random(9, rng) for i in range(4)}
+        with pytest.raises(DropoutError):
+            # 3 drops leave a single survivor < t+1 = 3 shares.
+            proto.run_round(updates, {0, 1, 2}, rng)
+
+
+class TestServerWork:
+    def test_prg_work_grows_with_dropouts(self, gf, rng):
+        """The SecAgg bottleneck: per-drop pairwise mask re-expansion."""
+        proto = SecAgg(gf, 6, 11)
+        updates = {i: gf.random(11, rng) for i in range(6)}
+        r0 = proto.run_round(updates, set(), rng)
+        r2 = proto.run_round(updates, {0, 1}, rng)
+        assert r2.metrics.server_prg_elements > r0.metrics.server_prg_elements
+        # No drops: one b_i expansion per survivor.
+        assert r0.metrics.server_prg_elements == 6 * 11
+        # Two drops: 4 survivors' b_i + 2 dropped x 4 surviving neighbors.
+        assert r2.metrics.server_prg_elements == (4 + 2 * 4) * 11
+
+    def test_offline_traffic_is_key_sized(self, gf, rng):
+        proto = SecAgg(gf, 5, 50)
+        updates = {i: gf.random(50, rng) for i in range(5)}
+        result = proto.run_round(updates, set(), rng)
+        # All offline traffic is key-sized (seeds/keys), never d-sized.
+        assert result.transcript.elements(phase="offline", key_sized=False) == 0
+        assert result.transcript.elements(phase="offline", key_sized=True) > 0
+
+
+class TestSecurityInvariants:
+    def test_masked_update_differs_from_plain(self, gf, rng):
+        proto = SecAgg(gf, 4, 32)
+        updates = {i: gf.random(32, rng) for i in range(4)}
+        result = proto.run_round(updates, set(), rng)
+        # The aggregate is correct yet each upload was masked; verify by
+        # checking the sum of plain updates != any single plain update.
+        assert not np.array_equal(result.aggregate, updates[0])
+
+    def test_user_never_reveals_both_kinds(self, gf, rng):
+        """Revealing both b and sk for one target breaks privacy; the server
+        API refuses such a collection."""
+        from repro.protocols.pairwise.server import PairwiseServer
+        from repro.protocols.pairwise.graph import complete_graph
+
+        server = PairwiseServer(
+            gf, 3, complete_graph(3), 5, 1, PRG(gf), DiffieHellman()
+        )
+        for i in range(3):
+            server.receive_masked_update(i, gf.random(5, rng))
+        with pytest.raises(ProtocolError, match="both"):
+            server.recover_aggregate(
+                [0, 1], [2],
+                collected_b_shares={0: [], 1: [], 2: []},
+                collected_sk_shares={2: []},
+                shamir_factory=lambda i: None,
+            )
+
+
+class TestPairwiseUserValidation:
+    def _user(self, gf, **kw):
+        defaults = dict(
+            user_id=0,
+            gf=gf,
+            num_users=3,
+            neighbors=[1, 2],
+            model_dim=5,
+            shamir_threshold=1,
+        )
+        defaults.update(kw)
+        return PairwiseUser(**defaults)
+
+    def test_self_neighbor_rejected(self, gf):
+        with pytest.raises(ProtocolError):
+            self._user(gf, neighbors=[0, 1])
+
+    def test_threshold_too_large(self, gf):
+        with pytest.raises(ProtocolError):
+            self._user(gf, shamir_threshold=2)
+
+    def test_phase_ordering(self, gf, rng):
+        user = self._user(gf)
+        with pytest.raises(ProtocolError):
+            user.agree_pairwise({1: 2, 2: 3})
+        with pytest.raises(ProtocolError):
+            user.share_secrets(rng)
+        with pytest.raises(ProtocolError):
+            user.mask_update(gf.zeros(5))
+
+    def test_missing_neighbor_key(self, gf, rng):
+        user = self._user(gf)
+        user.generate_keys(rng)
+        with pytest.raises(ProtocolError, match="missing public key"):
+            user.agree_pairwise({1: 2})
+
+    def test_reveal_unknown_target(self, gf, rng):
+        user = self._user(gf)
+        with pytest.raises(ProtocolError):
+            user.reveal_share(1, "b")
+
+    def test_reveal_unknown_kind(self, gf, rng):
+        user = self._user(gf)
+        with pytest.raises(ProtocolError):
+            user.reveal_share(1, "seed")

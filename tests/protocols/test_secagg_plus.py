@@ -1,0 +1,142 @@
+"""Tests for SecAgg+ (sparse-graph pairwise masking) and its graphs."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DropoutError, ProtocolError
+from repro.protocols import NaiveAggregation, SecAggPlus, secagg_plus_degree
+from repro.protocols.pairwise.graph import (
+    complete_graph,
+    regular_graph,
+    validate_adjacency,
+)
+
+
+class TestGraphs:
+    def test_complete_graph(self):
+        adj = complete_graph(4)
+        assert adj[0] == [1, 2, 3]
+        validate_adjacency(adj, 4)
+
+    def test_complete_graph_too_small(self):
+        with pytest.raises(ProtocolError):
+            complete_graph(1)
+
+    def test_degree_scales_logarithmically(self):
+        d10 = secagg_plus_degree(10)
+        d1000 = secagg_plus_degree(1000)
+        assert d10 < d1000 < 1000 - 1
+        # Sub-linear growth: degree(1000)/degree(10) << 100.
+        assert d1000 / d10 < 5
+
+    def test_degree_parity(self):
+        for n in range(4, 60):
+            k = secagg_plus_degree(n)
+            assert (k * n) % 2 == 0, (n, k)
+            assert 1 <= k <= n - 1
+
+    def test_regular_graph_properties(self):
+        adj = regular_graph(20, 6, seed=3)
+        validate_adjacency(adj, 20)
+        assert all(len(v) == 6 for v in adj.values())
+
+    def test_regular_graph_saturates_to_complete(self):
+        adj = regular_graph(5, 6, seed=0)
+        assert adj == complete_graph(5)
+
+    def test_regular_graph_parity_check(self):
+        with pytest.raises(ProtocolError):
+            regular_graph(5, 3, seed=0)  # 15 odd
+
+    def test_regular_graph_deterministic(self):
+        assert regular_graph(16, 4, seed=7) == regular_graph(16, 4, seed=7)
+
+    def test_validate_adjacency_catches_asymmetry(self):
+        adj = {0: [1], 1: []}
+        with pytest.raises(ProtocolError, match="asymmetric"):
+            validate_adjacency(adj, 2)
+
+    def test_validate_adjacency_catches_self_loop(self):
+        adj = {0: [0, 1], 1: [0]}
+        with pytest.raises(ProtocolError, match="self-loop"):
+            validate_adjacency(adj, 2)
+
+    def test_validate_adjacency_catches_duplicates(self):
+        adj = {0: [1, 1], 1: [0]}
+        with pytest.raises(ProtocolError, match="duplicate"):
+            validate_adjacency(adj, 2)
+
+
+class TestSecAggPlusCorrectness:
+    def test_no_dropouts(self, gf, rng):
+        proto = SecAggPlus(gf, 12, 9, graph_seed=1)
+        updates = {i: gf.random(9, rng) for i in range(12)}
+        result = proto.run_round(updates, set(), rng)
+        expected = proto.expected_aggregate(updates, list(range(12)))
+        assert np.array_equal(result.aggregate, expected)
+
+    def test_with_dropouts(self, gf, rng):
+        proto = SecAggPlus(gf, 12, 9, graph_seed=1)
+        updates = {i: gf.random(9, rng) for i in range(12)}
+        result = proto.run_round(updates, {2, 7}, rng)
+        survivors = [i for i in range(12) if i not in (2, 7)]
+        expected = proto.expected_aggregate(updates, survivors)
+        assert np.array_equal(result.aggregate, expected)
+
+    def test_explicit_degree(self, gf, rng):
+        proto = SecAggPlus(gf, 10, 9, degree=4, graph_seed=2)
+        assert proto.degree == 4
+        updates = {i: gf.random(9, rng) for i in range(10)}
+        result = proto.run_round(updates, {0}, rng)
+        survivors = list(range(1, 10))
+        expected = proto.expected_aggregate(updates, survivors)
+        assert np.array_equal(result.aggregate, expected)
+
+    def test_matches_naive(self, gf, rng):
+        proto = SecAggPlus(gf, 14, 15, graph_seed=4)
+        naive = NaiveAggregation(gf, 14, 15)
+        updates = {i: gf.random(15, rng) for i in range(14)}
+        a = proto.run_round(updates, {3}, rng).aggregate
+        b = naive.run_round(updates, {3}, rng).aggregate
+        assert np.array_equal(a, b)
+
+    def test_small_n_falls_back_to_complete(self, gf, rng):
+        proto = SecAggPlus(gf, 4, 9)
+        updates = {i: gf.random(9, rng) for i in range(4)}
+        result = proto.run_round(updates, {1}, rng)
+        expected = proto.expected_aggregate(updates, [0, 2, 3])
+        assert np.array_equal(result.aggregate, expected)
+
+    def test_neighborhood_dropout_failure(self, gf, rng):
+        """If a user's surviving neighbors fall below the threshold,
+        reconstruction must fail loudly rather than corrupt the sum."""
+        proto = SecAggPlus(gf, 10, 5, degree=4, shamir_threshold=3, graph_seed=0)
+        updates = {i: gf.random(5, rng) for i in range(10)}
+        # Drop a user and all-but-three of its neighbors... find a user
+        # whose neighborhood we can decimate.
+        victim = 0
+        neighbors = proto.adjacency[victim]
+        dropouts = {victim} | set(neighbors[:2])
+        try:
+            result = proto.run_round(updates, dropouts, rng)
+        except DropoutError:
+            return  # acceptable: loud failure
+        survivors = [i for i in range(10) if i not in dropouts]
+        expected = proto.expected_aggregate(updates, survivors)
+        assert np.array_equal(result.aggregate, expected)
+
+
+class TestCommunicationScaling:
+    def test_offline_traffic_sublinear_vs_secagg(self, gf, rng):
+        """SecAgg+ users exchange O(log N) shares vs N for SecAgg."""
+        from repro.protocols import SecAgg
+
+        n, dim = 24, 7
+        updates = {i: gf.random(dim, rng) for i in range(n)}
+        full = SecAgg(gf, n, dim).run_round(updates, set(), rng)
+        sparse = SecAggPlus(gf, n, dim, degree=6, graph_seed=0).run_round(
+            updates, set(), rng
+        )
+        full_offline = full.transcript.elements(phase="offline")
+        sparse_offline = sparse.transcript.elements(phase="offline")
+        assert sparse_offline < full_offline

@@ -1,0 +1,132 @@
+"""Verification of Theorem 1: privacy + dropout-resiliency of LightSecAgg.
+
+Dropout-resiliency is checked *exhaustively* for small N (every dropout set
+of size <= D recovers the exact aggregate — worst-case, not probabilistic,
+matching Remark 4).
+
+Privacy is checked two ways:
+
+* **Structurally** — for every T-subset of colluders, the linear map from
+  the T random padding sub-masks onto the colluders' observations is
+  invertible, which makes those observations one-time-padded (the exact
+  argument behind Lemma 1).
+* **Statistically** — the empirical distribution of a colluding set's view
+  is indistinguishable (chi-square) between two different fixed models,
+  i.e. the view carries no information about the masked update.
+"""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.coding.mask_encoding import MaskEncoder
+from repro.field import FiniteField
+from repro.field.linalg import is_invertible
+from repro.protocols import LightSecAgg, LSAParams
+
+
+class TestDropoutResiliency:
+    @pytest.mark.parametrize(
+        "n,t,d_tol",
+        [(4, 1, 1), (5, 1, 2), (5, 2, 1), (6, 2, 2), (6, 1, 3)],
+    )
+    def test_worst_case_every_dropout_set(self, gf, rng, n, t, d_tol):
+        params = LSAParams.from_guarantees(n, t, d_tol)
+        proto = LightSecAgg(gf, params, 8)
+        updates = {i: gf.random(8, rng) for i in range(n)}
+        for size in range(d_tol + 1):
+            for dropouts in combinations(range(n), size):
+                result = proto.run_round(updates, set(dropouts), rng)
+                survivors = [i for i in range(n) if i not in dropouts]
+                expected = proto.expected_aggregate(updates, survivors)
+                assert np.array_equal(result.aggregate, expected), (
+                    n, t, d_tol, dropouts,
+                )
+
+    def test_tradeoff_boundary(self, gf, rng):
+        """T + D = N - 1 is achievable (Theorem 1's boundary)."""
+        n = 6
+        for t in range(0, n - 1):
+            d_tol = n - 1 - t
+            params = LSAParams.from_guarantees(n, t, d_tol)
+            proto = LightSecAgg(gf, params, 5)
+            updates = {i: gf.random(5, rng) for i in range(n)}
+            dropouts = set(range(d_tol))  # drop the maximum number
+            result = proto.run_round(updates, dropouts, rng)
+            survivors = [i for i in range(n) if i not in dropouts]
+            expected = proto.expected_aggregate(updates, survivors)
+            assert np.array_equal(result.aggregate, expected), t
+
+
+class TestPrivacyStructural:
+    @pytest.mark.parametrize("generator", ["lagrange", "vandermonde"])
+    @pytest.mark.parametrize("n,u,t", [(5, 3, 1), (6, 4, 2), (7, 5, 3)])
+    def test_collusion_view_is_one_time_padded(self, gf, generator, n, u, t):
+        """For every T-subset of users, the T x T generator block acting on
+        the random paddings is invertible => their shares of any z are
+        uniform (Lemma 1's condition I(z_i; shares_T) = 0)."""
+        enc = MaskEncoder(gf, n, u, t, 8, generator=generator)
+        g = enc.code.generator_matrix  # (U, N); rows U-T.. are paddings
+        padding_block = g[u - t:, :]
+        for colluders in combinations(range(n), t):
+            sub = padding_block[:, list(colluders)]
+            assert is_invertible(gf, sub), colluders
+
+
+class TestPrivacyStatistical:
+    def test_colluder_view_independent_of_model(self):
+        """Chi-square two-sample test: a colluding user's received share has
+        the same distribution whatever the honest user's mask (hence
+        masked model) is."""
+        gf = FiniteField(97)
+        enc = MaskEncoder(gf, num_users=4, target_survivors=3, privacy=1,
+                          model_dim=2)
+        rng = np.random.default_rng(0)
+        trials = 6000
+
+        def sample_view(mask_value: int) -> np.ndarray:
+            z = gf.array([mask_value, mask_value])
+            counts = np.zeros(97)
+            for _ in range(trials):
+                shares = enc.encode(z, rng)
+                counts[int(shares[3][0])] += 1  # colluder = user 3
+            return counts
+
+        c1 = sample_view(5)
+        c2 = sample_view(92)
+        # Two-sample chi-square; dof = 96, 99.9% quantile ~ 148.
+        total = c1 + c2
+        expected = total / 2
+        nonzero = expected > 0
+        chi2 = float(
+            (((c1 - expected) ** 2 + (c2 - expected) ** 2) / expected)[nonzero].sum()
+        )
+        assert chi2 < 2 * 160, chi2
+
+    def test_masked_update_uniform(self):
+        """The uploaded masked model x + z is itself uniform in the field."""
+        gf = FiniteField(97)
+        rng = np.random.default_rng(1)
+        x = gf.array([17])
+        samples = [
+            int(gf.add(x, gf.random(1, rng))[0]) for _ in range(20_000)
+        ]
+        counts = np.bincount(samples, minlength=97)
+        expected = len(samples) / 97
+        chi2 = float(((counts - expected) ** 2 / expected).sum())
+        assert chi2 < 160, chi2
+
+    def test_aggregate_reveals_only_sum(self, gf, rng):
+        """Two different update sets with the same sum produce identical
+        aggregates (the protocol output is a function of the sum only)."""
+        params = LSAParams.from_guarantees(4, 1, 1)
+        proto = LightSecAgg(gf, params, 6)
+        base = {i: gf.random(6, rng) for i in range(4)}
+        shifted = dict(base)
+        delta = gf.random(6, rng)
+        shifted[0] = gf.add(base[0], delta)
+        shifted[1] = gf.sub(base[1], delta)
+        r1 = proto.run_round(base, set(), rng)
+        r2 = proto.run_round(shifted, set(), rng)
+        assert np.array_equal(r1.aggregate, r2.aggregate)

@@ -1,0 +1,112 @@
+"""Tests for the Zhao & Sun TTP comparator and its storage accounting."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DropoutError, ProtocolError
+from repro.field import FiniteField
+from repro.protocols.lightsecagg.params import LSAParams
+from repro.protocols.zhao_sun import TrustedThirdPartyMasking
+from repro.simulation.storage import (
+    lightsecagg_total_randomness,
+    zhao_sun_storage_per_user,
+    zhao_sun_total_randomness,
+)
+
+
+@pytest.fixture
+def scheme(gf, rng):
+    params = LSAParams(6, privacy=2, dropout_tolerance=2, target_survivors=4)
+    return TrustedThirdPartyMasking(gf, params, model_dim=12, rng=rng), params
+
+
+class TestCorrectness:
+    def test_no_dropouts(self, gf, rng, scheme):
+        ttp, params = scheme
+        updates = {i: gf.random(12, rng) for i in range(6)}
+        aggregate, survivors = ttp.run_round(updates)
+        expected = gf.zeros(12)
+        for i in survivors:
+            expected = gf.add(expected, updates[i])
+        assert np.array_equal(aggregate, expected)
+
+    def test_every_admissible_surviving_set(self, gf, rng, scheme):
+        ttp, params = scheme
+        updates = {i: gf.random(12, rng) for i in range(6)}
+        for size in range(params.target_survivors, 7):
+            for survivors in combinations(range(6), size):
+                dropouts = set(range(6)) - set(survivors)
+                aggregate, got = ttp.run_round(updates, dropouts)
+                assert got == sorted(survivors)
+                expected = gf.zeros(12)
+                for i in survivors:
+                    expected = gf.add(expected, updates[i])
+                assert np.array_equal(aggregate, expected), survivors
+
+    def test_any_u_responders(self, gf, rng, scheme):
+        ttp, params = scheme
+        survivors = frozenset({0, 1, 3, 5})
+        for responders in combinations(sorted(survivors), params.target_survivors):
+            mask = ttp.recover_aggregate_mask(survivors, list(responders))
+            expected = gf.zeros(12)
+            for i in survivors:
+                expected = gf.add(expected, ttp.masks[i])
+            assert np.array_equal(mask, expected)
+
+    def test_too_few_survivors(self, gf, rng, scheme):
+        ttp, _ = scheme
+        with pytest.raises(DropoutError):
+            ttp.recover_aggregate_mask(frozenset({0, 1, 2}), [0, 1, 2])
+
+    def test_responders_outside_set_rejected(self, gf, rng, scheme):
+        ttp, _ = scheme
+        with pytest.raises(DropoutError):
+            ttp.recover_aggregate_mask(frozenset({0, 1, 2, 3}), [0, 1, 4, 5])
+
+    def test_large_n_refused(self, gf, rng):
+        params = LSAParams(20, 5, 5, 14)
+        with pytest.raises(ProtocolError, match="N <= 16"):
+            TrustedThirdPartyMasking(gf, params, 8, rng)
+
+
+class TestStorageAccountingMatchesTable6:
+    """The implementation's symbol counts must equal the closed forms used
+    by the Table 6 benchmark — grounding the formulas in running code."""
+
+    @pytest.mark.parametrize("n,u,t", [(5, 3, 1), (6, 4, 2), (7, 5, 2)])
+    def test_total_randomness(self, gf, rng, n, u, t):
+        params = LSAParams(n, t, n - u, u)
+        ttp = TrustedThirdPartyMasking(gf, params, model_dim=8, rng=rng)
+        assert ttp.randomness_symbols == zhao_sun_total_randomness(n, u, t)
+
+    @pytest.mark.parametrize("n,u,t", [(5, 3, 1), (6, 4, 2)])
+    def test_mean_per_user_storage(self, gf, rng, n, u, t):
+        params = LSAParams(n, t, n - u, u)
+        ttp = TrustedThirdPartyMasking(gf, params, model_dim=8, rng=rng)
+        mean_storage = np.mean(
+            [ttp.storage_symbols_per_user(i) for i in range(n)]
+        )
+        assert mean_storage == pytest.approx(zhao_sun_storage_per_user(n, u, t))
+
+    def test_exceeds_lightsecagg_randomness(self, gf, rng):
+        n, u, t = 6, 4, 2
+        params = LSAParams(n, t, n - u, u)
+        ttp = TrustedThirdPartyMasking(gf, params, model_dim=8, rng=rng)
+        assert ttp.randomness_symbols > lightsecagg_total_randomness(n, u, t)
+
+
+class TestPrivacyStructure:
+    def test_masked_upload_is_masked(self, gf, rng, scheme):
+        ttp, _ = scheme
+        update = gf.random(12, rng)
+        assert not np.array_equal(ttp.mask_update(0, update), update)
+
+    def test_noise_fresh_per_subset(self, gf, rng, scheme):
+        """Different surviving sets use independent noise — the stored
+        symbols for two sets must differ even for the same user."""
+        ttp, _ = scheme
+        s1 = frozenset({0, 1, 2, 3})
+        s2 = frozenset({0, 1, 2, 4})
+        assert not np.array_equal(ttp.storage[0][s1], ttp.storage[0][s2])

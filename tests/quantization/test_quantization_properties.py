@@ -1,0 +1,71 @@
+"""Property-based tests for the quantization layer (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.field import DEFAULT_PRIME, PAPER_PRIME, FiniteField
+from repro.quantization import (
+    ModelQuantizer,
+    QuantizationConfig,
+    from_field,
+    stochastic_round,
+    to_field,
+)
+
+FIELDS = [FiniteField(DEFAULT_PRIME), FiniteField(PAPER_PRIME)]
+
+field_st = st.sampled_from(FIELDS)
+levels_st = st.sampled_from([1, 2, 16, 1 << 10, 1 << 16])
+floats_st = st.lists(
+    st.floats(min_value=-100.0, max_value=100.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=32,
+)
+
+
+@given(field_st, floats_st, levels_st, st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_quantize_dequantize_error_bound(gf, xs, levels, seed):
+    rng = np.random.default_rng(seed)
+    quant = ModelQuantizer(gf, QuantizationConfig(levels=levels))
+    x = np.asarray(xs)
+    out = quant.dequantize(quant.quantize(x, rng))
+    assert np.max(np.abs(out - x)) < 1.0 / levels + 1e-9
+
+
+@given(field_st, floats_st, st.integers(0, 2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_field_addition_commutes_with_quantized_sum(gf, xs, seed):
+    """Summing in the field equals summing grid values in the reals (no
+    wrap-around at these magnitudes)."""
+    rng = np.random.default_rng(seed)
+    levels = 1 << 10
+    quant = ModelQuantizer(gf, QuantizationConfig(levels=levels))
+    x = np.asarray(xs)
+    y = np.asarray(list(reversed(xs)))
+    qx, qy = quant.quantize(x, rng), quant.quantize(y, rng)
+    summed = quant.dequantize(gf.add(qx, qy))
+    separate = quant.dequantize(qx) + quant.dequantize(qy)
+    assert np.allclose(summed, separate, atol=1e-12)
+
+
+@given(
+    field_st,
+    st.lists(st.integers(-10**6, 10**6), min_size=1, max_size=32),
+)
+@settings(max_examples=60, deadline=None)
+def test_twos_complement_round_trip(gf, values):
+    arr = np.asarray(values, dtype=np.int64)
+    assert np.array_equal(from_field(gf, to_field(gf, arr)), arr)
+
+
+@given(floats_st, levels_st, st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_stochastic_round_on_grid_and_close(xs, levels, seed):
+    rng = np.random.default_rng(seed)
+    x = np.asarray(xs)
+    out = stochastic_round(x, levels, rng)
+    scaled = out * levels
+    assert np.allclose(scaled, np.round(scaled), atol=1e-6)
+    assert np.max(np.abs(out - x)) < 1.0 / levels + 1e-9

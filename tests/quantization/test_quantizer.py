@@ -1,0 +1,96 @@
+"""Tests for the end-to-end model quantizer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QuantizationError
+from repro.quantization.quantizer import ModelQuantizer, QuantizationConfig
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = QuantizationConfig()
+        assert cfg.levels == 1 << 16
+        assert cfg.clip is None
+
+    def test_validation(self):
+        with pytest.raises(QuantizationError):
+            QuantizationConfig(levels=0)
+        with pytest.raises(QuantizationError):
+            QuantizationConfig(clip=-1.0)
+
+
+class TestRoundTrip:
+    def test_reconstruction_error_bound(self, gf, rng):
+        quant = ModelQuantizer(gf, QuantizationConfig(levels=1 << 12))
+        x = rng.normal(0, 1, size=1000)
+        out = quant.dequantize(quant.quantize(x, rng))
+        assert np.max(np.abs(out - x)) < 1.0 / (1 << 12) + 1e-12
+
+    def test_unbiased(self, gf):
+        quant = ModelQuantizer(gf, QuantizationConfig(levels=4))
+        rng = np.random.default_rng(0)
+        x = np.full(100_000, 0.777)
+        out = quant.dequantize(quant.quantize(x, rng))
+        assert abs(out.mean() - 0.777) < 2e-3
+
+    def test_clip_applied(self, gf, rng):
+        quant = ModelQuantizer(gf, QuantizationConfig(levels=1 << 8, clip=1.0))
+        x = np.asarray([5.0, -5.0, 0.5])
+        out = quant.dequantize(quant.quantize(x, rng))
+        assert out[0] == pytest.approx(1.0)
+        assert out[1] == pytest.approx(-1.0)
+        assert out[2] == pytest.approx(0.5, abs=1 / 256)
+
+    def test_scale_parameter(self, gf, rng):
+        quant = ModelQuantizer(gf, QuantizationConfig(levels=1 << 8))
+        x = np.asarray([1.0, -2.0])
+        field_vec = quant.quantize(x, rng)
+        scaled = gf.mul(field_vec, 3)
+        out = quant.dequantize(scaled, scale=3)
+        assert np.allclose(out, x, atol=1 / 256)
+
+    def test_invalid_scale(self, gf):
+        quant = ModelQuantizer(gf)
+        with pytest.raises(QuantizationError):
+            quant.dequantize(gf.zeros(2), scale=0)
+
+    def test_aggregation_in_field(self, gf, rng):
+        """Sum of quantized vectors dequantizes to ~ sum of originals."""
+        quant = ModelQuantizer(gf, QuantizationConfig(levels=1 << 16))
+        xs = [rng.normal(0, 0.5, size=64) for _ in range(10)]
+        acc = gf.zeros(64)
+        for x in xs:
+            acc = gf.add(acc, quant.quantize(x, rng))
+        out = quant.dequantize(acc)
+        assert np.allclose(out, sum(xs), atol=10 / (1 << 16) + 1e-9)
+
+
+class TestBudget:
+    def test_budget_pass(self, gf):
+        quant = ModelQuantizer(gf, QuantizationConfig(levels=1 << 16))
+        quant.check_budget(num_users=100, magnitude_bound=10.0)
+
+    def test_budget_fail(self, gf):
+        quant = ModelQuantizer(gf, QuantizationConfig(levels=1 << 24))
+        with pytest.raises(QuantizationError, match="wrap-around"):
+            quant.check_budget(num_users=1000, magnitude_bound=100.0)
+
+    def test_budget_invalid_users(self, gf):
+        quant = ModelQuantizer(gf)
+        with pytest.raises(QuantizationError):
+            quant.check_budget(0, 1.0)
+
+    def test_wraparound_actually_corrupts(self, gf, rng):
+        """Demonstrate the Fig.-12 failure mode: too-large c_l corrupts sums."""
+        quant = ModelQuantizer(gf, QuantizationConfig(levels=1 << 29))
+        # Each value embeds fine (1.5 * 2^29 < q/2) but the 8-user sum wraps.
+        xs = [np.full(4, 1.5) for _ in range(8)]
+        acc = gf.zeros(4)
+        for x in xs:
+            acc = gf.add(acc, quant.quantize(x, rng))
+        out = quant.dequantize(acc)
+        assert not np.allclose(out, 12.0, atol=0.5)
+
+    def test_repr(self, gf):
+        assert "levels" in repr(ModelQuantizer(gf))

@@ -1,0 +1,90 @@
+"""Tests for stochastic rounding (paper eq. 29)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QuantizationError
+from repro.quantization.stochastic import (
+    rounding_variance_bound,
+    stochastic_round,
+    stochastic_round_to_int,
+)
+
+
+class TestGridProperties:
+    def test_output_on_grid(self, rng):
+        x = rng.normal(size=1000)
+        out = stochastic_round(x, levels=16, rng=rng)
+        assert np.allclose(out * 16, np.round(out * 16))
+
+    def test_error_bound(self, rng):
+        x = rng.normal(size=1000)
+        out = stochastic_round(x, levels=64, rng=rng)
+        assert np.all(np.abs(out - x) < 1.0 / 64 + 1e-12)
+
+    def test_exact_grid_points_unchanged(self, rng):
+        x = np.asarray([0.0, 0.25, -0.5, 1.0])
+        out = stochastic_round(x, levels=4, rng=rng)
+        assert np.allclose(out, x)
+
+    def test_negative_values(self, rng):
+        x = np.asarray([-0.3, -1.7])
+        out = stochastic_round(x, levels=10, rng=rng)
+        assert np.all(np.abs(out - x) < 0.1 + 1e-12)
+
+    def test_invalid_levels(self):
+        with pytest.raises(QuantizationError):
+            stochastic_round(np.zeros(2), levels=0)
+
+
+class TestUnbiasedness:
+    """Lemma 2 part 1: E[Q_c(x)] = x."""
+
+    def test_mean_converges(self):
+        rng = np.random.default_rng(0)
+        x = np.full(200_000, 0.3371)
+        out = stochastic_round(x, levels=8, rng=rng)
+        # std of mean ~ (1/8)/sqrt(n) ~ 3e-4; allow 5 sigma.
+        assert abs(out.mean() - 0.3371) < 1.5e-3
+
+    def test_probabilities_match_fraction(self):
+        rng = np.random.default_rng(1)
+        x = np.full(100_000, 0.625)  # c=2 -> 1.25 -> 60% floor(0.5), 25%...
+        out = stochastic_round(x, levels=2, rng=rng)
+        frac_up = np.mean(out > 0.55)
+        assert abs(frac_up - 0.25) < 0.01
+
+
+class TestVariance:
+    """Lemma 2 part 2: Var[Q_c(x)] <= 1/(4c^2) per coordinate."""
+
+    @pytest.mark.parametrize("levels", [2, 8, 64])
+    def test_variance_bound(self, levels):
+        rng = np.random.default_rng(2)
+        x = np.full(100_000, 0.123456)
+        out = stochastic_round(x, levels=levels, rng=rng)
+        var = out.var()
+        assert var <= 1.0 / (4 * levels**2) * 1.05
+
+    def test_variance_bound_helper(self):
+        assert rounding_variance_bound(10, 400) == 400 / (4 * 100)
+        with pytest.raises(QuantizationError):
+            rounding_variance_bound(0, 4)
+
+
+class TestIntVariant:
+    def test_matches_float_variant_scaled(self):
+        x = np.asarray([0.5, -0.25, 1.125])
+        rng1 = np.random.default_rng(3)
+        rng2 = np.random.default_rng(3)
+        ints = stochastic_round_to_int(x, 8, rng1)
+        floats = stochastic_round(x, 8, rng2)
+        assert np.array_equal(ints, (floats * 8).astype(np.int64))
+
+    def test_dtype(self, rng):
+        out = stochastic_round_to_int(np.asarray([0.1]), 4, rng)
+        assert out.dtype == np.int64
+
+    def test_invalid_levels(self):
+        with pytest.raises(QuantizationError):
+            stochastic_round_to_int(np.zeros(2), -1)

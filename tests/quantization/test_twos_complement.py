@@ -1,0 +1,72 @@
+"""Tests for the two's-complement field embedding (paper eqs. 31/36)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QuantizationError
+from repro.quantization.twos_complement import from_field, headroom, to_field
+
+
+class TestRoundTrip:
+    def test_positive_negative_zero(self, gf_any):
+        half = (gf_any.q - 1) // 2
+        values = np.asarray([0, 1, -1, half, -half, 42, -42], dtype=np.int64)
+        assert np.array_equal(from_field(gf_any, to_field(gf_any, values)), values)
+
+    def test_negative_mapping(self, gf):
+        out = to_field(gf, np.asarray([-3], dtype=np.int64))
+        assert int(out[0]) == gf.q - 3
+
+    def test_overflow_rejected(self, gf):
+        half = (gf.q - 1) // 2
+        with pytest.raises(QuantizationError, match="wrap-around"):
+            to_field(gf, np.asarray([half + 1], dtype=np.int64))
+        with pytest.raises(QuantizationError, match="wrap-around"):
+            to_field(gf, np.asarray([-(half + 1)], dtype=np.int64))
+
+    def test_floats_rejected(self, gf):
+        with pytest.raises(QuantizationError, match="integers"):
+            to_field(gf, np.asarray([1.5]))
+
+    def test_empty(self, gf):
+        out = to_field(gf, np.asarray([], dtype=np.int64))
+        assert out.shape == (0,)
+
+
+class TestFieldAdditionIsSignedAddition:
+    def test_sum_of_signed_values(self, gf, rng):
+        """Field-adding embedded values == integer addition while in range."""
+        a = rng.integers(-1000, 1000, size=100)
+        b = rng.integers(-1000, 1000, size=100)
+        fa, fb = to_field(gf, a), to_field(gf, b)
+        summed = gf.add(fa, fb)
+        assert np.array_equal(from_field(gf, summed), a + b)
+
+    def test_many_term_sum(self, gf, rng):
+        terms = [rng.integers(-500, 500, size=20) for _ in range(50)]
+        acc = gf.zeros(20)
+        for t in terms:
+            acc = gf.add(acc, to_field(gf, t))
+        assert np.array_equal(from_field(gf, acc), sum(terms))
+
+
+class TestHeadroom:
+    def test_formula(self, gf):
+        half = (gf.q - 1) // 2
+        assert headroom(gf, 1000) == half // 1000
+
+    def test_headroom_is_safe(self, gf):
+        """Summing exactly `headroom` values at the bound must round-trip."""
+        m = 10_000
+        n = headroom(gf, m)
+        total = n * m
+        embedded = to_field(gf, np.asarray([m], dtype=np.int64))
+        acc = gf.zeros(1)
+        for _ in range(min(n, 1000)):  # cap the loop; check the max total directly
+            acc = gf.add(acc, embedded)
+        direct = to_field(gf, np.asarray([total], dtype=np.int64))
+        assert int(from_field(gf, direct)[0]) == total
+
+    def test_invalid_bound(self, gf):
+        with pytest.raises(QuantizationError):
+            headroom(gf, 0)

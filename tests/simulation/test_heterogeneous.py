@@ -1,0 +1,90 @@
+"""Tests for the heterogeneous / straggler round simulation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.protocols.lightsecagg.params import LSAParams
+from repro.simulation.heterogeneous import (
+    HeterogeneousRoundResult,
+    UserProfile,
+    sample_fleet,
+    simulate_heterogeneous_round,
+)
+
+
+def uniform_fleet(n):
+    return [UserProfile() for _ in range(n)]
+
+
+class TestFleet:
+    def test_sample_fleet_size_and_scales(self, rng):
+        fleet = sample_fleet(50, straggler_fraction=0.2,
+                             straggler_slowdown=4.0, rng=rng)
+        assert len(fleet) == 50
+        assert all(p.compute_scale > 0 for p in fleet)
+        slow = sum(1 for p in fleet if p.bandwidth_scale < 1)
+        assert 2 <= slow <= 20  # ~20% of 50 with randomness
+
+    def test_no_stragglers(self, rng):
+        fleet = sample_fleet(20, straggler_fraction=0.0, rng=rng)
+        assert all(p.bandwidth_scale == 1.0 for p in fleet)
+
+    def test_validation(self, rng):
+        with pytest.raises(SimulationError):
+            sample_fleet(10, straggler_fraction=1.5, rng=rng)
+        with pytest.raises(SimulationError):
+            sample_fleet(10, straggler_slowdown=0.5, rng=rng)
+        with pytest.raises(SimulationError):
+            UserProfile(compute_scale=0)
+
+
+class TestRoundSimulation:
+    PARAMS = LSAParams.from_guarantees(20, privacy=6, dropout_tolerance=4)
+
+    def test_uniform_fleet_no_order_statistic_gap(self):
+        result = simulate_heterogeneous_round(
+            self.PARAMS, 10_000, uniform_fleet(20)
+        )
+        # With (near-)identical users the U-th and last responses differ
+        # by almost nothing.
+        assert result.straggler_savings < 0.05 * result.recovery_wait_all
+
+    def test_stragglers_saved_by_order_statistic(self, rng):
+        """The LightSecAgg advantage: with slow devices present, waiting
+        for U responses is much faster than waiting for all."""
+        fleet = sample_fleet(20, straggler_fraction=0.2,
+                             straggler_slowdown=10.0, rng=rng)
+        result = simulate_heterogeneous_round(self.PARAMS, 200_000, fleet)
+        assert result.straggler_savings > 0
+        assert result.recovery_wait_u < 0.5 * result.recovery_wait_all
+
+    def test_dropouts_excluded(self, rng):
+        fleet = uniform_fleet(20)
+        result = simulate_heterogeneous_round(
+            self.PARAMS, 10_000, fleet, dropouts={0, 1, 2, 3}
+        )
+        assert isinstance(result, HeterogeneousRoundResult)
+        assert result.total > 0
+
+    def test_too_many_dropouts(self):
+        with pytest.raises(SimulationError):
+            simulate_heterogeneous_round(
+                self.PARAMS, 10_000, uniform_fleet(20),
+                dropouts=set(range(10)),
+            )
+
+    def test_fleet_size_checked(self):
+        with pytest.raises(SimulationError):
+            simulate_heterogeneous_round(self.PARAMS, 10_000, uniform_fleet(19))
+
+    def test_training_time_scales_with_compute(self):
+        slow = [UserProfile(compute_scale=0.5)] * 20
+        fast = uniform_fleet(20)
+        r_slow = simulate_heterogeneous_round(
+            self.PARAMS, 10_000, slow, training_time=10.0
+        )
+        r_fast = simulate_heterogeneous_round(
+            self.PARAMS, 10_000, fast, training_time=10.0
+        )
+        assert r_slow.upload_complete > r_fast.upload_complete

@@ -1,0 +1,59 @@
+"""Tests for the machine profile."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.machine import PAPER_TESTBED, MachineProfile
+
+
+class TestTimingHelpers:
+    def test_prg_time_linear(self):
+        m = MachineProfile(prg_elements_per_sec=1e6)
+        assert m.prg_time(1_000_000) == pytest.approx(1.0)
+        assert m.prg_time(2_000_000) == pytest.approx(2.0)
+
+    def test_field_time(self):
+        m = MachineProfile(field_ops_per_sec=1e7)
+        assert m.field_time(5_000_000) == pytest.approx(0.5)
+
+    def test_dh_and_shamir_time(self):
+        m = MachineProfile(dh_agreements_per_sec=100.0,
+                           shamir_shares_per_sec=1000.0)
+        assert m.dh_time(50) == pytest.approx(0.5)
+        assert m.shamir_time(500) == pytest.approx(0.5)
+
+    def test_zero_work_free(self):
+        assert PAPER_TESTBED.prg_time(0) == 0.0
+        assert PAPER_TESTBED.field_time(0) == 0.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"prg_elements_per_sec": 0},
+            {"field_ops_per_sec": -1},
+            {"dh_agreements_per_sec": 0},
+            {"shamir_shares_per_sec": 0},
+        ],
+    )
+    def test_nonpositive_rates_rejected(self, kwargs):
+        with pytest.raises(SimulationError):
+            MachineProfile(**kwargs)
+
+
+class TestCalibration:
+    def test_calibrate_uses_library_kernels(self):
+        prof = MachineProfile.calibrate(sample_size=1 << 14)
+        # Calibration replaces the compute rates but keeps crypto defaults.
+        assert prof.prg_elements_per_sec > 1e4
+        assert prof.field_ops_per_sec > 1e4
+        assert prof.dh_agreements_per_sec == PAPER_TESTBED.dh_agreements_per_sec
+
+    def test_paper_testbed_ballpark(self):
+        """The default profile must keep SecAgg's N=200 CNN recovery near
+        the paper's ~911 s (the anchor used for calibration)."""
+        m = PAPER_TESTBED
+        d = 1_206_590
+        recovery = m.prg_time(180 * d + 20 * 199 * d)
+        assert 500 < recovery < 2000

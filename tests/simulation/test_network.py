@@ -1,0 +1,43 @@
+"""Tests for the network model."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.network import (
+    BANDWIDTH_SETTINGS,
+    ELEMENT_BYTES,
+    LTE_4G,
+    NR_5G,
+    TESTBED_320,
+    BandwidthProfile,
+)
+
+
+class TestProfiles:
+    def test_paper_settings(self):
+        """Table 3's three bandwidths: 98, 320, 802 Mbps."""
+        assert LTE_4G.mbps == 98.0
+        assert TESTBED_320.mbps == 320.0
+        assert NR_5G.mbps == 802.0
+        assert len(BANDWIDTH_SETTINGS) == 3
+
+    def test_element_bytes(self):
+        # q < 2^32 -> 4 bytes per element on the wire.
+        assert ELEMENT_BYTES == 4
+
+    def test_transfer_time(self):
+        # 1e6 elements * 4 B * 8 b = 32 Mb over 320 Mb/s = 0.1 s.
+        assert TESTBED_320.seconds(1_000_000) == pytest.approx(0.1)
+
+    def test_faster_link_is_faster(self):
+        n = 10_000_000
+        assert NR_5G.seconds(n) < TESTBED_320.seconds(n) < LTE_4G.seconds(n)
+
+    def test_zero_elements(self):
+        assert TESTBED_320.seconds(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            BandwidthProfile("bad", 0.0)
+        with pytest.raises(SimulationError):
+            TESTBED_320.seconds(-1)

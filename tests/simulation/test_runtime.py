@@ -1,0 +1,150 @@
+"""Tests for the phase-timing simulator against the paper's observations."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.machine import MachineProfile
+from repro.simulation.network import LTE_4G, NR_5G, TESTBED_320
+from repro.simulation.runtime import (
+    PhaseTimes,
+    SimulationConfig,
+    compute_gains,
+    simulate,
+    simulate_lightsecagg,
+    simulate_secagg,
+    simulate_secagg_plus,
+)
+
+CNN_D = 1_206_590
+CFG = SimulationConfig()
+
+
+class TestPhaseTimes:
+    def test_total_modes(self):
+        t = PhaseTimes(offline=10, training=20, upload=5, recovery=3)
+        assert t.total(overlapped=False) == 38
+        assert t.total(overlapped=True) == 28  # max(10,20)+5+3
+        assert t.aggregation_only() == 18
+
+    def test_overlap_never_slower(self):
+        for proto in ("lightsecagg", "secagg", "secagg+"):
+            t = simulate(proto, 100, CNN_D, 0.1, 22.8, CFG)
+            assert t.total(True) <= t.total(False)
+
+    def test_as_dict(self):
+        t = PhaseTimes(1, 2, 3, 4)
+        assert t.as_dict() == {
+            "offline": 1, "training": 2, "upload": 3, "recovery": 4
+        }
+
+
+class TestPaperObservations:
+    """Qualitative checks mirroring Sec. 7.2's findings."""
+
+    def test_secagg_total_grows_with_dropout_rate(self):
+        totals = [
+            simulate_secagg(200, CNN_D, p, 22.8, CFG).total() for p in (0.1, 0.3, 0.5)
+        ]
+        assert totals[0] < totals[1] < totals[2]
+
+    def test_secagg_plus_total_grows_with_dropout_rate(self):
+        totals = [
+            simulate_secagg_plus(200, CNN_D, p, 22.8, CFG).total()
+            for p in (0.1, 0.3, 0.5)
+        ]
+        assert totals[0] < totals[1] < totals[2]
+
+    def test_lsa_recovery_flat_for_low_dropouts(self):
+        """p = 0.1 and p = 0.3 share U = 0.7N => near-identical runtimes."""
+        r1 = simulate_lightsecagg(200, CNN_D, 0.1, 22.8, CFG)
+        r3 = simulate_lightsecagg(200, CNN_D, 0.3, 22.8, CFG)
+        assert r1.recovery == pytest.approx(r3.recovery, rel=0.05)
+        assert r1.total() == pytest.approx(r3.total(), rel=0.05)
+
+    def test_lsa_p_half_penalty(self):
+        """At p = 0.5, U - T = 1 blows up the coded-symbol size; both
+        offline and recovery must jump (Table 4's 191.2 s / 64.5 s rows)."""
+        r1 = simulate_lightsecagg(200, CNN_D, 0.1, 22.8, CFG)
+        r5 = simulate_lightsecagg(200, CNN_D, 0.5, 22.8, CFG)
+        assert r5.offline > 2 * r1.offline
+        assert r5.recovery > r1.recovery
+
+    def test_ordering_lsa_fastest(self):
+        for p in (0.1, 0.3, 0.5):
+            lsa = simulate_lightsecagg(200, CNN_D, p, 22.8, CFG).total()
+            plus = simulate_secagg_plus(200, CNN_D, p, 22.8, CFG).total()
+            full = simulate_secagg(200, CNN_D, p, 22.8, CFG).total()
+            assert lsa < plus < full, p
+
+    def test_secagg_recovery_dominates_total(self):
+        """Bonawitz et al.'s own observation: execution time is limited by
+        mask reconstruction at the server."""
+        t = simulate_secagg(200, CNN_D, 0.3, 22.8, CFG)
+        assert t.recovery > 0.5 * t.total()
+
+    def test_totals_grow_with_n(self):
+        for proto in ("lightsecagg", "secagg", "secagg+"):
+            t50 = simulate(proto, 50, CNN_D, 0.1, 22.8, CFG).total()
+            t200 = simulate(proto, 200, CNN_D, 0.1, 22.8, CFG).total()
+            assert t200 > t50, proto
+
+    def test_secagg_grows_faster_than_lsa_in_n(self):
+        ratio = lambda proto: (
+            simulate(proto, 200, CNN_D, 0.1, 22.8, CFG).total()
+            / simulate(proto, 50, CNN_D, 0.1, 22.8, CFG).total()
+        )
+        assert ratio("secagg") > 2 * ratio("lightsecagg")
+
+
+class TestTable2Gains:
+    def test_cnn_gains_in_paper_range(self):
+        """Flagship numbers: CNN/FEMNIST gains should land near the paper's
+        11.3x/3.7x (non-overlapped) and 12.7x/4.1x (overlapped)."""
+        g = compute_gains("cnn", 200, CNN_D, 0.1, 22.8, CFG)
+        assert 7 < g.non_overlapped["secagg"] < 16
+        assert 2 < g.non_overlapped["secagg+"] < 6
+        assert 8 < g.overlapped["secagg"] < 18
+        assert 2.5 < g.overlapped["secagg+"] < 6
+
+    def test_gains_exceed_one_everywhere(self):
+        for d, tt in ((7_850, 2.0), (3_111_462, 60.0), (5_288_548, 650.0)):
+            g = compute_gains("task", 200, d, 0.1, tt, CFG)
+            assert g.non_overlapped["secagg"] > 1
+            assert g.non_overlapped["secagg+"] > 1
+
+    def test_training_dominant_task_shrinks_end_to_end_gain(self):
+        """GLD/EfficientNet: training dominates, so the end-to-end gain is
+        much smaller than the aggregation-only gain (Table 2 row 4)."""
+        g = compute_gains("effb0", 200, 5_288_548, 0.1, 650.0, CFG)
+        assert g.non_overlapped["secagg"] < 0.5 * g.aggregation_only["secagg"]
+
+
+class TestBandwidthTable3:
+    def test_gain_increases_with_bandwidth(self):
+        """Table 3: the speedup over SecAgg grows from 4G to 5G (compute
+        dominates SecAgg, communication washes out at higher rates)."""
+        gains = []
+        for bw in (LTE_4G, TESTBED_320, NR_5G):
+            cfg = SimulationConfig(bandwidth=bw)
+            g = compute_gains("cnn", 200, CNN_D, 0.1, 22.8, cfg)
+            gains.append(g.overlapped["secagg"])
+        assert gains[0] < gains[1] < gains[2]
+
+
+class TestValidation:
+    def test_unknown_protocol(self):
+        with pytest.raises(SimulationError):
+            simulate("turboagg", 100, 1000, 0.1, 1.0, CFG)
+
+    def test_machine_profile_validation(self):
+        with pytest.raises(SimulationError):
+            MachineProfile(prg_elements_per_sec=0)
+
+    def test_config_validation(self):
+        with pytest.raises(SimulationError):
+            SimulationConfig(server_bandwidth_factor=0)
+
+    def test_calibration_returns_positive_rates(self):
+        prof = MachineProfile.calibrate(sample_size=1 << 16)
+        assert prof.prg_elements_per_sec > 0
+        assert prof.field_ops_per_sec > 0

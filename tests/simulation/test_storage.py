@@ -1,0 +1,67 @@
+"""Tests for the Table-6 storage comparison vs Zhao & Sun (2021)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.storage import (
+    compare_storage,
+    lightsecagg_storage_per_user,
+    lightsecagg_total_randomness,
+    zhao_sun_storage_per_user,
+    zhao_sun_total_randomness,
+)
+
+
+class TestFormulas:
+    def test_lightsecagg_linear(self):
+        assert lightsecagg_total_randomness(10, 7, 3) == 70
+        assert lightsecagg_storage_per_user(10, 7, 3) == 4 + 10
+
+    def test_zhao_sun_small_case(self):
+        # N=3, U=2, T=1: subsets of size >= 2: C(3,2)+C(3,3) = 4.
+        assert zhao_sun_total_randomness(3, 2, 1) == 3 * 1 + 1 * 4
+        # per-user: (U-T) + (C(3,2)*2 + C(3,3)*3)/3 = 1 + 9/3 = 4.
+        assert zhao_sun_storage_per_user(3, 2, 1) == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            zhao_sun_total_randomness(5, 6, 1)
+        with pytest.raises(SimulationError):
+            lightsecagg_total_randomness(5, 3, 3)
+
+
+class TestPaperClaims:
+    def test_zhao_sun_grows_exponentially(self):
+        """The paper: Zhao & Sun randomness increases exponentially with N."""
+        values = [
+            zhao_sun_total_randomness(n, int(0.7 * n), n // 2)
+            for n in (10, 20, 30)
+        ]
+        # Successive ratios should themselves grow (super-polynomial).
+        assert values[1] / values[0] > 50
+        assert values[2] / values[1] > values[1] / values[0] / 10
+
+    def test_lightsecagg_grows_linearly(self):
+        v10 = lightsecagg_total_randomness(10, 7, 5)
+        v20 = lightsecagg_total_randomness(20, 14, 10)
+        assert v20 / v10 == pytest.approx(4.0)  # N * U with both doubling
+
+    def test_lsa_always_cheaper(self):
+        for n in (6, 10, 16, 24):
+            u, t = int(0.7 * n), n // 2 - 1
+            cmp = compare_storage(n, u, max(t, 0) if u > max(t, 0) else 0)
+            assert cmp.randomness_ratio > 1
+            assert cmp.storage_ratio > 1
+
+    def test_ratio_explodes_with_n(self):
+        small = compare_storage(10, 7, 4).randomness_ratio
+        large = compare_storage(30, 21, 14).randomness_ratio
+        assert large > 100 * small
+
+    def test_comparison_dataclass(self):
+        cmp = compare_storage(8, 6, 3)
+        assert cmp.num_users == 8
+        assert cmp.lightsecagg_randomness == 48
+        assert cmp.zhao_sun_randomness > cmp.lightsecagg_randomness

@@ -1,0 +1,73 @@
+"""Tests for the time-to-accuracy projection."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation.training_time import (
+    TrainingTimeProjection,
+    project_training_time,
+    rounds_to_accuracy,
+)
+
+CURVE = [0.3, 0.55, 0.72, 0.81, 0.88, 0.91, 0.93]
+
+
+class TestRoundsToAccuracy:
+    def test_first_crossing(self):
+        assert rounds_to_accuracy(CURVE, 0.8) == 4
+        assert rounds_to_accuracy(CURVE, 0.3) == 1
+
+    def test_exact_match(self):
+        assert rounds_to_accuracy(CURVE, 0.91) == 6
+
+    def test_unreachable_target(self):
+        with pytest.raises(SimulationError, match="peaks"):
+            rounds_to_accuracy(CURVE, 0.99)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            rounds_to_accuracy([], 0.5)
+        with pytest.raises(SimulationError):
+            rounds_to_accuracy(CURVE, 0.0)
+        with pytest.raises(SimulationError):
+            rounds_to_accuracy(CURVE, 1.5)
+
+
+class TestProjection:
+    def test_projection_structure(self):
+        proj = project_training_time(
+            CURVE, 0.85, num_users=200, model_dim=1_206_590,
+            dropout_rate=0.1, training_time=22.8,
+        )
+        assert proj.rounds_needed == 5
+        assert set(proj.seconds) == {"lightsecagg", "secagg", "secagg+"}
+        assert all(v > 0 for v in proj.seconds.values())
+
+    def test_lightsecagg_fastest_to_accuracy(self):
+        """The abstract's claim: LightSecAgg reduces total training time."""
+        proj = project_training_time(
+            CURVE, 0.9, num_users=200, model_dim=1_206_590,
+            dropout_rate=0.1, training_time=22.8,
+        )
+        assert proj.speedup_over("secagg") > 5
+        assert proj.speedup_over("secagg+") > 1.5
+
+    def test_time_scales_linearly_with_rounds(self):
+        kwargs = dict(num_users=100, model_dim=100_000, dropout_rate=0.1,
+                      training_time=5.0)
+        p_low = project_training_time(CURVE, 0.3, **kwargs)
+        p_high = project_training_time(CURVE, 0.88, **kwargs)
+        ratio = p_high.seconds["secagg"] / p_low.seconds["secagg"]
+        assert ratio == pytest.approx(5.0)
+
+    def test_unknown_baseline(self):
+        proj = TrainingTimeProjection(0.9, 3, {"lightsecagg": 1.0})
+        with pytest.raises(SimulationError):
+            proj.speedup_over("turboagg")
+
+    def test_overlap_choice_respected(self):
+        kwargs = dict(num_users=200, model_dim=1_206_590, dropout_rate=0.1,
+                      training_time=22.8)
+        ov = project_training_time(CURVE, 0.8, overlapped=True, **kwargs)
+        no = project_training_time(CURVE, 0.8, overlapped=False, **kwargs)
+        assert ov.seconds["lightsecagg"] <= no.seconds["lightsecagg"]

@@ -1,0 +1,165 @@
+"""Tests for the event-driven system runtime (Fig. 4/5 reproduction)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DropoutError, SimulationError
+from repro.field import FiniteField
+from repro.protocols import NaiveAggregation
+from repro.protocols.lightsecagg.params import LSAParams
+from repro.simulation.heterogeneous import UserProfile, sample_fleet
+from repro.system import EventSimulator, SerialResource, SystemRuntime
+
+
+@pytest.fixture
+def params():
+    return LSAParams.from_guarantees(8, privacy=2, dropout_tolerance=2)
+
+
+def make_updates(gf, n, dim, rng):
+    return {i: gf.random(dim, rng) for i in range(n)}
+
+
+class TestEventCore:
+    def test_events_run_in_time_order(self):
+        sim = EventSimulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(3.0, lambda: order.append("c"))
+        end = sim.run()
+        assert order == ["a", "b", "c"]
+        assert end == 3.0
+
+    def test_ties_fifo(self):
+        sim = EventSimulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append(1))
+        sim.schedule(1.0, lambda: order.append(2))
+        sim.run()
+        assert order == [1, 2]
+
+    def test_scheduling_in_past_rejected(self):
+        sim = EventSimulator()
+        sim.schedule(5.0, lambda: sim.schedule(1.0, lambda: None))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_run_until(self):
+        sim = EventSimulator()
+        hits = []
+        sim.schedule(1.0, lambda: hits.append(1))
+        sim.schedule(10.0, lambda: hits.append(2))
+        sim.run(until=5.0)
+        assert hits == [1]
+
+    def test_serial_resource_serializes(self):
+        sim = EventSimulator()
+        ends = []
+        res = SerialResource()
+        res.acquire(sim, 0.0, 2.0, ends.append)
+        res.acquire(sim, 0.0, 3.0, ends.append)  # queued behind the first
+        sim.run()
+        assert ends == [2.0, 5.0]
+        assert res.total_busy == 5.0
+
+    def test_negative_duration_rejected(self):
+        sim = EventSimulator()
+        with pytest.raises(SimulationError):
+            SerialResource().acquire(sim, 0.0, -1.0, lambda t: None)
+
+
+class TestCorrectness:
+    def test_aggregate_matches_naive(self, gf, rng, params):
+        runtime = SystemRuntime(gf, params, model_dim=40, training_time=1.0)
+        updates = make_updates(gf, 8, 40, rng)
+        result = runtime.run_round(updates, dropouts={3}, rng=rng)
+        naive = NaiveAggregation(gf, 8, 40).run_round(updates, {3}, rng)
+        assert np.array_equal(result.aggregate, naive.aggregate)
+        assert result.survivors == naive.survivors
+
+    def test_no_dropouts(self, gf, rng, params):
+        runtime = SystemRuntime(gf, params, model_dim=24)
+        updates = make_updates(gf, 8, 24, rng)
+        result = runtime.run_round(updates, rng=rng)
+        expected = NaiveAggregation(gf, 8, 24).run_round(updates, set(), rng)
+        assert np.array_equal(result.aggregate, expected.aggregate)
+
+    def test_max_dropouts(self, gf, rng, params):
+        runtime = SystemRuntime(gf, params, model_dim=24)
+        updates = make_updates(gf, 8, 24, rng)
+        result = runtime.run_round(updates, dropouts={0, 7}, rng=rng)
+        assert result.survivors == [1, 2, 3, 4, 5, 6]
+
+    def test_too_many_dropouts(self, gf, rng, params):
+        runtime = SystemRuntime(gf, params, model_dim=24)
+        updates = make_updates(gf, 8, 24, rng)
+        with pytest.raises(DropoutError):
+            runtime.run_round(updates, dropouts={0, 1, 2, 3}, rng=rng)
+
+    def test_fleet_size_validated(self, gf, params):
+        with pytest.raises(SimulationError):
+            SystemRuntime(gf, params, 24, fleet=[UserProfile()] * 3)
+
+
+class TestTimingBehaviour:
+    def test_overlap_faster_than_serial(self, gf, rng, params):
+        """Fig. 5: the overlapped pipeline hides offline work behind
+        training."""
+        updates = make_updates(gf, 8, 40, rng)
+        t_overlap = SystemRuntime(
+            gf, params, 40, training_time=5.0, overlap=True
+        ).run_round(updates, rng=np.random.default_rng(0)).finish_time
+        t_serial = SystemRuntime(
+            gf, params, 40, training_time=5.0, overlap=False
+        ).run_round(updates, rng=np.random.default_rng(0)).finish_time
+        assert t_overlap < t_serial
+
+    def test_phase_ordering(self, gf, rng, params):
+        runtime = SystemRuntime(gf, params, 40, training_time=2.0)
+        result = runtime.run_round(make_updates(gf, 8, 40, rng), rng=rng)
+        assert 0 < result.upload_complete <= result.recovery_complete
+        assert result.recovery_complete <= result.finish_time
+        for i in result.survivors:
+            assert result.spans[i].upload_done <= result.upload_complete
+
+    def test_recovery_uses_fastest_u_responders(self, gf, rng):
+        """With stragglers in the fleet, the decode starts after the U-th
+        response, and slow devices are not among the chosen responders."""
+        params = LSAParams.from_guarantees(10, privacy=3, dropout_tolerance=2)
+        fleet = [UserProfile()] * 8 + [
+            UserProfile(compute_scale=0.02, bandwidth_scale=0.02)
+        ] * 2
+        runtime = SystemRuntime(gf, params, 4_000, fleet=fleet)
+        result = runtime.run_round(
+            make_updates(gf, 10, 4_000, rng), rng=rng
+        )
+        assert len(result.responders) == params.target_survivors
+        # The two stragglers (ids 8, 9) are not needed for recovery.
+        assert 8 not in result.responders
+        assert 9 not in result.responders
+
+    def test_straggler_in_upload_path_still_blocks(self, gf, rng):
+        """Uploads need *all* survivors; recovery needs only U.  A slow
+        survivor delays upload_complete but not the recovery wait."""
+        params = LSAParams.from_guarantees(8, privacy=2, dropout_tolerance=2)
+        slow_fleet = [UserProfile()] * 7 + [UserProfile(bandwidth_scale=0.05)]
+        fast = SystemRuntime(gf, params, 8_000).run_round(
+            make_updates(gf, 8, 8_000, rng), rng=np.random.default_rng(1)
+        )
+        slow = SystemRuntime(gf, params, 8_000, fleet=slow_fleet).run_round(
+            make_updates(gf, 8, 8_000, rng), rng=np.random.default_rng(1)
+        )
+        assert slow.upload_complete > fast.upload_complete
+
+    def test_heterogeneous_fleet_correctness_preserved(self, gf, rng):
+        params = LSAParams.from_guarantees(8, privacy=2, dropout_tolerance=2)
+        fleet = sample_fleet(8, straggler_fraction=0.3,
+                             straggler_slowdown=5.0,
+                             rng=np.random.default_rng(2))
+        updates = make_updates(gf, 8, 32, rng)
+        result = SystemRuntime(gf, params, 32, fleet=fleet).run_round(
+            updates, dropouts={5}, rng=rng
+        )
+        expected = NaiveAggregation(gf, 8, 32).run_round(updates, {5}, rng)
+        assert np.array_equal(result.aggregate, expected.aggregate)

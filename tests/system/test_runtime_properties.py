@@ -1,0 +1,55 @@
+"""Property-based tests for the event-driven runtime."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.field import FiniteField
+from repro.protocols import NaiveAggregation
+from repro.protocols.lightsecagg.params import LSAParams
+from repro.simulation.heterogeneous import UserProfile
+from repro.system import SystemRuntime
+
+GF = FiniteField()
+
+
+@st.composite
+def runtime_scenario(draw):
+    n = draw(st.integers(4, 9))
+    t = draw(st.integers(1, n - 3))
+    d_tol = draw(st.integers(0, min(2, n - t - 2)))
+    u = draw(st.integers(t + 1, n - d_tol))
+    dim = draw(st.integers(1, 40))
+    num_drops = draw(st.integers(0, d_tol))
+    train_time = draw(st.sampled_from([0.0, 1.0, 5.0]))
+    overlap = draw(st.booleans())
+    seed = draw(st.integers(0, 2**31 - 1))
+    return n, t, d_tol, u, dim, num_drops, train_time, overlap, seed
+
+
+@given(runtime_scenario())
+@settings(max_examples=25, deadline=None)
+def test_system_runtime_always_exact(scenario):
+    n, t, d_tol, u, dim, num_drops, train_time, overlap, seed = scenario
+    rng = np.random.default_rng(seed)
+    params = LSAParams(n, t, d_tol, u)
+    fleet = [
+        UserProfile(
+            compute_scale=float(rng.uniform(0.2, 2.0)),
+            bandwidth_scale=float(rng.uniform(0.2, 2.0)),
+        )
+        for _ in range(n)
+    ]
+    runtime = SystemRuntime(
+        GF, params, dim, fleet=fleet, training_time=train_time,
+        overlap=overlap,
+    )
+    updates = {i: GF.random(dim, rng) for i in range(n)}
+    dropouts = set(
+        rng.choice(n, size=num_drops, replace=False).tolist()
+    ) if num_drops else set()
+    result = runtime.run_round(updates, dropouts, rng)
+    oracle = NaiveAggregation(GF, n, dim).run_round(updates, dropouts, rng)
+    assert np.array_equal(result.aggregate, oracle.aggregate)
+    assert result.finish_time >= result.recovery_complete >= 0
+    assert len(result.responders) == params.target_survivors

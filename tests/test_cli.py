@@ -1,0 +1,65 @@
+"""Tests for the CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRound:
+    def test_lightsecagg_round(self, capsys):
+        assert main(["round", "-n", "8", "-d", "64", "--drop", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "aggregate correct: True" in out
+        assert "recovery" in out
+
+    def test_secagg_round(self, capsys):
+        assert main(["round", "--protocol", "secagg", "-n", "5",
+                     "-d", "32", "--drop", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "aggregate correct: True" in out
+        assert "server PRG elements" in out
+
+    def test_secagg_plus_round(self, capsys):
+        assert main(["round", "--protocol", "secagg+", "-n", "10",
+                     "-d", "32"]) == 0
+        assert "aggregate correct: True" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--protocol", "secagg", "-n", "100",
+                     "-d", "100000", "-p", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery" in out and "total" in out
+
+
+class TestReports:
+    def test_gains(self, capsys):
+        assert main(["gains", "-n", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "cnn_femnist" in out and "x" in out
+
+    def test_breakdown(self, capsys):
+        assert main(["breakdown", "-n", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "lightsecagg" in out and "p=0.5" in out
+
+    def test_complexity(self, capsys):
+        assert main(["complexity", "-n", "100", "-d", "10000"]) == 0
+        out = capsys.readouterr().out
+        assert "reconstruction_server" in out
+
+    def test_storage(self, capsys):
+        assert main(["storage", "-n", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "randomness ratio" in out
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["round", "--protocol", "turboagg"])

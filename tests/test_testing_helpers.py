@@ -1,0 +1,108 @@
+"""Tests for the public verification helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.protocols import LightSecAgg, LSAParams, NaiveAggregation, SecAgg
+from repro.testing import (
+    assert_exact_aggregate,
+    assert_field_vector,
+    chi_square_uniformity,
+    make_random_updates,
+    run_and_verify,
+)
+
+
+class TestMakeUpdates:
+    def test_shape_and_range(self, gf, rng):
+        updates = make_random_updates(gf, 5, 16, rng)
+        assert set(updates) == set(range(5))
+        for u in updates.values():
+            assert u.shape == (16,)
+            assert int(u.max()) < gf.q
+
+
+class TestFieldVectorAssert:
+    def test_accepts_valid(self, gf, rng):
+        assert_field_vector(gf, gf.random(8, rng), 8)
+
+    def test_rejects_wrong_shape(self, gf):
+        with pytest.raises(ReproError, match="shape"):
+            assert_field_vector(gf, gf.zeros(7), 8)
+
+    def test_rejects_wrong_dtype(self, gf):
+        with pytest.raises(ReproError, match="uint64"):
+            assert_field_vector(gf, np.zeros(8), 8)
+
+    def test_rejects_out_of_field(self, gf):
+        bad = np.full(8, gf.q, dtype=np.uint64)
+        with pytest.raises(ReproError, match="modulus"):
+            assert_field_vector(gf, bad, 8)
+
+
+class TestRunAndVerify:
+    def test_all_protocols(self, gf):
+        params = LSAParams.from_guarantees(6, 2, 2)
+        for proto in (
+            LightSecAgg(gf, params, 12),
+            SecAgg(gf, 6, 12),
+            NaiveAggregation(gf, 6, 12),
+        ):
+            result = run_and_verify(proto, 12, dropouts={1},
+                                    rng=np.random.default_rng(0))
+            assert result.survivors == [0, 2, 3, 4, 5]
+
+    def test_detects_corruption(self, gf, rng):
+        proto = NaiveAggregation(gf, 4, 8)
+        updates = make_random_updates(gf, 4, 8, rng)
+        result = proto.run_round(updates, set(), rng)
+        result.aggregate[0] = (result.aggregate[0] + np.uint64(1)) % np.uint64(gf.q)
+        with pytest.raises(ReproError, match="mismatch"):
+            assert_exact_aggregate(proto, result, updates)
+
+
+class TestChiSquare:
+    def test_uniform_passes(self, rng):
+        samples = rng.integers(0, 97, 20_000)
+        chi2 = chi_square_uniformity(samples.tolist(), 97, 160.0)
+        assert chi2 < 160.0
+
+    def test_biased_fails(self):
+        samples = [0] * 1000 + [1] * 10
+        with pytest.raises(ReproError, match="rejected"):
+            chi_square_uniformity(samples, 97, 160.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            chi_square_uniformity([], 97, 160.0)
+
+
+class TestConformanceSuite:
+    def test_all_protocols_conform(self, gf):
+        from repro.protocols import SecAggPlus
+        from repro.protocols.lightsecagg import EncryptedLightSecAgg
+        from repro.testing import conformance_suite
+
+        params = LSAParams.from_guarantees(6, 2, 2)
+        factories = [
+            lambda: LightSecAgg(gf, params, 24),
+            lambda: EncryptedLightSecAgg(gf, params, 24),
+            lambda: SecAgg(gf, 6, 24),
+            lambda: SecAggPlus(gf, 6, 24, graph_seed=1),
+            lambda: NaiveAggregation(gf, 6, 24),
+        ]
+        for factory in factories:
+            assert conformance_suite(factory, max_dropouts=2) == 9
+
+    def test_suite_catches_broken_protocol(self, gf):
+        from repro.testing import conformance_suite
+
+        class BrokenProtocol(NaiveAggregation):
+            def run_round(self, updates, dropouts, rng=None):
+                result = super().run_round(updates, dropouts, rng)
+                result.aggregate[0] ^= np.uint64(1)  # corrupt one word
+                return result
+
+        with pytest.raises(ReproError, match="mismatch"):
+            conformance_suite(lambda: BrokenProtocol(gf, 4, 8))

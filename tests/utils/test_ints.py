@@ -1,0 +1,51 @@
+"""Tests for big-int limb conversion."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import CodingError
+from repro.utils.ints import int_to_limbs, limbs_needed, limbs_to_int
+
+Q = (1 << 31) - 1
+
+
+class TestLimbs:
+    def test_round_trip_small(self):
+        limbs = int_to_limbs(12345, Q, 3)
+        assert limbs_to_int(limbs, Q) == 12345
+
+    def test_round_trip_256_bit(self):
+        value = 2**255 + 987654321
+        count = limbs_needed(256, Q)
+        assert limbs_to_int(int_to_limbs(value, Q, count), Q) == value
+
+    def test_limbs_needed_monotone(self):
+        assert limbs_needed(31, Q) >= 1
+        assert limbs_needed(256, Q) > limbs_needed(64, Q)
+
+    def test_value_too_large(self):
+        with pytest.raises(CodingError):
+            int_to_limbs(Q**2, Q, 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(CodingError):
+            int_to_limbs(-1, Q, 2)
+
+    def test_zero(self):
+        assert limbs_to_int(int_to_limbs(0, Q, 4), Q) == 0
+
+    def test_limbs_are_reduced(self):
+        limbs = int_to_limbs(2**200, Q, limbs_needed(256, Q))
+        assert all(0 <= int(l) < Q for l in limbs)
+
+    def test_bits_validation(self):
+        with pytest.raises(CodingError):
+            limbs_needed(0, Q)
+
+
+@given(st.integers(0, 2**256 - 1), st.sampled_from([Q, (1 << 32) - 5, 97]))
+@settings(max_examples=100, deadline=None)
+def test_round_trip_property(value, q):
+    count = limbs_needed(256, q)
+    assert limbs_to_int(int_to_limbs(value, q, count), q) == value
