@@ -3,6 +3,7 @@
 Usage (also via ``python -m repro``)::
 
     python -m repro round --protocol lightsecagg -n 12 -d 1000 --drop 2
+    python -m repro session --protocol lightsecagg -n 16 -d 2000 --rounds 10
     python -m repro simulate --protocol secagg -n 200 -d 1206590 -p 0.3
     python -m repro gains -n 200 -p 0.1
     python -m repro breakdown -n 200
@@ -14,13 +15,22 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 import numpy as np
 
 from repro.field import FiniteField
 from repro.fl.models.zoo import PAPER_MODEL_SIZES
-from repro.protocols import LightSecAgg, LSAParams, SecAgg, SecAggPlus
+from repro.protocols import (
+    EncryptedLightSecAgg,
+    LightSecAgg,
+    LSAParams,
+    NaiveAggregation,
+    SecAgg,
+    SecAggPlus,
+    ZhaoSunAggregation,
+)
 from repro.simulation import (
     SimulationConfig,
     TRAINING_TIMES,
@@ -33,13 +43,32 @@ from repro.simulation.costmodel import PROTOCOLS, ROWS
 from repro.simulation.storage import compare_storage
 
 
+PROTOCOL_CHOICES = [
+    "lightsecagg", "lightsecagg-encrypted", "secagg", "secagg+", "naive",
+    "zhao-sun",
+]
+
+
 def _build_protocol(name: str, gf: FiniteField, n: int, d: int, seed: int):
     if name == "lightsecagg":
         return LightSecAgg(gf, LSAParams.paper_defaults(n, 0.1), d)
+    if name == "lightsecagg-encrypted":
+        return EncryptedLightSecAgg(gf, LSAParams.paper_defaults(n, 0.1), d)
     if name == "secagg":
         return SecAgg(gf, n, d)
     if name == "secagg+":
         return SecAggPlus(gf, n, d, graph_seed=seed)
+    if name == "naive":
+        return NaiveAggregation(gf, n, d)
+    if name == "zhao-sun":
+        if n > 16:
+            raise SystemExit(
+                "zhao-sun enumerates all surviving sets; use -n <= 16 "
+                "(the exponential blow-up is the point of Table 6)"
+            )
+        return ZhaoSunAggregation(
+            gf, LSAParams.from_guarantees(n, max(1, n // 4), max(1, n // 4)), d
+        )
     raise SystemExit(f"unknown protocol {name!r}")
 
 
@@ -61,6 +90,48 @@ def cmd_round(args: argparse.Namespace) -> int:
         print(f"  {phase:9s}: {result.transcript.elements(phase=phase):>12d} "
               f"field elements")
     print(f"  server PRG elements: {result.metrics.server_prg_elements}")
+    return 0 if ok else 1
+
+
+def cmd_session(args: argparse.Namespace) -> int:
+    """Multi-round session: amortized online latency vs the one-shot path."""
+    gf = FiniteField()
+    rng = np.random.default_rng(args.seed)
+    proto = _build_protocol(args.protocol, gf, args.num_users, args.dim, args.seed)
+    updates = {i: gf.random(args.dim, rng) for i in range(args.num_users)}
+    dropouts = set(
+        rng.choice(args.num_users, size=args.drop, replace=False).tolist()
+    ) if args.drop else set()
+
+    pool = args.pool if args.pool is not None else args.rounds
+    session = proto.session(pool_size=pool, rng=np.random.default_rng(args.seed))
+    session.refill()
+    online = 0.0
+    ok = True
+    for _ in range(args.rounds):
+        t0 = time.perf_counter()
+        result = session.run_round(updates, set(dropouts), rng)
+        online += time.perf_counter() - t0
+        expected = proto.expected_aggregate(updates, result.survivors)
+        ok = ok and np.array_equal(result.aggregate, expected)
+
+    oneshot = 0.0
+    for r in range(args.rounds):
+        t0 = time.perf_counter()
+        proto.run_round(updates, set(dropouts), np.random.default_rng(r))
+        oneshot += time.perf_counter() - t0
+
+    stats = session.stats
+    print(f"protocol={args.protocol} N={args.num_users} d={args.dim} "
+          f"rounds={args.rounds} pool={pool} dropped={sorted(dropouts)}")
+    print(f"aggregates correct: {ok}")
+    print(f"  session online  : {1e3 * online / args.rounds:9.3f} ms/round "
+          f"(pool hits {stats.pool_hits}, misses {stats.pool_misses})")
+    print(f"  one-shot        : {1e3 * oneshot / args.rounds:9.3f} ms/round")
+    print(f"  offline refill  : {1e3 * stats.refill_seconds:9.3f} ms total "
+          f"({stats.refills} refills, {stats.precomputed_rounds} rounds)")
+    if online > 0:
+        print(f"  online speedup  : {oneshot / online:9.2f}x")
     return 0 if ok else 1
 
 
@@ -136,12 +207,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("round", help="run a real secure-aggregation round")
     p.add_argument("--protocol", default="lightsecagg",
-                   choices=["lightsecagg", "secagg", "secagg+"])
+                   choices=PROTOCOL_CHOICES)
     p.add_argument("-n", "--num-users", type=int, default=10)
     p.add_argument("-d", "--dim", type=int, default=1000)
     p.add_argument("--drop", type=int, default=0)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_round)
+
+    p = sub.add_parser(
+        "session",
+        help="multi-round session with amortized offline phase vs one-shot",
+    )
+    p.add_argument("--protocol", default="lightsecagg",
+                   choices=PROTOCOL_CHOICES)
+    p.add_argument("-n", "--num-users", type=int, default=16)
+    p.add_argument("-d", "--dim", type=int, default=2000)
+    p.add_argument("-r", "--rounds", type=int, default=10)
+    p.add_argument("--pool", type=int, default=None,
+                   help="offline pool size (default: rounds)")
+    p.add_argument("--drop", type=int, default=0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_session)
 
     p = sub.add_parser("simulate", help="timing model for one round")
     p.add_argument("--protocol", default="lightsecagg",

@@ -97,6 +97,44 @@ class MaskEncoder:
         data = np.concatenate([sub_masks, padding], axis=0)  # (U, share_dim)
         return self.code.encode(data)
 
+    def encode_batch(
+        self, masks: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Encode ``B`` masks at once as a single batched field matmul.
+
+        ``masks`` has shape ``(B, model_dim)``; the result has shape
+        ``(B, N, share_dim)`` where slice ``b`` equals ``encode(masks[b])``
+        up to the random padding draw.  Laying the ``B`` data blocks side by
+        side turns ``B`` generator products into one ``(N, U) @ (U, B *
+        share_dim)`` multiply, which is what lets a multi-round session
+        precompute its whole offline pool in one shot.
+        """
+        masks = self.gf.array(masks)
+        if masks.ndim != 2 or masks.shape[1] != self.model_dim:
+            raise CodingError(
+                f"masks must have shape (B, {self.model_dim}), got {masks.shape}"
+            )
+        b = masks.shape[0]
+        if b == 0:
+            raise CodingError("cannot encode an empty batch")
+        padded = self.num_submasks * self.share_dim
+        if padded != self.model_dim:
+            wide = np.zeros((b, padded), dtype=masks.dtype)
+            wide[:, : self.model_dim] = masks
+            masks = wide
+        # (B, U-T, share_dim) -> (U-T, B*share_dim): same per-mask rows as
+        # partition(), concatenated along the width axis.
+        sub = masks.reshape(b, self.num_submasks, self.share_dim)
+        data_rows = sub.transpose(1, 0, 2).reshape(
+            self.num_submasks, b * self.share_dim
+        )
+        padding = self.gf.random((self.privacy, b * self.share_dim), rng)
+        data = np.concatenate([data_rows, padding], axis=0)  # (U, B*share_dim)
+        coded = self.code.encode(data)  # (N, B*share_dim)
+        return coded.reshape(
+            self.num_users, b, self.share_dim
+        ).transpose(1, 0, 2)
+
     def decode_aggregate(self, aggregated_shares: Dict[int, np.ndarray]) -> np.ndarray:
         """One-shot recovery of the aggregate mask (paper Alg. 1, line 26).
 

@@ -191,10 +191,19 @@ class FiniteField:
         if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
             raise FieldError(f"incompatible matmul shapes {a.shape} x {b.shape}")
         k = a.shape[1]
-        # Chunk the contraction axis so uint64 accumulation cannot overflow:
-        # each reduced product < q^2 <= 2**64 / 1, but we reduce products
-        # first (mod q), so each term < 2**32 and up to 2**32 terms fit.
         out = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint64)
+        if k <= 256:
+            # Short contraction axis (the coded-computing common case):
+            # accumulate one reduced rank-1 product at a time, keeping the
+            # working set at O(m*n) instead of materializing the full
+            # (m, k, n) product tensor.  Each reduced term is < q <= 2**32,
+            # so up to 2**32 terms accumulate exactly in uint64.
+            for kk in range(k):
+                out += np.mod(a[:, kk, None] * b[None, kk, :], self._q64)
+            return np.mod(out, self._q64)
+        # Long contraction axis: chunk it so uint64 accumulation cannot
+        # overflow; products are reduced (mod q) before accumulation, so
+        # each term < 2**32 and up to 2**32 terms fit.
         step = 4096
         for start in range(0, k, step):
             stop = min(start + step, k)

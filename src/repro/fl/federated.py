@@ -57,6 +57,12 @@ class TrainingHistory:
 class SecureFederatedAveraging:
     """Synchronous FL loop with secure aggregation.
 
+    Multi-round aggregation is driven through a stateful
+    :class:`~repro.protocols.base.ProtocolSession` opened once at
+    construction: protocols with a precomputable offline phase (e.g.
+    LightSecAgg) amortize mask encoding/sharing across the whole training
+    run instead of re-running it inside every round's critical path.
+
     Parameters
     ----------
     model:
@@ -74,6 +80,14 @@ class SecureFederatedAveraging:
     weights:
         Optional per-user positive integer weights (Remark 3); defaults to
         uniform.
+    session_pool:
+        Rounds of offline material the aggregation session precomputes per
+        refill (ignored by protocols without a precomputable offline
+        phase).
+    session_rng:
+        Dedicated generator for the session's offline randomness; by
+        default a fresh unseeded generator, so the caller-supplied per-
+        round ``rng`` stream is reserved for training/quantization draws.
     """
 
     def __init__(
@@ -85,6 +99,8 @@ class SecureFederatedAveraging:
         local_config: LocalTrainingConfig = LocalTrainingConfig(),
         server_lr: float = 1.0,
         weights: Optional[Sequence[int]] = None,
+        session_pool: int = 4,
+        session_rng: Optional[np.random.Generator] = None,
     ):
         self.model = model
         self.client_datasets = list(client_datasets)
@@ -112,6 +128,8 @@ class SecureFederatedAveraging:
         if len(weights) != self.num_users or any(w <= 0 for w in weights):
             raise ReproError("weights must be positive, one per user")
         self.weights = [int(w) for w in weights]
+        self.session = protocol.session(pool_size=session_pool, rng=session_rng)
+        self._offline_elements_seen = 0
         self.history = TrainingHistory()
         self.global_params = model.get_flat_params()
 
@@ -140,7 +158,7 @@ class SecureFederatedAveraging:
             loss, _ = self.model.loss_and_grad(dataset.x, dataset.y)
             losses.append(loss)
 
-        result = self.protocol.run_round(updates, dropouts, rng)
+        result = self.session.run_round(updates, dropouts, rng)
         survivors = result.survivors
 
         total_weight = sum(self.weights[i] for i in survivors)
@@ -149,14 +167,21 @@ class SecureFederatedAveraging:
         self.global_params = self.global_params - self.server_lr * mean_delta
         self.model.set_flat_params(self.global_params)
 
+        comm = {
+            phase: result.transcript.elements(phase=phase)
+            for phase in ("offline", "upload", "recovery")
+        }
+        # Pooled sessions incur offline traffic at refill time; attribute
+        # any refill this round triggered to this round's accounting.
+        offline_total = self.session.offline_elements()
+        comm["offline"] += offline_total - self._offline_elements_seen
+        self._offline_elements_seen = offline_total
+
         record = RoundRecord(
             round_index=len(self.history.records),
             survivors=survivors,
             train_loss=float(np.mean(losses)),
-            comm_elements={
-                phase: result.transcript.elements(phase=phase)
-                for phase in ("offline", "upload", "recovery")
-            },
+            comm_elements=comm,
         )
         if test_set is not None:
             record.test_loss, record.test_accuracy = self.model.evaluate(

@@ -5,13 +5,18 @@ from repro.protocols.base import (
     SERVER,
     AggregationResult,
     Message,
+    ProtocolSession,
     RoundMetrics,
     SecureAggregationProtocol,
+    SessionStats,
     Transcript,
     sample_dropouts,
 )
 from repro.protocols.lightsecagg import (
+    EncryptedLightSecAgg,
+    EncryptedLightSecAggSession,
     LightSecAgg,
+    LightSecAggSession,
     LSAParams,
     LSAServer,
     LSAUser,
@@ -19,7 +24,7 @@ from repro.protocols.lightsecagg import (
 )
 from repro.protocols.chunking import Chunk, chunk_vector, exchange_times, reassemble
 from repro.protocols.naive import NaiveAggregation
-from repro.protocols.zhao_sun import TrustedThirdPartyMasking
+from repro.protocols.zhao_sun import TrustedThirdPartyMasking, ZhaoSunAggregation
 from repro.protocols.pairwise import (
     PairwiseMaskingProtocol,
     SecAgg,
@@ -29,6 +34,12 @@ from repro.protocols.pairwise import (
 
 __all__ = [
     "TrustedThirdPartyMasking",
+    "ZhaoSunAggregation",
+    "ProtocolSession",
+    "SessionStats",
+    "EncryptedLightSecAgg",
+    "EncryptedLightSecAggSession",
+    "LightSecAggSession",
     "Chunk",
     "chunk_vector",
     "reassemble",

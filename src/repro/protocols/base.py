@@ -128,6 +128,143 @@ class AggregationResult:
     metrics: RoundMetrics
 
 
+DEFAULT_POOL_ROUNDS = 4
+
+
+@dataclass
+class SessionStats:
+    """Bookkeeping a :class:`ProtocolSession` accumulates across rounds.
+
+    ``pool_hits`` counts online rounds served from precomputed offline
+    material; ``pool_misses`` counts rounds that had to (re)compute the
+    offline phase inline.  ``refill_seconds`` is the wall-clock time spent
+    in :meth:`ProtocolSession.refill` — the cost a deployment would push
+    off the online path entirely.
+    """
+
+    rounds: int = 0
+    refills: int = 0
+    pool_hits: int = 0
+    pool_misses: int = 0
+    precomputed_rounds: int = 0
+    refill_seconds: float = 0.0
+
+
+class ProtocolSession:
+    """Stateful multi-round secure-aggregation session.
+
+    A session keeps participants (and any precomputable offline material)
+    alive across rounds, so the per-round online path pays only masking,
+    upload, and recovery.  This generic base class is the universal
+    *per-round-replay* fallback: it simply re-runs the wrapped protocol's
+    one-shot :meth:`SecureAggregationProtocol.run_round` each round, which
+    makes every protocol session-drivable (``pool_level`` stays 0 and every
+    round is a pool miss).  Protocols with a genuinely precomputable
+    offline phase override :meth:`SecureAggregationProtocol.session` to
+    return a specialised subclass — see
+    :class:`repro.protocols.lightsecagg.session.LightSecAggSession`.
+
+    Sessions are also context managers::
+
+        with protocol.session(pool_size=8, rng=rng) as sess:
+            for _ in range(rounds):
+                result = sess.run_round(updates, dropouts)
+    """
+
+    def __init__(
+        self,
+        protocol: "SecureAggregationProtocol",
+        pool_size: int = DEFAULT_POOL_ROUNDS,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if pool_size < 1:
+            raise ProtocolError(f"pool_size must be >= 1, got {pool_size}")
+        self.protocol = protocol
+        self.pool_size = int(pool_size)
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.stats = SessionStats()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def gf(self) -> FiniteField:
+        return self.protocol.gf
+
+    @property
+    def num_users(self) -> int:
+        return self.protocol.num_users
+
+    @property
+    def pool_level(self) -> int:
+        """Rounds of offline material currently precomputed (0 = none)."""
+        return 0
+
+    def offline_elements(self) -> int:
+        """Total field elements of *amortized* offline traffic so far.
+
+        Pooled sessions move share-exchange traffic out of per-round
+        transcripts and into refills; this accessor exposes the cumulative
+        total so drivers can attribute refill traffic to the round that
+        triggered it.  The replay fallback amortizes nothing (its offline
+        traffic stays in each round's transcript) and returns 0.
+        """
+        return 0
+
+    def refill(self, rounds: Optional[int] = None) -> int:
+        """Precompute offline material for up to ``rounds`` future rounds.
+
+        Returns the number of rounds actually added.  The replay fallback
+        has nothing to precompute and always returns 0.
+        """
+        self._require_open()
+        return 0
+
+    # ------------------------------------------------------------------
+    def run_round(
+        self,
+        updates: Dict[int, np.ndarray],
+        dropouts: Set[int],
+        rng: Optional[np.random.Generator] = None,
+        **phase_kwargs,
+    ) -> AggregationResult:
+        """Run one online round of the session.
+
+        Semantics match the wrapped protocol's one-shot ``run_round``:
+        identical inputs produce the identical field-sum.  Extra keyword
+        arguments (e.g. LightSecAgg's ``offline_dropouts``) are forwarded.
+        """
+        self._require_open()
+        rng = rng if rng is not None else self.rng
+        result = self.protocol.run_round(
+            updates, set(dropouts), rng, **phase_kwargs
+        )
+        self.stats.rounds += 1
+        self.stats.pool_misses += 1
+        return result
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the session; further ``run_round`` calls raise."""
+        self._closed = True
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ProtocolError("session is closed")
+
+    def __enter__(self) -> "ProtocolSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self.protocol.name}, "
+            f"pool={self.pool_level}/{self.pool_size}, "
+            f"rounds={self.stats.rounds})"
+        )
+
+
 class SecureAggregationProtocol(abc.ABC):
     """Interface for one-round secure aggregation over GF(q)."""
 
@@ -138,6 +275,19 @@ class SecureAggregationProtocol(abc.ABC):
             raise ProtocolError(f"need at least 2 users, got {num_users}")
         self.gf = gf
         self.num_users = num_users
+
+    def session(
+        self,
+        pool_size: int = DEFAULT_POOL_ROUNDS,
+        rng: Optional[np.random.Generator] = None,
+    ) -> ProtocolSession:
+        """Open a stateful multi-round session over this protocol.
+
+        The base implementation returns the generic replay
+        :class:`ProtocolSession`; protocols with a precomputable offline
+        phase override this to return a pooled session.
+        """
+        return ProtocolSession(self, pool_size=pool_size, rng=rng)
 
     @abc.abstractmethod
     def run_round(

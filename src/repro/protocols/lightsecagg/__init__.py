@@ -4,10 +4,18 @@ from repro.protocols.lightsecagg.encrypted import EncryptedLightSecAgg
 from repro.protocols.lightsecagg.params import LSAParams, choose_target_survivors
 from repro.protocols.lightsecagg.protocol import LightSecAgg
 from repro.protocols.lightsecagg.server import LSAServer
+from repro.protocols.lightsecagg.session import (
+    EncryptedLightSecAggSession,
+    LightSecAggSession,
+    OfflineMaterial,
+)
 from repro.protocols.lightsecagg.user import LSAUser
 
 __all__ = [
     "EncryptedLightSecAgg",
+    "EncryptedLightSecAggSession",
+    "LightSecAggSession",
+    "OfflineMaterial",
     "LSAParams",
     "choose_target_survivors",
     "LightSecAgg",

@@ -48,6 +48,14 @@ class EncryptedLightSecAgg(LightSecAgg):
         super().__init__(gf, params, model_dim, generator)
         self.dh = DiffieHellman()
 
+    def session(self, pool_size: int = 4, rng=None):
+        """Open a pooled session with a persistent DH channel mesh."""
+        from repro.protocols.lightsecagg.session import (
+            EncryptedLightSecAggSession,
+        )
+
+        return EncryptedLightSecAggSession(self, pool_size=pool_size, rng=rng)
+
     def run_round(
         self,
         updates: Dict[int, np.ndarray],

@@ -43,6 +43,12 @@ class LightSecAgg(SecureAggregationProtocol):
         self.model_dim = model_dim
         self.generator = generator
 
+    def session(self, pool_size: int = 4, rng=None):
+        """Open a pooled multi-round session (amortized offline phase)."""
+        from repro.protocols.lightsecagg.session import LightSecAggSession
+
+        return LightSecAggSession(self, pool_size=pool_size, rng=rng)
+
     def run_round(
         self,
         updates: Dict[int, np.ndarray],

@@ -41,6 +41,13 @@ from repro.coding.mds import MDSCode
 from repro.coding.partition import partition, piece_length, unpartition
 from repro.exceptions import DropoutError, ProtocolError
 from repro.field.arithmetic import FiniteField
+from repro.protocols.base import (
+    SERVER,
+    AggregationResult,
+    RoundMetrics,
+    SecureAggregationProtocol,
+    Transcript,
+)
 from repro.protocols.lightsecagg.params import LSAParams
 
 
@@ -151,3 +158,77 @@ class TrustedThirdPartyMasking:
             masked_sum = self.gf.add(masked_sum, self.mask_update(i, updates[i]))
         agg_mask = self.recover_aggregate_mask(s, survivors)
         return self.gf.sub(masked_sum, agg_mask), survivors
+
+
+class ZhaoSunAggregation(SecureAggregationProtocol):
+    """Zhao & Sun's scheme behind the common protocol interface.
+
+    Wraps :class:`TrustedThirdPartyMasking` so the TTP comparator can be
+    driven through the same ``run_round``/``session`` API as every other
+    protocol.  Each round performs a *fresh* TTP setup (masks must not be
+    reused across rounds), which is precisely the scheme's documented
+    weakness: the exponential per-round setup cannot be amortized the way
+    LightSecAgg's offline phase can — the generic per-round-replay session
+    fallback is the best a session can do here.
+    """
+
+    name = "zhao-sun"
+
+    def __init__(self, gf: FiniteField, params: LSAParams, model_dim: int):
+        super().__init__(gf, params.num_users)
+        self.params = params
+        self.model_dim = model_dim
+
+    def run_round(
+        self,
+        updates: Dict[int, np.ndarray],
+        dropouts: set,
+        rng: Optional[np.random.Generator] = None,
+    ) -> AggregationResult:
+        survivors = self._validate_round_inputs(updates, set(dropouts))
+        u = self.params.target_survivors
+        if len(survivors) < u:
+            raise DropoutError(
+                f"only {len(survivors)} survivors, need U={u}"
+            )
+        rng = rng if rng is not None else np.random.default_rng()
+        transcript = Transcript()
+
+        # Offline — the TTP prepares and distributes per-surviving-set
+        # coded symbols; accounted as server-relayed share-sized traffic.
+        ttp = TrustedThirdPartyMasking(self.gf, self.params, self.model_dim, rng)
+        for i in range(self.num_users):
+            transcript.record(
+                SERVER, i, "offline",
+                ttp.storage_symbols_per_user(i) * ttp.share_dim,
+            )
+
+        # Upload — worst case: dropped users upload, then vanish.
+        masked: Dict[int, np.ndarray] = {}
+        for i in range(self.num_users):
+            masked[i] = ttp.mask_update(i, updates[i])
+            transcript.record(i, SERVER, "upload", self.model_dim)
+
+        # Recovery — any U members of the realized surviving set answer.
+        responders = survivors[:u]
+        for j in responders:
+            transcript.record(j, SERVER, "recovery", ttp.share_dim)
+        agg_mask = ttp.recover_aggregate_mask(frozenset(survivors), responders)
+
+        masked_sum = masked[survivors[0]].copy()
+        for i in survivors[1:]:
+            masked_sum = self.gf.add(masked_sum, masked[i])
+        aggregate = self.gf.sub(masked_sum, agg_mask)
+
+        metrics = RoundMetrics(
+            server_decode_ops=u * u * ttp.share_dim,
+            server_prg_elements=0,
+            user_encode_ops=0,  # all encoding happens at the trusted party
+            extra={"ttp_randomness_symbols": float(ttp.randomness_symbols)},
+        )
+        return AggregationResult(
+            aggregate=aggregate,
+            survivors=survivors,
+            transcript=transcript,
+            metrics=metrics,
+        )

@@ -1,12 +1,18 @@
 """Event-driven system runtime reproducing the paper's Fig. 4 architecture."""
 
 from repro.system.events import EventSimulator, SerialResource
-from repro.system.runtime import PhaseSpans, SystemRoundResult, SystemRuntime
+from repro.system.runtime import (
+    PhaseSpans,
+    SystemRoundResult,
+    SystemRuntime,
+    SystemSession,
+)
 
 __all__ = [
     "EventSimulator",
     "SerialResource",
     "SystemRuntime",
+    "SystemSession",
     "SystemRoundResult",
     "PhaseSpans",
 ]

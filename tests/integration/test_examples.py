@@ -7,15 +7,21 @@ import sys
 import pytest
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+SRC_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "src")
+)
 
 
 def run_example(name, *args):
     path = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
     result = subprocess.run(
         [sys.executable, path, *args],
         capture_output=True,
         text=True,
         timeout=600,
+        env=env,
     )
     assert result.returncode == 0, result.stderr[-2000:]
     return result.stdout

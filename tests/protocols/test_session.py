@@ -1,0 +1,271 @@
+"""Cross-protocol property tests for the multi-round session engine.
+
+The contract under test: for every protocol, driving R rounds through one
+stateful ``protocol.session()`` produces **bit-identical** field sums to R
+independent one-shot ``run_round`` calls on the same inputs, under random
+mixes of worst-case and offline dropouts.  Plus the pool semantics —
+sessions with a pool smaller than the round count refill transparently,
+and a session fails loudly (``ProtocolError``) when survivors fall below
+``U`` mid-stream without corrupting later rounds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DropoutError, ProtocolError
+from repro.field import FiniteField
+from repro.protocols import (
+    EncryptedLightSecAgg,
+    EncryptedLightSecAggSession,
+    LightSecAgg,
+    LightSecAggSession,
+    LSAParams,
+    NaiveAggregation,
+    ProtocolSession,
+    SecAgg,
+    ZhaoSunAggregation,
+)
+
+N, DIM = 10, 23
+ZS_N, ZS_DIM = 8, 9  # Zhao & Sun enumerates surviving sets; keep N small
+
+
+def make_protocol(name, gf):
+    params = LSAParams.from_guarantees(N, privacy=2, dropout_tolerance=3)
+    zs_params = LSAParams.from_guarantees(ZS_N, privacy=2, dropout_tolerance=2)
+    return {
+        "naive": lambda: NaiveAggregation(gf, N, DIM),
+        "lightsecagg": lambda: LightSecAgg(gf, params, DIM),
+        "lightsecagg-encrypted": lambda: EncryptedLightSecAgg(gf, params, DIM),
+        "pairwise": lambda: SecAgg(gf, N, DIM),
+        "zhao-sun": lambda: ZhaoSunAggregation(gf, zs_params, ZS_DIM),
+    }[name]()
+
+
+ALL_PROTOCOLS = [
+    "naive", "lightsecagg", "lightsecagg-encrypted", "pairwise", "zhao-sun",
+]
+
+
+def random_dropouts(proto, rng):
+    """A random worst-case dropout set the protocol can tolerate."""
+    n = proto.num_users
+    if isinstance(proto, (LightSecAgg, ZhaoSunAggregation)):
+        max_drop = proto.params.dropout_tolerance
+    else:
+        # Pairwise protocols tolerate up to threshold-limited dropouts;
+        # naive tolerates anything short of everyone.  Keep both modest.
+        max_drop = 2
+    count = int(rng.integers(0, max_drop + 1))
+    if count == 0:
+        return set()
+    return set(rng.choice(n, size=count, replace=False).tolist())
+
+
+class TestSessionOneShotEquivalence:
+    """session.run_round over R rounds == R independent run_round calls."""
+
+    @pytest.mark.parametrize("name", ALL_PROTOCOLS)
+    def test_bit_identical_across_rounds(self, gf, name):
+        rng = np.random.default_rng(99)
+        proto = make_protocol(name, gf)
+        n, dim = proto.num_users, proto.model_dim
+        rounds = 5
+        session = proto.session(pool_size=3, rng=np.random.default_rng(1))
+        for r in range(rounds):
+            updates = {i: gf.random(dim, rng) for i in range(n)}
+            dropouts = random_dropouts(proto, rng)
+            got = session.run_round(
+                updates, set(dropouts), np.random.default_rng(1000 + r)
+            )
+            want = proto.run_round(
+                updates, set(dropouts), np.random.default_rng(2000 + r)
+            )
+            assert got.survivors == want.survivors, (name, r)
+            assert np.array_equal(got.aggregate, want.aggregate), (name, r)
+
+    def test_lightsecagg_offline_dropout_mix(self, gf):
+        """Random mixes of worst-case and offline dropouts (Remark 2)."""
+        rng = np.random.default_rng(5)
+        params = LSAParams.from_guarantees(N, privacy=2, dropout_tolerance=4)
+        proto = LightSecAgg(gf, params, DIM)
+        session = proto.session(pool_size=2, rng=np.random.default_rng(2))
+        for r in range(6):
+            updates = {i: gf.random(DIM, rng) for i in range(N)}
+            ids = rng.choice(N, size=4, replace=False).tolist()
+            split = int(rng.integers(0, 5))
+            worst, offline = set(ids[:split]), set(ids[split:])
+            got = session.run_round(
+                updates, worst, rng, offline_dropouts=offline
+            )
+            want = proto.run_round(
+                updates, worst, np.random.default_rng(r),
+                offline_dropouts=offline,
+            )
+            assert got.survivors == want.survivors, r
+            assert np.array_equal(got.aggregate, want.aggregate), r
+
+    def test_encrypted_session_rejects_offline_dropouts(self, gf):
+        params = LSAParams.from_guarantees(N, privacy=2, dropout_tolerance=3)
+        proto = EncryptedLightSecAgg(gf, params, DIM)
+        session = proto.session(pool_size=1)
+        rng = np.random.default_rng(0)
+        updates = {i: gf.random(DIM, rng) for i in range(N)}
+        with pytest.raises(NotImplementedError):
+            session.run_round(updates, set(), rng, offline_dropouts={0})
+
+    @pytest.mark.parametrize("name", ALL_PROTOCOLS)
+    def test_session_types(self, gf, name):
+        proto = make_protocol(name, gf)
+        session = proto.session()
+        assert isinstance(session, ProtocolSession)
+        if name == "lightsecagg":
+            assert type(session) is LightSecAggSession
+        elif name == "lightsecagg-encrypted":
+            assert type(session) is EncryptedLightSecAggSession
+        else:
+            assert type(session) is ProtocolSession  # replay fallback
+
+
+class TestPoolSemantics:
+    def test_pool_smaller_than_rounds_refills(self, gf):
+        params = LSAParams.from_guarantees(N, privacy=2, dropout_tolerance=3)
+        proto = LightSecAgg(gf, params, DIM)
+        rng = np.random.default_rng(3)
+        session = proto.session(pool_size=2, rng=np.random.default_rng(4))
+        updates = {i: gf.random(DIM, rng) for i in range(N)}
+        expected = proto.expected_aggregate(updates, list(range(N)))
+        for r in range(7):
+            result = session.run_round(updates, set(), rng)
+            assert np.array_equal(result.aggregate, expected), r
+        # 7 rounds through a 2-deep pool: every refill adds 2 rounds, so at
+        # least ceil(7/2) refills ran and hits+misses account for them all.
+        assert session.stats.rounds == 7
+        assert session.stats.refills >= 4
+        assert session.stats.pool_hits + session.stats.pool_misses == 7
+        assert session.stats.pool_misses == session.stats.refills
+        assert session.stats.precomputed_rounds >= 7
+
+    def test_explicit_refill_prefills_pool(self, gf):
+        params = LSAParams.from_guarantees(N, privacy=2, dropout_tolerance=3)
+        proto = LightSecAgg(gf, params, DIM)
+        session = proto.session(pool_size=5, rng=np.random.default_rng(0))
+        assert session.pool_level == 0
+        added = session.refill()
+        assert added == 5 and session.pool_level == 5
+        assert session.refill() == 0  # already full
+        rng = np.random.default_rng(1)
+        updates = {i: gf.random(DIM, rng) for i in range(N)}
+        session.run_round(updates, set(), rng)
+        assert session.pool_level == 4
+        assert session.stats.pool_hits == 1
+        assert session.stats.pool_misses == 0
+
+    def test_survivors_below_u_raises_protocol_error(self, gf):
+        """Mid-stream catastrophic dropout fails loudly and recoverably."""
+        params = LSAParams.from_guarantees(
+            N, privacy=2, dropout_tolerance=3, target_survivors=7
+        )
+        proto = LightSecAgg(gf, params, DIM)
+        rng = np.random.default_rng(6)
+        session = proto.session(pool_size=3, rng=np.random.default_rng(7))
+        updates = {i: gf.random(DIM, rng) for i in range(N)}
+        session.run_round(updates, {0}, rng)  # healthy round
+        level_before = session.pool_level
+        with pytest.raises(ProtocolError, match="need U=7"):
+            session.run_round(updates, {0, 1, 2, 3}, rng)  # 6 < U = 7
+        # The failed round consumed no pool material...
+        assert session.pool_level == level_before
+        # ...and the session remains usable afterwards.
+        result = session.run_round(updates, {9}, rng)
+        expected = proto.expected_aggregate(updates, result.survivors)
+        assert np.array_equal(result.aggregate, expected)
+
+    def test_replay_session_dropout_also_protocol_error(self, gf):
+        proto = SecAgg(gf, 6, DIM, shamir_threshold=2)
+        session = proto.session()
+        rng = np.random.default_rng(8)
+        updates = {i: gf.random(DIM, rng) for i in range(6)}
+        with pytest.raises(ProtocolError):
+            session.run_round(updates, {0, 1, 2, 3}, rng)
+
+    def test_closed_session_rejects_rounds(self, gf):
+        proto = NaiveAggregation(gf, N, DIM)
+        rng = np.random.default_rng(9)
+        updates = {i: gf.random(DIM, rng) for i in range(N)}
+        with proto.session() as session:
+            session.run_round(updates, set(), rng)
+        with pytest.raises(ProtocolError, match="closed"):
+            session.run_round(updates, set(), rng)
+
+    def test_invalid_pool_size_rejected(self, gf):
+        proto = NaiveAggregation(gf, N, DIM)
+        with pytest.raises(ProtocolError):
+            proto.session(pool_size=0)
+
+
+class TestAmortizedAccounting:
+    def test_online_transcript_has_no_offline_traffic(self, gf):
+        params = LSAParams.from_guarantees(N, privacy=2, dropout_tolerance=3)
+        proto = LightSecAgg(gf, params, DIM)
+        session = proto.session(pool_size=2, rng=np.random.default_rng(0))
+        session.refill()
+        rng = np.random.default_rng(1)
+        updates = {i: gf.random(DIM, rng) for i in range(N)}
+        result = session.run_round(updates, {1}, rng)
+        assert result.transcript.elements(phase="offline") == 0
+        assert result.transcript.elements(phase="upload") == N * DIM
+        assert result.transcript.elements(phase="recovery") > 0
+        # The offline traffic is accounted in the session, per refill, and
+        # matches the one-shot path's per-round share exchange.
+        one = proto.run_round(updates, {1}, rng)
+        per_round = one.transcript.elements(phase="offline")
+        assert session.offline_elements() == 2 * per_round
+
+    def test_online_metrics_report_no_encode_work(self, gf):
+        params = LSAParams.from_guarantees(N, privacy=2, dropout_tolerance=3)
+        proto = LightSecAgg(gf, params, DIM)
+        session = proto.session(pool_size=1, rng=np.random.default_rng(0))
+        rng = np.random.default_rng(2)
+        updates = {i: gf.random(DIM, rng) for i in range(N)}
+        result = session.run_round(updates, set(), rng)
+        assert result.metrics.user_encode_ops == 0
+        assert result.metrics.extra["amortized_encode_ops"] > 0
+        one = proto.run_round(updates, set(), rng)
+        assert result.metrics.server_decode_ops == one.metrics.server_decode_ops
+
+
+class TestZhaoSunAdapter:
+    def test_matches_naive_oracle(self, gf, rng):
+        params = LSAParams.from_guarantees(ZS_N, privacy=2, dropout_tolerance=2)
+        proto = ZhaoSunAggregation(gf, params, ZS_DIM)
+        naive = NaiveAggregation(gf, ZS_N, ZS_DIM)
+        updates = {i: gf.random(ZS_DIM, rng) for i in range(ZS_N)}
+        for dropouts in (set(), {0}, {3, 5}):
+            got = proto.run_round(updates, set(dropouts), rng)
+            want = naive.run_round(updates, set(dropouts), rng)
+            assert got.survivors == want.survivors
+            assert np.array_equal(got.aggregate, want.aggregate)
+
+    def test_too_many_dropouts_raise(self, gf, rng):
+        params = LSAParams.from_guarantees(ZS_N, privacy=2, dropout_tolerance=2)
+        proto = ZhaoSunAggregation(gf, params, ZS_DIM)
+        updates = {i: gf.random(ZS_DIM, rng) for i in range(ZS_N)}
+        too_many = set(range(ZS_N - params.target_survivors + 1))
+        with pytest.raises(DropoutError):
+            proto.run_round(updates, too_many, rng)
+
+    def test_transcript_reflects_ttp_storage_blowup(self, gf, rng):
+        """Offline traffic counts the per-surviving-set symbol storage."""
+        params = LSAParams.from_guarantees(ZS_N, privacy=2, dropout_tolerance=2)
+        proto = ZhaoSunAggregation(gf, params, ZS_DIM)
+        updates = {i: gf.random(ZS_DIM, rng) for i in range(ZS_N)}
+        result = proto.run_round(updates, set(), rng)
+        offline = result.transcript.elements(phase="offline")
+        # Far more than LightSecAgg's N shares per user: every user stores
+        # one symbol per admissible surviving set containing it.
+        assert offline > ZS_N * ZS_N * piece_len(ZS_DIM, params.num_submasks)
+
+
+def piece_len(d, pieces):
+    return -(-d // pieces)

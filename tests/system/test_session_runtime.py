@@ -1,0 +1,114 @@
+"""Tests for the session-driven event loop (pooled offline material)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.field import FiniteField
+from repro.protocols.lightsecagg.params import LSAParams
+from repro.simulation.heterogeneous import UserProfile
+from repro.system import SystemRuntime, SystemSession
+
+
+@pytest.fixture
+def params():
+    return LSAParams.from_guarantees(8, privacy=2, dropout_tolerance=2)
+
+
+def make_updates(gf, n, dim, rng):
+    return {i: gf.random(dim, rng) for i in range(n)}
+
+
+def expected_sum(gf, updates, survivors):
+    return gf.sum(np.stack([updates[i] for i in survivors]), axis=0)
+
+
+class TestSystemSession:
+    def test_pooled_round_is_correct(self, gf, params, rng):
+        rt = SystemRuntime(gf, params, model_dim=40)
+        session = rt.session(pool_size=3, rng=rng)
+        session.refill()
+        updates = make_updates(gf, 8, 40, rng)
+        result = session.run_round(updates, {1}, rng)
+        assert result.offline_pooled
+        assert np.array_equal(
+            result.aggregate,
+            expected_sum(gf, updates, [i for i in range(8) if i != 1]),
+        )
+
+    def test_pooled_round_skips_offline_critical_path(self, gf, params, rng):
+        rt = SystemRuntime(gf, params, model_dim=60, training_time=0.0)
+        updates = make_updates(gf, 8, 60, rng)
+        one_shot = rt.run_round(updates, set(), rng)
+        session = rt.session(pool_size=1, rng=rng)
+        session.refill()
+        pooled = session.run_round(updates, set(), rng)
+        assert all(s.offline_done == 0.0 for s in pooled.spans.values())
+        assert pooled.finish_time < one_shot.finish_time
+        assert session.background_seconds > 0.0
+
+    def test_session_refills_when_pool_drains(self, gf, params, rng):
+        rt = SystemRuntime(gf, params, model_dim=30)
+        session = rt.session(pool_size=2, rng=rng)
+        updates = make_updates(gf, 8, 30, rng)
+        results = []
+        for r in range(5):
+            result = session.run_round(updates, set(), rng)
+            results.append(result)
+            assert np.array_equal(
+                result.aggregate, expected_sum(gf, updates, list(range(8)))
+            ), r
+        assert session.stats.rounds == 5
+        assert session.stats.pool_hits + session.stats.pool_misses == 5
+        # Rounds 0 and 3 miss the empty pool (each kicks a 2-round refill);
+        # rounds 1, 2, and 4 are hits.
+        assert session.stats.refills == 2
+        assert [r.offline_pooled for r in results] == [
+            False, True, True, False, True,
+        ]
+
+    def test_pool_miss_pays_offline_on_critical_path(self, gf, params, rng):
+        """A cold-start miss must not look as fast as a pooled round."""
+        rt = SystemRuntime(gf, params, model_dim=60, training_time=0.0)
+        session = rt.session(pool_size=1, rng=rng)
+        updates = make_updates(gf, 8, 60, rng)
+        miss = session.run_round(updates, set(), rng)  # pool empty
+        hit = session.run_round(updates, set(), rng)  # refilled by the miss
+        assert not miss.offline_pooled and hit.offline_pooled
+        assert miss.finish_time > hit.finish_time
+        assert any(s.offline_done > 0.0 for s in miss.spans.values())
+
+    def test_background_time_accumulates_per_refill(self, gf, params, rng):
+        rt = SystemRuntime(gf, params, model_dim=30)
+        session = rt.session(pool_size=2, rng=rng)
+        session.refill()
+        first = session.background_seconds
+        assert first > 0
+        session.refill(2)
+        assert session.background_seconds > first
+
+    def test_heterogeneous_fleet_slows_background_refill(self, gf, params, rng):
+        fast = SystemRuntime(gf, params, model_dim=30)
+        slow_fleet = [UserProfile()] * 7 + [
+            UserProfile(compute_scale=0.25, bandwidth_scale=0.25)
+        ]
+        slow = SystemRuntime(gf, params, model_dim=30, fleet=slow_fleet)
+        s_fast = fast.session(pool_size=2, rng=rng)
+        s_slow = slow.session(pool_size=2, rng=rng)
+        s_fast.refill()
+        s_slow.refill()
+        assert s_slow.background_seconds > s_fast.background_seconds
+
+    def test_training_still_gates_upload_on_pool_hit(self, gf, params, rng):
+        rt = SystemRuntime(gf, params, model_dim=30, training_time=2.0)
+        session = rt.session(pool_size=1, rng=rng)
+        session.refill()
+        updates = make_updates(gf, 8, 30, rng)
+        result = session.run_round(updates, set(), rng)
+        assert result.finish_time >= 2.0
+        assert all(s.training_done >= 2.0 for s in result.spans.values())
+
+    def test_invalid_pool_size(self, gf, params):
+        rt = SystemRuntime(gf, params, model_dim=30)
+        with pytest.raises(SimulationError):
+            SystemSession(rt, pool_size=0)
