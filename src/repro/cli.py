@@ -4,6 +4,8 @@ Usage (also via ``python -m repro``)::
 
     python -m repro round --protocol lightsecagg -n 12 -d 1000 --drop 2
     python -m repro session --protocol lightsecagg -n 16 -d 2000 --rounds 10
+    python -m repro service -n 8 -d 4096 --cohorts 4 --shards 2 \
+        --refill background --low-water 2 --rounds 20 --json
     python -m repro simulate --protocol secagg -n 200 -d 1206590 -p 0.3
     python -m repro gains -n 200 -p 0.1
     python -m repro breakdown -n 200
@@ -135,6 +137,52 @@ def cmd_session(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_service(args: argparse.Namespace) -> int:
+    """Run the sharded aggregation service and report its metrics."""
+    import json
+
+    from repro.service import AggregationService, RefillMode, ServiceConfig
+
+    config = ServiceConfig(
+        num_cohorts=args.cohorts,
+        num_users=args.num_users,
+        model_dim=args.dim,
+        num_shards=args.shards,
+        pool_size=args.pool,
+        low_water=args.low_water,
+        refill_mode=RefillMode(args.refill),
+        dropout_tolerance=max(1, args.num_users // 8),
+        privacy=max(1, args.num_users // 8),
+        seed=args.seed,
+    )
+    with AggregationService(config) as svc:
+        svc.run_synthetic(
+            rounds=args.rounds, dropout_rate=args.dropout,
+            rng=np.random.default_rng(args.seed), settle=args.settle,
+        )
+        snapshot = svc.status()
+
+    if args.json:
+        # The full snapshot, including every cohort's pool-depth series.
+        print(json.dumps(snapshot, indent=2))
+        return 0
+
+    metrics = snapshot["metrics"]
+    print(f"service: {args.cohorts} cohorts x N={args.num_users} "
+          f"d={args.dim} shards={args.shards} pool={args.pool} "
+          f"low_water={args.low_water} refill={args.refill}")
+    print(f"  rounds completed : {metrics['total_rounds']}")
+    print(f"  online stalls    : {metrics['total_stalls']}")
+    if snapshot["refiller"] is not None:
+        ref = snapshot["refiller"]
+        print(f"  background refills: {ref['refills']} "
+              f"({ref['rounds_refilled']} rounds of material)")
+    for cid, m in metrics["cohorts"].items():
+        print(f"  cohort {cid}: {m['rounds']} rounds, {m['stalls']} stalls, "
+              f"{m['rounds_per_second']:.1f} rounds/s online")
+    return 0
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     t = simulate(args.protocol, args.num_users, args.dim, args.dropout,
                  args.train_time, SimulationConfig())
@@ -228,6 +276,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--drop", type=int, default=0)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_session)
+
+    p = sub.add_parser(
+        "service",
+        help="sharded multi-cohort aggregation service with background refill",
+    )
+    p.add_argument("-n", "--num-users", type=int, default=8)
+    p.add_argument("-d", "--dim", type=int, default=1024)
+    p.add_argument("-c", "--cohorts", type=int, default=2)
+    p.add_argument("-s", "--shards", type=int, default=1)
+    p.add_argument("-r", "--rounds", type=int, default=10)
+    p.add_argument("--pool", type=int, default=4)
+    p.add_argument("--low-water", type=int, default=0)
+    p.add_argument("--refill", choices=["sync", "background"], default="sync")
+    p.add_argument("--dropout", type=float, default=0.0)
+    p.add_argument("--settle", action="store_true",
+                   help="wait for the refiller between sweeps (steady state)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true",
+                   help="emit the full status snapshot as JSON")
+    p.set_defaults(func=cmd_service)
 
     p = sub.add_parser("simulate", help="timing model for one round")
     p.add_argument("--protocol", default="lightsecagg",

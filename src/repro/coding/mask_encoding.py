@@ -122,14 +122,22 @@ class MaskEncoder:
             wide = np.zeros((b, padded), dtype=masks.dtype)
             wide[:, : self.model_dim] = masks
             masks = wide
-        # (B, U-T, share_dim) -> (U-T, B*share_dim): same per-mask rows as
-        # partition(), concatenated along the width axis.
+        # Stage the (U, B*share_dim) generator input in one preallocated
+        # buffer: rows 0..U-T-1 are the per-mask sub-mask rows (same rows
+        # as partition(), concatenated along the width axis) and the last
+        # T rows are the random padding, drawn straight into place.  The
+        # width axis of the single generator matmul below is blocked
+        # inside ``gf.matmul`` so large-``d`` refills stay cache-resident.
+        width = b * self.share_dim
+        data = np.empty((self.target_survivors, width), dtype=np.uint64)
         sub = masks.reshape(b, self.num_submasks, self.share_dim)
-        data_rows = sub.transpose(1, 0, 2).reshape(
-            self.num_submasks, b * self.share_dim
+        data[: self.num_submasks] = sub.transpose(1, 0, 2).reshape(
+            self.num_submasks, width
         )
-        padding = self.gf.random((self.privacy, b * self.share_dim), rng)
-        data = np.concatenate([data_rows, padding], axis=0)  # (U, B*share_dim)
+        if self.privacy:
+            data[self.num_submasks :] = self.gf.random(
+                (self.privacy, width), rng
+            )
         coded = self.code.encode(data)  # (N, B*share_dim)
         return coded.reshape(
             self.num_users, b, self.share_dim

@@ -178,29 +178,65 @@ class FiniteField:
             raise FieldError("dot requires two 1-D arrays of equal length")
         return self.sum(self.mul(a, b))
 
+    # Width-axis blocking for matmul: the rank-1 accumulation below makes
+    # k passes over the (m, n) accumulator, so once a row block exceeds
+    # cache, every pass streams it from DRAM.  Bounding the per-block
+    # accumulator + operand footprint to ~2 MiB of uint64 keeps all k
+    # passes cache-resident, which is what makes large-width offline
+    # refills ((N, U) @ (U, K*N*share_dim) in MaskEncoder.encode_batch)
+    # compute-bound instead of memory-bound.
+    MATMUL_BLOCK_ELEMS = 1 << 18
+
     def matmul(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
-        """Matrix product over GF(q).
+        """Matrix product over GF(q), blocked over the width axis.
 
         Products are reduced elementwise before accumulation; the
         accumulation itself is exact in uint64 as argued in :meth:`sum`.
         For typical coded-computing shapes (tall-skinny times small square)
-        an einsum over reduced products is both exact and fast.
+        a rank-1 accumulation over reduced products is both exact and
+        fast, and blocking the width axis keeps it cache-resident at the
+        large widths a batched offline refill produces.
         """
         a = self.array(a)
         b = self.array(b)
         if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
             raise FieldError(f"incompatible matmul shapes {a.shape} x {b.shape}")
+        m, k = a.shape
+        n = b.shape[1]
+        out = np.empty((m, n), dtype=np.uint64)
+        width_block = max(1, self.MATMUL_BLOCK_ELEMS // max(m, 1))
+        for col in range(0, n, width_block):
+            self._matmul_block(a, b[:, col : col + width_block],
+                               out[:, col : col + width_block])
+        return out
+
+    def _matmul_block(self, a: np.ndarray, b: np.ndarray, out: np.ndarray) -> None:
+        """One width block of :meth:`matmul`, written into ``out``."""
         k = a.shape[1]
-        out = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint64)
+        out[:] = 0
         if k <= 256:
             # Short contraction axis (the coded-computing common case):
-            # accumulate one reduced rank-1 product at a time, keeping the
-            # working set at O(m*n) instead of materializing the full
-            # (m, k, n) product tensor.  Each reduced term is < q <= 2**32,
-            # so up to 2**32 terms accumulate exactly in uint64.
-            for kk in range(k):
-                out += np.mod(a[:, kk, None] * b[None, kk, :], self._q64)
-            return np.mod(out, self._q64)
+            # accumulate one rank-1 product at a time, keeping the
+            # working set at O(m * width_block) instead of materializing
+            # the full (m, k, n) product tensor.  Reduction is *lazy*:
+            # each raw product of reduced residues is < (q-1)**2, so
+            # ``batch`` of them accumulate exactly in uint64 before one
+            # shared ``np.mod`` — integer division dominates this kernel,
+            # and for the default q = 2**31 - 1 this cuts it 4x.  The
+            # outer accumulator then holds one reduced (< q) term per
+            # batch, at most 256 of them, far from overflow.
+            batch = ((1 << 64) - 1) // ((self.q - 1) ** 2)
+            if batch < 2:
+                for kk in range(k):
+                    out += np.mod(a[:, kk, None] * b[None, kk, :], self._q64)
+            else:
+                for start in range(0, k, batch):
+                    acc = a[:, start, None] * b[None, start, :]
+                    for kk in range(start + 1, min(start + batch, k)):
+                        acc += a[:, kk, None] * b[None, kk, :]
+                    out += np.mod(acc, self._q64, out=acc)
+            np.mod(out, self._q64, out=out)
+            return
         # Long contraction axis: chunk it so uint64 accumulation cannot
         # overflow; products are reduced (mod q) before accumulation, so
         # each term < 2**32 and up to 2**32 terms fit.
@@ -210,8 +246,9 @@ class FiniteField:
             prod = np.mod(
                 a[:, start:stop, None] * b[None, start:stop, :], self._q64
             )
-            out = np.mod(out + np.sum(prod, axis=1, dtype=np.uint64), self._q64)
-        return out
+            np.mod(
+                out + np.sum(prod, axis=1, dtype=np.uint64), self._q64, out=out
+            )
 
     def matvec(self, a: ArrayLike, x: ArrayLike) -> np.ndarray:
         """Matrix-vector product over GF(q)."""

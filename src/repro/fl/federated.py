@@ -88,6 +88,19 @@ class SecureFederatedAveraging:
         Dedicated generator for the session's offline randomness; by
         default a fresh unseeded generator, so the caller-supplied per-
         round ``rng`` stream is reserved for training/quantization draws.
+    session_low_water:
+        Pool level at which a background refiller should top the session
+        up (forwarded to ``protocol.session``; 0 = refill on empty).
+    session:
+        A pre-built session to drive rounds through instead of opening
+        one on ``protocol`` — this is how the service layer plugs a
+        sharded and/or background-refilled
+        :class:`~repro.service.sharding.ShardedSession` under an
+        unchanged training loop.  Must aggregate over the same user
+        count and field (both validated); the ``session_pool`` /
+        ``session_rng`` / ``session_low_water`` knobs apply only to the
+        session this class opens itself and are ignored when one is
+        supplied.
     """
 
     def __init__(
@@ -101,6 +114,8 @@ class SecureFederatedAveraging:
         weights: Optional[Sequence[int]] = None,
         session_pool: int = 4,
         session_rng: Optional[np.random.Generator] = None,
+        session_low_water: int = 0,
+        session=None,
     ):
         self.model = model
         self.client_datasets = list(client_datasets)
@@ -128,7 +143,23 @@ class SecureFederatedAveraging:
         if len(weights) != self.num_users or any(w <= 0 for w in weights):
             raise ReproError("weights must be positive, one per user")
         self.weights = [int(w) for w in weights]
-        self.session = protocol.session(pool_size=session_pool, rng=session_rng)
+        if session is not None:
+            if session.num_users != self.num_users:
+                raise ProtocolError(
+                    f"supplied session aggregates over {session.num_users} "
+                    f"users, have {self.num_users}"
+                )
+            if session.gf != self.gf:
+                raise ProtocolError(
+                    "supplied session and protocol must share a field"
+                )
+            self.session = session
+        else:
+            self.session = protocol.session(
+                pool_size=session_pool,
+                rng=session_rng,
+                low_water=session_low_water,
+            )
         self._offline_elements_seen = 0
         self.history = TrainingHistory()
         self.global_params = model.get_flat_params()

@@ -17,6 +17,7 @@ Phases follow the paper's terminology:
 from __future__ import annotations
 
 import abc
+import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
@@ -176,14 +177,28 @@ class ProtocolSession:
         protocol: "SecureAggregationProtocol",
         pool_size: int = DEFAULT_POOL_ROUNDS,
         rng: Optional[np.random.Generator] = None,
+        low_water: int = 0,
     ):
         if pool_size < 1:
             raise ProtocolError(f"pool_size must be >= 1, got {pool_size}")
+        if not 0 <= low_water < pool_size:
+            raise ProtocolError(
+                f"low_water must be in [0, pool_size), got low_water="
+                f"{low_water} with pool_size={pool_size}"
+            )
         self.protocol = protocol
         self.pool_size = int(pool_size)
+        self.low_water = int(low_water)
         self.rng = rng if rng is not None else np.random.default_rng()
         self.stats = SessionStats()
         self._closed = False
+        # Concurrency contract: one consumer thread drives ``run_round``
+        # while at most one refiller thread tops the pool up.  ``_pool_lock``
+        # guards pool membership and the hit/miss counters; ``_refill_lock``
+        # serializes whole refills so the offline ``rng`` stream is only
+        # ever drawn from by one thread at a time.
+        self._pool_lock = threading.RLock()
+        self._refill_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @property
@@ -198,6 +213,33 @@ class ProtocolSession:
     def pool_level(self) -> int:
         """Rounds of offline material currently precomputed (0 = none)."""
         return 0
+
+    @property
+    def supports_pool(self) -> bool:
+        """True when this session has a precomputable offline pool.
+
+        The replay fallback recomputes the offline phase inside every
+        round, so there is nothing a background refiller could top up.
+        """
+        return False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def needs_refill(self) -> bool:
+        """True when the pool has drained to the low-water mark.
+
+        This is the trigger a background refiller polls: once the pool
+        level is at or below ``low_water`` (and below ``pool_size``), a
+        refill should run off the online path so upcoming rounds never
+        block on mask encoding.
+        """
+        if not self.supports_pool or self._closed:
+            return False
+        level = self.pool_level
+        return level < self.pool_size and level <= self.low_water
 
     def offline_elements(self) -> int:
         """Total field elements of *amortized* offline traffic so far.
@@ -280,14 +322,17 @@ class SecureAggregationProtocol(abc.ABC):
         self,
         pool_size: int = DEFAULT_POOL_ROUNDS,
         rng: Optional[np.random.Generator] = None,
+        low_water: int = 0,
     ) -> ProtocolSession:
         """Open a stateful multi-round session over this protocol.
 
         The base implementation returns the generic replay
         :class:`ProtocolSession`; protocols with a precomputable offline
-        phase override this to return a pooled session.
+        phase override this to return a pooled session.  ``low_water`` is
+        the pool level at which a refill should be triggered (used by
+        background refillers; inline consumers refill on empty).
         """
-        return ProtocolSession(self, pool_size=pool_size, rng=rng)
+        return ProtocolSession(self, pool_size=pool_size, rng=rng, low_water=low_water)
 
     @abc.abstractmethod
     def run_round(

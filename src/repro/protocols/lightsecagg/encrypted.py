@@ -48,13 +48,15 @@ class EncryptedLightSecAgg(LightSecAgg):
         super().__init__(gf, params, model_dim, generator)
         self.dh = DiffieHellman()
 
-    def session(self, pool_size: int = 4, rng=None):
+    def session(self, pool_size: int = 4, rng=None, low_water: int = 0):
         """Open a pooled session with a persistent DH channel mesh."""
         from repro.protocols.lightsecagg.session import (
             EncryptedLightSecAggSession,
         )
 
-        return EncryptedLightSecAggSession(self, pool_size=pool_size, rng=rng)
+        return EncryptedLightSecAggSession(
+            self, pool_size=pool_size, rng=rng, low_water=low_water
+        )
 
     def run_round(
         self,

@@ -43,11 +43,13 @@ class LightSecAgg(SecureAggregationProtocol):
         self.model_dim = model_dim
         self.generator = generator
 
-    def session(self, pool_size: int = 4, rng=None):
+    def session(self, pool_size: int = 4, rng=None, low_water: int = 0):
         """Open a pooled multi-round session (amortized offline phase)."""
         from repro.protocols.lightsecagg.session import LightSecAggSession
 
-        return LightSecAggSession(self, pool_size=pool_size, rng=rng)
+        return LightSecAggSession(
+            self, pool_size=pool_size, rng=rng, low_water=low_water
+        )
 
     def run_round(
         self,

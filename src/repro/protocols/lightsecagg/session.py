@@ -81,10 +81,15 @@ def precompute_offline_pool(
 
 
 class LightSecAggSession(ProtocolSession):
-    """Pooled multi-round session for LightSecAgg (and its subclasses)."""
+    """Pooled multi-round session for LightSecAgg (and its subclasses).
 
-    def __init__(self, protocol, pool_size=4, rng=None):
-        super().__init__(protocol, pool_size=pool_size, rng=rng)
+    Pool access is thread-safe for the service-layer concurrency contract:
+    one consumer thread draining rounds while one background refiller
+    tops the pool up (see :class:`repro.service.refill.BackgroundRefiller`).
+    """
+
+    def __init__(self, protocol, pool_size=4, rng=None, low_water=0):
+        super().__init__(protocol, pool_size=pool_size, rng=rng, low_water=low_water)
         self.params = protocol.params
         self.model_dim = protocol.model_dim
         self.encoder = MaskEncoder(
@@ -103,50 +108,92 @@ class LightSecAggSession(ProtocolSession):
     def pool_level(self) -> int:
         return len(self._pool)
 
+    @property
+    def supports_pool(self) -> bool:
+        return True
+
     def offline_elements(self) -> int:
-        return self.offline_transcript.elements(phase="offline")
+        with self._pool_lock:
+            return self.offline_transcript.elements(phase="offline")
 
     def refill(self, rounds: Optional[int] = None) -> int:
         """Precompute offline material for ``rounds`` future rounds.
 
         Defaults to topping the pool back up to ``pool_size``.  All
-        ``rounds * N`` masks are encoded in one batched matmul.
+        ``rounds * N`` masks are encoded in one batched matmul.  Refills
+        are serialized under ``_refill_lock`` (the offline rng is not
+        thread-safe); the expensive encode runs outside ``_pool_lock`` so
+        a concurrent consumer can keep draining already-pooled rounds.
         """
         self._require_open()
-        if rounds is None:
-            rounds = self.pool_size - len(self._pool)
-        if rounds <= 0:
-            return 0
-        start = time.perf_counter()
-        masks, coded = precompute_offline_pool(self.encoder, rounds, self.rng)
-        coded = self._deliver_shares(coded)
-        for k in range(rounds):
-            self._pool.append(OfflineMaterial(masks[k], coded[k]))
-        self.stats.refills += 1
-        self.stats.precomputed_rounds += rounds
-        self.stats.refill_seconds += time.perf_counter() - start
+        with self._refill_lock:
+            if rounds is None:
+                with self._pool_lock:
+                    rounds = self.pool_size - len(self._pool)
+            if rounds <= 0:
+                return 0
+            start = time.perf_counter()
+            masks, coded = precompute_offline_pool(self.encoder, rounds, self.rng)
+            batch_transcript = Transcript()
+            coded = self._deliver_shares(coded, batch_transcript)
+            material = [OfflineMaterial(masks[k], coded[k]) for k in range(rounds)]
+            with self._pool_lock:
+                # Material and its traffic accounting land atomically, so
+                # a concurrent ``offline_elements`` reader never observes
+                # a half-recorded refill.
+                self._pool.extend(material)
+                self.offline_transcript.messages.extend(
+                    batch_transcript.messages
+                )
+                self.stats.refills += 1
+                self.stats.precomputed_rounds += rounds
+                self.stats.refill_seconds += time.perf_counter() - start
         return rounds
 
-    def _deliver_shares(self, coded: np.ndarray) -> np.ndarray:
-        """Record the share-exchange traffic for a refill batch.
+    def _take_material(self) -> OfflineMaterial:
+        """Draw one round of offline material, refilling inline on a miss.
+
+        A pool hit pops under ``_pool_lock`` and never blocks on encoding.
+        A miss is the stall the service layer's
+        :class:`~repro.service.refill.BackgroundRefiller` exists to avoid:
+        the consumer must run a synchronous refill on the online path.  A
+        concurrent background refill may land between the miss and our own
+        ``refill`` call — in that case ``refill`` computes a zero top-up
+        and the loop simply pops the freshly delivered material.
+        """
+        with self._pool_lock:
+            if self._pool:
+                self.stats.pool_hits += 1
+                return self._pool.popleft()
+            self.stats.pool_misses += 1
+        while True:
+            self.refill()
+            with self._pool_lock:
+                if self._pool:
+                    return self._pool.popleft()
+
+    def _deliver_shares(
+        self, coded: np.ndarray, transcript: Transcript
+    ) -> np.ndarray:
+        """Record one refill batch's share-exchange traffic in ``transcript``.
 
         ``coded`` has shape ``(rounds, N_source, N_holder, share_dim)``.
         The base session models the paper's abstract secure transport: the
         whole batch of a source's shares for one holder travels as a
         single message of ``rounds * share_dim`` elements (element totals
         match the one-shot path exactly; only the message granularity is
-        coarser).  Returns the material as held by the recipients
-        (identical here; the encrypted subclass routes it through sealed
-        channels).
+        coarser).  Messages go to the supplied per-batch transcript —
+        ``refill`` merges them into :attr:`offline_transcript` under the
+        pool lock — and the material is returned as held by the
+        recipients (identical here; the encrypted subclass routes it
+        through sealed channels).
         """
         rounds, n = coded.shape[0], coded.shape[1]
         share_dim = coded.shape[3]
         for i in range(n):
             for j in range(n):
                 if i != j:
-                    self.offline_transcript.record(
-                        i, j, "offline", rounds * share_dim
-                    )
+                    transcript.record(i, j, "offline", rounds * share_dim)
         return coded
 
     # ------------------------------------------------------------------
@@ -177,12 +224,7 @@ class LightSecAggSession(ProtocolSession):
                 f"session round {self.stats.rounds}: only {len(survivors)} "
                 f"survivors remain, need U={u} to recover the aggregate mask"
             )
-        if not self._pool:
-            self.stats.pool_misses += 1
-            self.refill()
-        else:
-            self.stats.pool_hits += 1
-        material = self._pool.popleft()
+        material = self._take_material()
 
         gf = self.gf
         n = self.num_users
@@ -244,8 +286,10 @@ class EncryptedLightSecAggSession(LightSecAggSession):
     online path is identical to the base session.
     """
 
-    def __init__(self, protocol, pool_size=4, rng=None):
-        super().__init__(protocol, pool_size=pool_size, rng=rng)
+    def __init__(self, protocol, pool_size=4, rng=None, low_water=0):
+        super().__init__(
+            protocol, pool_size=pool_size, rng=rng, low_water=low_water
+        )
         n = self.num_users
         keypairs = [protocol.dh.generate_keypair(self.rng) for _ in range(n)]
         for i in range(n):
@@ -266,7 +310,9 @@ class EncryptedLightSecAggSession(LightSecAggSession):
                         self.gf, key, sender=i, receiver=j
                     )
 
-    def _deliver_shares(self, coded: np.ndarray) -> np.ndarray:
+    def _deliver_shares(
+        self, coded: np.ndarray, transcript: Transcript
+    ) -> np.ndarray:
         """Seal every source->holder share batch and relay it via server."""
         rounds, n = coded.shape[0], coded.shape[1]
         share_dim = coded.shape[3]
@@ -278,12 +324,8 @@ class EncryptedLightSecAggSession(LightSecAggSession):
                 flat = coded[:, i, j, :].reshape(-1)
                 sealed = self._channels[(i, j)].seal(flat)
                 # user -> server -> peer; both hops carry the whole batch.
-                self.offline_transcript.record(
-                    i, SERVER, "offline", rounds * share_dim
-                )
-                self.offline_transcript.record(
-                    SERVER, j, "offline", rounds * share_dim
-                )
+                transcript.record(i, SERVER, "offline", rounds * share_dim)
+                transcript.record(SERVER, j, "offline", rounds * share_dim)
                 opened = self._channels[(i, j)].open(sealed)
                 delivered[:, i, j, :] = opened.reshape(rounds, share_dim)
         return delivered

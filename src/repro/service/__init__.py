@@ -1,0 +1,50 @@
+"""Aggregation service layer: cohorts, sharding, background refill.
+
+This package is the layer between the protocol engine
+(:mod:`repro.protocols`) and the FL loop (:mod:`repro.fl`): a long-lived
+*service* that runs many concurrent FL cohorts against pooled protocol
+sessions, keeps every session's offline pool topped up from a background
+refill pipeline, and shards large model vectors across per-shard sessions
+— the first piece of the repo that looks like a server rather than a
+script.
+
+Layering (see the repo README for the full picture)::
+
+    field -> coding -> protocols -> sessions -> service -> fl / cli
+
+* :mod:`repro.service.refill` — the background refill pipeline: a worker
+  thread that tops up registered sessions at their low-water mark so
+  online rounds never block on mask encoding.
+* :mod:`repro.service.sharding` — model-vector sharding: a coordinator
+  that scatters client updates across per-shard sessions and reassembles
+  shard aggregates bit-identically to the single-shard path.
+* :mod:`repro.service.cohort` — the per-cohort round state machine.
+* :mod:`repro.service.scheduler` — round-robin scheduling of many
+  cohorts over the shared refill pipeline.
+* :mod:`repro.service.metrics` — pool depth / stall / throughput
+  counters, snapshotable for the CLI and the throughput benchmark.
+* :mod:`repro.service.service` — the :class:`AggregationService` facade
+  that wires all of the above together from a :class:`ServiceConfig`.
+"""
+
+from repro.service.config import RefillMode, ServiceConfig
+from repro.service.cohort import Cohort, CohortPhase
+from repro.service.metrics import CohortMetrics, ServiceMetrics
+from repro.service.refill import BackgroundRefiller
+from repro.service.scheduler import CohortScheduler
+from repro.service.service import AggregationService
+from repro.service.sharding import ShardedSession, ShardPlan
+
+__all__ = [
+    "AggregationService",
+    "BackgroundRefiller",
+    "Cohort",
+    "CohortMetrics",
+    "CohortPhase",
+    "CohortScheduler",
+    "RefillMode",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "ShardPlan",
+    "ShardedSession",
+]

@@ -1,0 +1,149 @@
+"""Per-cohort round lifecycle: an explicit, snapshotable state machine.
+
+A *cohort* is one federation of ``N`` users training one model through
+one (possibly sharded) protocol session.  The service hosts many cohorts
+concurrently; each cohort serializes its own rounds through the phase
+machine below, modelled on long-lived round managers in production FL
+stacks: explicit phases, loud invalid transitions, and a status snapshot
+a coordinator can poll while background refills drain.
+
+Phases::
+
+    IDLE -> COLLECTING -> AGGREGATING -> IDLE   (per round)
+    any  -> CLOSED                              (terminal)
+
+``COLLECTING`` is where a deployment would wait for client uploads; the
+in-process service enters it when the caller hands over the round's
+updates.  ``AGGREGATING`` covers the protocol's online path.  The round
+*stalls* if the session pool is empty at aggregation start — that is the
+event background refill eliminates, and the cohort counts it.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from typing import Dict, Optional, Set
+
+import numpy as np
+
+from repro.exceptions import ProtocolError
+from repro.protocols.base import AggregationResult
+from repro.service.metrics import ServiceMetrics
+from repro.service.refill import BackgroundRefiller
+
+
+class CohortPhase(enum.Enum):
+    IDLE = "idle"
+    COLLECTING = "collecting"
+    AGGREGATING = "aggregating"
+    CLOSED = "closed"
+
+
+class Cohort:
+    """One FL cohort driving rounds through its session.
+
+    Parameters
+    ----------
+    cohort_id:
+        Stable identifier used in metrics and snapshots.
+    session:
+        A :class:`~repro.protocols.base.ProtocolSession` or
+        :class:`~repro.service.sharding.ShardedSession`.
+    metrics:
+        Optional shared :class:`ServiceMetrics` sink.
+    refiller:
+        Optional :class:`BackgroundRefiller`; the cohort nudges it after
+        every round so top-ups start as soon as the pool drains.
+    """
+
+    def __init__(
+        self,
+        cohort_id: int,
+        session,
+        metrics: Optional[ServiceMetrics] = None,
+        refiller: Optional[BackgroundRefiller] = None,
+    ):
+        self.cohort_id = int(cohort_id)
+        self.session = session
+        self.metrics = metrics
+        self.refiller = refiller
+        self.phase = CohortPhase.IDLE
+        self.rounds = 0
+        self.stalls = 0
+
+    # ------------------------------------------------------------------
+    def _transition(self, expected: CohortPhase, to: CohortPhase) -> None:
+        if self.phase is not expected:
+            raise ProtocolError(
+                f"cohort {self.cohort_id}: invalid transition "
+                f"{self.phase.value} -> {to.value} (expected to be in "
+                f"{expected.value})"
+            )
+        self.phase = to
+
+    def run_round(
+        self,
+        updates: Dict[int, np.ndarray],
+        dropouts: Optional[Set[int]] = None,
+        rng: Optional[np.random.Generator] = None,
+        **phase_kwargs,
+    ) -> AggregationResult:
+        """Drive one full round through the phase machine."""
+        dropouts = set(dropouts or set())
+        # Entering the machine happens OUTSIDE the recovery block: a call
+        # rejected here (cohort busy or closed) must not clobber the
+        # phase of a round legitimately in progress.
+        self._transition(CohortPhase.IDLE, CohortPhase.COLLECTING)
+        try:
+            # COLLECTING: updates are already in hand in-process; a
+            # transport would gather client uploads here.
+            self._transition(CohortPhase.COLLECTING, CohortPhase.AGGREGATING)
+            supports_pool = getattr(self.session, "supports_pool", False)
+            level_before = self.session.pool_level if supports_pool else None
+            stalled = bool(supports_pool and level_before == 0)
+            t0 = time.perf_counter()
+            result = self.session.run_round(
+                updates, dropouts, rng, **phase_kwargs
+            )
+            online = time.perf_counter() - t0
+            self.rounds += 1
+            if stalled:
+                self.stalls += 1
+            if self.metrics is not None:
+                self.metrics.record_round(
+                    self.cohort_id, online, stalled, level_before
+                )
+            if self.refiller is not None:
+                self.refiller.notify()
+            self._transition(CohortPhase.AGGREGATING, CohortPhase.IDLE)
+            return result
+        except Exception:
+            # A failed round (e.g. survivors below U) leaves the cohort
+            # ready for the next round, matching session semantics.
+            if self.phase is not CohortPhase.CLOSED:
+                self.phase = CohortPhase.IDLE
+            raise
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.session.close()
+        self.phase = CohortPhase.CLOSED
+
+    def status(self) -> Dict:
+        """Snapshotable cohort state for coordinators and the CLI."""
+        supports_pool = getattr(self.session, "supports_pool", False)
+        return {
+            "cohort_id": self.cohort_id,
+            "phase": self.phase.value,
+            "rounds": self.rounds,
+            "stalls": self.stalls,
+            "pool_level": self.session.pool_level if supports_pool else None,
+            "pool_size": self.session.pool_size if supports_pool else None,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Cohort({self.cohort_id}, phase={self.phase.value}, "
+            f"rounds={self.rounds}, stalls={self.stalls})"
+        )

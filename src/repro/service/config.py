@@ -1,0 +1,101 @@
+"""Configuration for the aggregation service.
+
+A :class:`ServiceConfig` fully describes one service deployment: how many
+cohorts run concurrently, the protocol geometry of each cohort (users,
+model dimension, privacy/dropout guarantees), how the model vector is
+sharded, and how offline pools are sized and refilled.  The service
+builds everything else (protocols, sessions, shards, cohorts, scheduler,
+refiller) from this one object, so tests and benchmarks can sweep
+configurations declaratively.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import ReproError
+
+
+class RefillMode(enum.Enum):
+    """How a cohort's offline pools are topped up.
+
+    * ``SYNC`` — no background work: a pool miss stalls the online round
+      while the session refills inline (the PR 1 behaviour, kept as the
+      baseline the benchmark compares against).
+    * ``BACKGROUND`` — a :class:`~repro.service.refill.BackgroundRefiller`
+      worker thread refills every session at its low-water mark, off the
+      online path.
+    """
+
+    SYNC = "sync"
+    BACKGROUND = "background"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Declarative description of one aggregation-service deployment.
+
+    Parameters
+    ----------
+    num_cohorts:
+        Concurrent FL cohorts the service hosts; each gets its own
+        protocol instance(s), sessions, and round state machine.
+    num_users:
+        ``N``, users per cohort.
+    model_dim:
+        ``d``, the full (unsharded) model-vector length.
+    num_shards:
+        Worker shards the model vector is partitioned across; each shard
+        drives its own protocol session over its slice of the vector.
+    pool_size:
+        Rounds of offline material each session pools per refill.
+    low_water:
+        Pool level at which the background refiller tops a session up.
+        Ignored in ``SYNC`` mode (inline refills trigger on empty).
+    refill_mode:
+        See :class:`RefillMode`.
+    dropout_tolerance / privacy:
+        Per-cohort LightSecAgg guarantees ``D`` and ``T``; defaults scale
+        with ``N`` like :meth:`LSAParams.paper_defaults`.
+    protocol:
+        Protocol family; currently ``"lightsecagg"`` (pooled sessions)
+        and ``"naive"`` (replay sessions, useful as an oracle) are wired.
+    refill_poll_interval_s:
+        Background refiller sleep between low-water polls when idle.
+    seed:
+        Base seed; cohort ``c`` shard ``s`` derives an independent
+        deterministic stream from it.
+    """
+
+    num_cohorts: int = 1
+    num_users: int = 8
+    model_dim: int = 256
+    num_shards: int = 1
+    pool_size: int = 4
+    low_water: int = 0
+    refill_mode: RefillMode = RefillMode.SYNC
+    dropout_tolerance: int = 1
+    privacy: int = 1
+    protocol: str = "lightsecagg"
+    refill_poll_interval_s: float = 0.001
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_cohorts < 1:
+            raise ReproError(f"need >= 1 cohort, got {self.num_cohorts}")
+        if self.num_shards < 1:
+            raise ReproError(f"need >= 1 shard, got {self.num_shards}")
+        if self.num_shards > self.model_dim:
+            raise ReproError(
+                f"cannot split d={self.model_dim} into {self.num_shards} "
+                "non-empty shards"
+            )
+        if self.pool_size < 1:
+            raise ReproError(f"pool_size must be >= 1, got {self.pool_size}")
+        if not 0 <= self.low_water < self.pool_size:
+            raise ReproError(
+                f"low_water must be in [0, pool_size), got {self.low_water}"
+            )
+        if self.protocol not in ("lightsecagg", "naive"):
+            raise ReproError(f"unknown service protocol {self.protocol!r}")

@@ -1,0 +1,119 @@
+"""Thread-safe service metrics: pool depth, stalls, throughput.
+
+The service's observability layer.  Producers (cohorts, the scheduler,
+the background refiller) record events; consumers (the CLI ``service``
+subcommand, the throughput benchmark, tests) read immutable snapshots.
+Everything is guarded by one lock per cohort — contention is negligible
+at round granularity and the snapshot is consistent.
+
+A *stall* is the event the whole service layer exists to eliminate: an
+online round that found its session pool empty and had to run the
+offline encode inline on the critical path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class CohortMetrics:
+    """Counters and series for one cohort (internal, lock-guarded)."""
+
+    rounds: int = 0
+    stalls: int = 0
+    online_seconds: float = 0.0
+    background_refills: int = 0
+    background_rounds_refilled: int = 0
+    # (monotonic time, pool level) sampled at every round start and after
+    # every background refill — the benchmark's pool-depth-over-time series.
+    pool_depth_series: List[Tuple[float, int]] = field(default_factory=list)
+
+    @property
+    def rounds_per_second(self) -> float:
+        if self.online_seconds <= 0:
+            return 0.0
+        return self.rounds / self.online_seconds
+
+
+class ServiceMetrics:
+    """Aggregated, thread-safe metrics across all cohorts."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._cohorts: Dict[int, CohortMetrics] = {}
+        self._t0 = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+    def _cohort(self, cohort_id: int) -> CohortMetrics:
+        return self._cohorts.setdefault(cohort_id, CohortMetrics())
+
+    def record_round(
+        self,
+        cohort_id: int,
+        online_seconds: float,
+        stalled: bool,
+        pool_level_before: Optional[int] = None,
+    ) -> None:
+        """Record one completed online round for a cohort."""
+        with self._lock:
+            m = self._cohort(cohort_id)
+            m.rounds += 1
+            m.online_seconds += online_seconds
+            if stalled:
+                m.stalls += 1
+            if pool_level_before is not None:
+                m.pool_depth_series.append(
+                    (time.monotonic() - self._t0, pool_level_before)
+                )
+
+    def record_refill(
+        self, cohort_id: int, rounds_added: int, pool_level_after: int
+    ) -> None:
+        """Record one background refill that topped a cohort's pool up."""
+        with self._lock:
+            m = self._cohort(cohort_id)
+            m.background_refills += 1
+            m.background_rounds_refilled += rounds_added
+            m.pool_depth_series.append(
+                (time.monotonic() - self._t0, pool_level_after)
+            )
+
+    # ------------------------------------------------------------------
+    # consumer side
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict:
+        """Consistent point-in-time view, JSON-serializable."""
+        with self._lock:
+            cohorts = {}
+            for cid, m in sorted(self._cohorts.items()):
+                cohorts[cid] = {
+                    "rounds": m.rounds,
+                    "stalls": m.stalls,
+                    "online_seconds": m.online_seconds,
+                    "rounds_per_second": m.rounds_per_second,
+                    "background_refills": m.background_refills,
+                    "background_rounds_refilled": m.background_rounds_refilled,
+                    "pool_depth_series": list(m.pool_depth_series),
+                }
+            return {
+                "uptime_seconds": time.monotonic() - self._t0,
+                "total_rounds": sum(m.rounds for m in self._cohorts.values()),
+                "total_stalls": sum(m.stalls for m in self._cohorts.values()),
+                "cohorts": cohorts,
+            }
+
+    @property
+    def total_rounds(self) -> int:
+        with self._lock:
+            return sum(m.rounds for m in self._cohorts.values())
+
+    @property
+    def total_stalls(self) -> int:
+        with self._lock:
+            return sum(m.stalls for m in self._cohorts.values())

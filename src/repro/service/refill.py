@@ -1,0 +1,201 @@
+"""Background refill pipeline for pooled protocol sessions.
+
+The paper's amortization story says the offline phase is precomputable;
+PR 1 made it poolable; this module takes it *off the online path*.  A
+:class:`BackgroundRefiller` owns one worker thread that watches a set of
+registered sessions and tops each one's offline pool back up to
+``pool_size`` whenever it drains to its low-water mark
+(:attr:`ProtocolSession.needs_refill`), so a steadily-draining consumer
+never sees an empty pool and never stalls an online round on mask
+encoding.
+
+Concurrency contract (matching :class:`ProtocolSession`): one consumer
+thread drains each session via ``run_round`` while this single worker
+refills it; pool membership is guarded by the session's ``_pool_lock``
+and whole refills are serialized by its ``_refill_lock``, so a consumer
+keeps draining already-pooled rounds while a refill encodes.
+
+Shutdown is clean by construction: :meth:`stop` wakes the worker and
+joins it; a refill already in flight runs to completion (its material is
+still delivered to the pool) and no new refill starts afterwards.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional, Tuple
+
+from repro.exceptions import ProtocolError
+from repro.protocols.base import ProtocolSession
+from repro.service.metrics import ServiceMetrics
+
+
+class BackgroundRefiller:
+    """Worker thread that keeps registered sessions' pools above low water.
+
+    Parameters
+    ----------
+    poll_interval_s:
+        Fallback polling period while idle.  Consumers should still call
+        :meth:`notify` after draining a pool so refills start promptly;
+        the poll is a safety net, not the main wake-up mechanism.
+    metrics:
+        Optional :class:`ServiceMetrics` sink for per-refill accounting.
+    """
+
+    def __init__(
+        self,
+        poll_interval_s: float = 0.001,
+        metrics: Optional[ServiceMetrics] = None,
+    ):
+        self.poll_interval_s = float(poll_interval_s)
+        self.metrics = metrics
+        self.refills = 0
+        self.rounds_refilled = 0
+        self._sessions: List[
+            Tuple[ProtocolSession, int, Optional[Callable[[], int]]]
+        ] = []
+        self._cond = threading.Condition()
+        self._stopping = False
+        self._in_flight = False
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        session: ProtocolSession,
+        cohort_id: int = 0,
+        depth_fn: Optional[Callable[[], int]] = None,
+    ) -> None:
+        """Watch ``session``; refill it whenever it reports low water.
+
+        Sessions without a precomputable pool (``supports_pool`` False)
+        are accepted but never refilled — their ``needs_refill`` is
+        always False — so callers can register uniformly.  ``depth_fn``
+        overrides the pool depth reported to metrics after a refill;
+        sharded cohorts pass their *logical* (min-over-shards) depth so
+        the metrics series stays one consistent quantity even though the
+        refiller tops shards up individually.
+        """
+        with self._cond:
+            self._sessions.append((session, cohort_id, depth_fn))
+            self._cond.notify_all()
+
+    def start(self) -> "BackgroundRefiller":
+        """Start the worker thread (idempotent)."""
+        with self._cond:
+            if self._thread is not None:
+                return self
+            self._stopping = False
+            self._thread = threading.Thread(
+                target=self._run, name="offline-refiller", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, timeout: Optional[float] = None) -> None:
+        """Stop and join the worker; a refill in flight completes first."""
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+            thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+            self._thread = None
+
+    @property
+    def running(self) -> bool:
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    def __enter__(self) -> "BackgroundRefiller":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # consumer interface
+    # ------------------------------------------------------------------
+    def notify(self) -> None:
+        """Wake the worker (call after draining a pool round)."""
+        with self._cond:
+            self._cond.notify_all()
+
+    def wait_until_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until no registered session needs a refill.
+
+        Returns True when idle was reached, False on timeout.  Used by
+        tests and benchmarks to establish the steady state in which a
+        consumer's think time exceeds refill time — the regime where the
+        zero-stall guarantee holds.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                busy = self._in_flight or any(
+                    s.needs_refill for s, _, _ in self._sessions
+                )
+                if not busy:
+                    return True
+                if self._stopping:
+                    return False
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._cond.wait(
+                    self.poll_interval_s
+                    if remaining is None
+                    else min(self.poll_interval_s, remaining)
+                )
+
+    # ------------------------------------------------------------------
+    # worker
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                if self._stopping:
+                    return
+                needy = [
+                    entry for entry in self._sessions if entry[0].needs_refill
+                ]
+                if not needy:
+                    self._cond.wait(self.poll_interval_s)
+                    continue
+                self._in_flight = True
+            try:
+                for session, cohort_id, depth_fn in needy:
+                    with self._cond:
+                        if self._stopping:
+                            # Finish cleanly: skip refills not yet started.
+                            return
+                    self._refill_one(session, cohort_id, depth_fn)
+            finally:
+                with self._cond:
+                    self._in_flight = False
+                    self._cond.notify_all()
+
+    def _refill_one(
+        self,
+        session: ProtocolSession,
+        cohort_id: int,
+        depth_fn: Optional[Callable[[], int]] = None,
+    ) -> None:
+        try:
+            added = session.refill()
+        except ProtocolError:
+            # The consumer closed the session between the low-water check
+            # and the refill; nothing to top up.
+            return
+        if added > 0:
+            self.refills += 1
+            self.rounds_refilled += added
+            if self.metrics is not None:
+                depth = depth_fn() if depth_fn is not None else session.pool_level
+                self.metrics.record_refill(cohort_id, added, depth)

@@ -1,0 +1,68 @@
+"""Round-robin cohort scheduling over the shared refill pipeline.
+
+The scheduler is the service's main loop: it interleaves rounds across
+all live cohorts (round-robin, one round per cohort per sweep) while the
+single :class:`~repro.service.refill.BackgroundRefiller` worker tops up
+whichever pools have drained.  Interleaving is itself a refill-friendly
+policy — while cohort A's round runs, cohorts B and C's pools are
+refilling off-path — so the steady state has every cohort hitting its
+pool every round.
+
+Updates are produced per round by a caller-supplied ``update_fn`` so the
+same scheduler drives synthetic benchmarks (random field vectors), FL
+training loops (quantized local updates), and tests (fixed oracles).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.exceptions import ProtocolError
+from repro.protocols.base import AggregationResult
+from repro.service.cohort import Cohort, CohortPhase
+
+# update_fn(cohort, round_index) -> (updates, dropouts)
+UpdateFn = Callable[[Cohort, int], tuple]
+
+
+class CohortScheduler:
+    """Drives many cohorts' rounds round-robin."""
+
+    def __init__(self, cohorts: Sequence[Cohort]):
+        if not cohorts:
+            raise ProtocolError("scheduler needs at least one cohort")
+        ids = [c.cohort_id for c in cohorts]
+        if len(set(ids)) != len(ids):
+            raise ProtocolError(f"duplicate cohort ids: {ids}")
+        self.cohorts = list(cohorts)
+
+    def live_cohorts(self) -> List[Cohort]:
+        return [c for c in self.cohorts if c.phase is not CohortPhase.CLOSED]
+
+    def run_sweep(
+        self,
+        update_fn: UpdateFn,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Dict[int, AggregationResult]:
+        """One round for every live cohort; returns results by cohort id."""
+        results: Dict[int, AggregationResult] = {}
+        for cohort in self.live_cohorts():
+            updates, dropouts = update_fn(cohort, cohort.rounds)
+            results[cohort.cohort_id] = cohort.run_round(
+                updates, set(dropouts or set()), rng
+            )
+        return results
+
+    def run(
+        self,
+        rounds: int,
+        update_fn: UpdateFn,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[Dict[int, AggregationResult]]:
+        """``rounds`` round-robin sweeps across all live cohorts."""
+        return [self.run_sweep(update_fn, rng) for _ in range(rounds)]
+
+    def status(self) -> List[Dict]:
+        return [c.status() for c in self.cohorts]

@@ -1,0 +1,255 @@
+"""Model-vector sharding across per-shard protocol sessions.
+
+Secure aggregation is elementwise: the field sum of the surviving users'
+updates decomposes coordinate-by-coordinate.  A :class:`ShardPlan`
+partitions the length-``d`` model vector into ``S`` contiguous slices
+(the same near-even split :mod:`repro.coding.partition` uses, without
+padding), and a :class:`ShardedSession` drives one pooled protocol
+session per shard: client updates are *scattered* into per-shard slices,
+every shard runs the same round against the same dropout set, and the
+shard aggregates are *gathered* back into one vector.
+
+Because the per-shard field sums are exact, reassembly is bit-identical
+to running the round through a single session over the full vector —
+that is the correctness contract the service tests pin down.  What
+sharding buys is systems headroom: each shard's offline pool is
+``S``-times narrower (cheaper refills that can proceed in parallel and
+interleave with draining), and in a deployment each shard would live on
+its own worker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.exceptions import ProtocolError
+from repro.protocols.base import (
+    AggregationResult,
+    RoundMetrics,
+    SessionStats,
+    Transcript,
+)
+
+
+class ShardPlan:
+    """Contiguous near-even partition of ``dim`` into ``num_shards`` slices."""
+
+    def __init__(self, dim: int, num_shards: int):
+        if dim < 1:
+            raise ProtocolError(f"dim must be >= 1, got {dim}")
+        if not 1 <= num_shards <= dim:
+            raise ProtocolError(
+                f"num_shards must be in [1, dim={dim}], got {num_shards}"
+            )
+        self.dim = int(dim)
+        self.num_shards = int(num_shards)
+        base, extra = divmod(self.dim, self.num_shards)
+        self.widths: List[int] = [
+            base + (1 if s < extra else 0) for s in range(self.num_shards)
+        ]
+        self.offsets: List[int] = [0]
+        for w in self.widths[:-1]:
+            self.offsets.append(self.offsets[-1] + w)
+
+    def slice(self, shard: int) -> slice:
+        return slice(
+            self.offsets[shard], self.offsets[shard] + self.widths[shard]
+        )
+
+    def scatter(self, vector: np.ndarray) -> List[np.ndarray]:
+        """Split one full-length vector into its per-shard slices."""
+        vector = np.asarray(vector)
+        if vector.shape != (self.dim,):
+            raise ProtocolError(
+                f"expected a vector of shape ({self.dim},), got {vector.shape}"
+            )
+        return [vector[self.slice(s)] for s in range(self.num_shards)]
+
+    def gather(self, pieces: Sequence[np.ndarray]) -> np.ndarray:
+        """Reassemble per-shard slices into one full-length vector."""
+        if len(pieces) != self.num_shards:
+            raise ProtocolError(
+                f"expected {self.num_shards} shard pieces, got {len(pieces)}"
+            )
+        for s, piece in enumerate(pieces):
+            if np.asarray(piece).shape != (self.widths[s],):
+                raise ProtocolError(
+                    f"shard {s} piece has shape {np.asarray(piece).shape}, "
+                    f"expected ({self.widths[s]},)"
+                )
+        return np.concatenate(pieces)
+
+    def __repr__(self) -> str:
+        return f"ShardPlan(dim={self.dim}, shards={self.widths})"
+
+
+class ShardedSession:
+    """Coordinator that drives one protocol session per model shard.
+
+    Exposes the same surface as a
+    :class:`~repro.protocols.base.ProtocolSession` (``run_round``,
+    ``refill``, ``pool_level``, ``needs_refill``, ``close``, ``stats``
+    ...), so the FL loop, the cohort state machine, and the background
+    refiller all treat it interchangeably with a single-shard session.
+    Per-shard sessions can also be registered with a refiller
+    *individually* (see :attr:`shard_sessions`), which lets their refills
+    interleave with rounds at shard granularity.
+    """
+
+    def __init__(self, plan: ShardPlan, shard_sessions: Sequence):
+        if len(shard_sessions) != plan.num_shards:
+            raise ProtocolError(
+                f"plan has {plan.num_shards} shards but "
+                f"{len(shard_sessions)} sessions were supplied"
+            )
+        for s, sess in enumerate(shard_sessions):
+            if sess.protocol.model_dim != plan.widths[s]:
+                raise ProtocolError(
+                    f"shard {s} session covers d={sess.protocol.model_dim}, "
+                    f"plan expects {plan.widths[s]}"
+                )
+        users = {sess.num_users for sess in shard_sessions}
+        if len(users) != 1:
+            raise ProtocolError(
+                f"shard sessions disagree on user count: {sorted(users)}"
+            )
+        if len({sess.gf for sess in shard_sessions}) != 1:
+            raise ProtocolError("shard sessions disagree on the field")
+        self.plan = plan
+        self.shard_sessions = list(shard_sessions)
+        self.num_users = users.pop()
+        self.stats = SessionStats()
+        self._logical_misses = 0  # rounds in which any shard missed
+
+    # ------------------------------------------------------------------
+    # session surface (pool management)
+    # ------------------------------------------------------------------
+    @property
+    def gf(self):
+        """The shared field (validated identical across shard protocols)."""
+        return self.shard_sessions[0].gf
+
+    @property
+    def pool_level(self) -> int:
+        """Rounds servable without a refill: the min over shards."""
+        return min(s.pool_level for s in self.shard_sessions)
+
+    @property
+    def pool_size(self) -> int:
+        return min(s.pool_size for s in self.shard_sessions)
+
+    @property
+    def supports_pool(self) -> bool:
+        return all(s.supports_pool for s in self.shard_sessions)
+
+    @property
+    def needs_refill(self) -> bool:
+        return any(s.needs_refill for s in self.shard_sessions)
+
+    @property
+    def closed(self) -> bool:
+        return any(s.closed for s in self.shard_sessions)
+
+    def refill(self, rounds: Optional[int] = None) -> int:
+        """Refill every shard; returns the max rounds added to any shard."""
+        return max(s.refill(rounds) for s in self.shard_sessions)
+
+    def offline_elements(self) -> int:
+        return sum(s.offline_elements() for s in self.shard_sessions)
+
+    def close(self) -> None:
+        for s in self.shard_sessions:
+            s.close()
+
+    def __enter__(self) -> "ShardedSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # the round: scatter -> per-shard rounds -> gather
+    # ------------------------------------------------------------------
+    def run_round(
+        self,
+        updates: Dict[int, np.ndarray],
+        dropouts: Set[int],
+        rng: Optional[np.random.Generator] = None,
+        **phase_kwargs,
+    ) -> AggregationResult:
+        """One logical round across all shards.
+
+        Every shard session sees the same dropout set (and any
+        ``phase_kwargs`` like ``offline_dropouts``), so survivor sets
+        agree by construction; the reassembled aggregate is bit-identical
+        to the single-shard path because field sums are elementwise.
+        """
+        scattered: Dict[int, List[np.ndarray]] = {
+            uid: self.plan.scatter(vec) for uid, vec in updates.items()
+        }
+        misses_before = sum(s.stats.pool_misses for s in self.shard_sessions)
+        shard_results: List[AggregationResult] = []
+        for s, sess in enumerate(self.shard_sessions):
+            shard_updates = {uid: parts[s] for uid, parts in scattered.items()}
+            shard_results.append(
+                sess.run_round(shard_updates, set(dropouts), rng, **phase_kwargs)
+            )
+        misses_after = sum(s.stats.pool_misses for s in self.shard_sessions)
+        if misses_after > misses_before:
+            self._logical_misses += 1
+
+        survivors = shard_results[0].survivors
+        for s, res in enumerate(shard_results[1:], start=1):
+            if res.survivors != survivors:
+                raise ProtocolError(
+                    f"shard {s} diverged on survivors: {res.survivors} "
+                    f"vs {survivors}"
+                )
+        aggregate = self.plan.gather([r.aggregate for r in shard_results])
+
+        transcript = Transcript()
+        metrics = RoundMetrics()
+        for res in shard_results:
+            transcript.messages.extend(res.transcript.messages)
+            metrics.server_decode_ops += res.metrics.server_decode_ops
+            metrics.server_prg_elements += res.metrics.server_prg_elements
+            metrics.user_encode_ops += res.metrics.user_encode_ops
+            for key, val in res.metrics.extra.items():
+                metrics.extra[key] = metrics.extra.get(key, 0.0) + val
+
+        self.stats.rounds += 1
+        self._merge_shard_stats()
+        return AggregationResult(
+            aggregate=aggregate,
+            survivors=survivors,
+            transcript=transcript,
+            metrics=metrics,
+        )
+
+    def _merge_shard_stats(self) -> None:
+        """Mirror per-shard counters into this coordinator's stats.
+
+        ``pool_misses`` counts *logical* rounds in which at least one
+        shard ran an inline refill (one shard stalling stalls the whole
+        round — tracked per round, since different shards can miss in
+        different rounds); ``pool_hits`` is the complement.  Refill
+        counters are summed across shards.
+        """
+        self.stats.refills = sum(s.stats.refills for s in self.shard_sessions)
+        self.stats.precomputed_rounds = sum(
+            s.stats.precomputed_rounds for s in self.shard_sessions
+        )
+        self.stats.refill_seconds = sum(
+            s.stats.refill_seconds for s in self.shard_sessions
+        )
+        self.stats.pool_misses = self._logical_misses
+        self.stats.pool_hits = self.stats.rounds - self.stats.pool_misses
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedSession(shards={self.plan.num_shards}, "
+            f"d={self.plan.dim}, pool={self.pool_level}/{self.pool_size}, "
+            f"rounds={self.stats.rounds})"
+        )

@@ -104,9 +104,11 @@ class SystemRuntime:
         self,
         pool_size: int = 4,
         rng: Optional[np.random.Generator] = None,
+        low_water: int = 0,
     ) -> "SystemSession":
         """Open a multi-round session with a background offline pool."""
-        return SystemSession(self, pool_size=pool_size, rng=rng)
+        return SystemSession(self, pool_size=pool_size, rng=rng,
+                             low_water=low_water)
 
     def run_round(
         self,
@@ -353,11 +355,17 @@ class SystemSession:
         runtime: SystemRuntime,
         pool_size: int = 4,
         rng: Optional[np.random.Generator] = None,
+        low_water: int = 0,
     ):
         if pool_size < 1:
             raise SimulationError(f"pool_size must be >= 1, got {pool_size}")
+        if not 0 <= low_water < pool_size:
+            raise SimulationError(
+                f"low_water must be in [0, pool_size), got {low_water}"
+            )
         self.runtime = runtime
         self.pool_size = int(pool_size)
+        self.low_water = int(low_water)
         self.rng = rng if rng is not None else np.random.default_rng()
         self.stats = SessionStats()
         self.background_seconds = 0.0
@@ -366,6 +374,17 @@ class SystemSession:
     @property
     def pool_level(self) -> int:
         return len(self._pool)
+
+    @property
+    def supports_pool(self) -> bool:
+        return True
+
+    @property
+    def needs_refill(self) -> bool:
+        """True once the pool has drained to the low-water mark."""
+        return len(self._pool) < self.pool_size and (
+            len(self._pool) <= self.low_water
+        )
 
     def refill(self, rounds: Optional[int] = None) -> int:
         """Precompute ``rounds`` rounds of offline material in background."""
@@ -404,6 +423,13 @@ class SystemSession:
         on its critical path, exactly like a bare ``SystemRuntime`` round
         (``offline_pooled`` stays False), while a background refill is
         kicked off so subsequent rounds hit the pool.
+
+        With ``low_water > 0`` the session runs the interleaved
+        event-loop track of the paper's pipelined design: whenever a
+        round leaves the pool at or below the low-water mark, the next
+        refill is charged to the *background* span immediately (the
+        offline encode proceeds while clients train for the next round),
+        so a steadily-draining session never misses after warm-up.
         """
         if self._pool:
             self.stats.pool_hits += 1
@@ -414,6 +440,8 @@ class SystemSession:
         else:
             self.stats.pool_misses += 1
             result = self.runtime.run_round(updates, dropouts, rng)
+            self.refill()
+        if self.low_water > 0 and self.needs_refill:
             self.refill()
         self.stats.rounds += 1
         return result

@@ -150,6 +150,33 @@ class TestReductions:
         with pytest.raises(FieldError):
             gf.matmul(gf.zeros((2, 3)), gf.zeros((2, 3)))
 
+    def test_matmul_width_blocking_is_invisible(self, gf_any, rng):
+        """Results are identical whichever width-block size is in effect."""
+        a = gf_any.random((5, 17), rng)
+        b = gf_any.random((17, 64), rng)
+        want = gf_any.matmul(a, b)
+        old_block = type(gf_any).MATMUL_BLOCK_ELEMS
+        try:
+            # Force many tiny blocks (width 1 per block at m=5).
+            type(gf_any).MATMUL_BLOCK_ELEMS = 5
+            got = gf_any.matmul(a, b)
+        finally:
+            type(gf_any).MATMUL_BLOCK_ELEMS = old_block
+        assert np.array_equal(got, want)
+
+    def test_matmul_lazy_reduction_spans_batches(self, gf_any, rng):
+        """k across several lazy-reduction batches, worst-case residues.
+
+        All-(q-1) operands maximize every raw product, pinning the
+        accumulate-then-reduce bound; compare against exact object math.
+        """
+        k = 19  # not a multiple of any lazy batch size in use
+        a = np.full((3, k), gf_any.q - 1, dtype=np.uint64)
+        b = np.full((k, 4), gf_any.q - 1, dtype=np.uint64)
+        out = gf_any.matmul(a, b)
+        expected = (k * (gf_any.q - 1) ** 2) % gf_any.q
+        assert np.all(out.astype(object) == expected)
+
     def test_matvec(self, gf, rng):
         a = gf.random((4, 6), rng)
         x = gf.random(6, rng)

@@ -55,6 +55,33 @@ class TestReports:
         assert "randomness ratio" in out
 
 
+class TestService:
+    def test_service_background_sharded(self, capsys):
+        assert main(["service", "-n", "8", "-d", "128", "-c", "2",
+                     "-s", "2", "-r", "4", "--pool", "3", "--low-water", "1",
+                     "--refill", "background", "--settle"]) == 0
+        out = capsys.readouterr().out
+        assert "rounds completed : 8" in out
+        assert "online stalls    : 0" in out
+        assert "background refills" in out
+
+    def test_service_sync_stalls_and_json(self, capsys):
+        import json
+
+        assert main(["service", "-n", "8", "-d", "64", "-c", "1",
+                     "-r", "7", "--pool", "3", "--refill", "sync",
+                     "--json"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["metrics"]["total_rounds"] == 7
+        # Warm pool of 3 drains after round 3; round 4 and 7 stall.
+        assert snap["metrics"]["total_stalls"] >= 1
+        assert snap["refiller"] is None
+
+    def test_service_rejects_bad_geometry(self):
+        with pytest.raises(SystemExit):
+            main(["service", "--refill", "eager"])
+
+
 class TestParser:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
