@@ -6,6 +6,8 @@ Usage (also via ``python -m repro``)::
     python -m repro session --protocol lightsecagg -n 16 -d 2000 --rounds 10
     python -m repro service -n 8 -d 4096 --cohorts 4 --shards 2 \
         --refill background --low-water 2 --rounds 20 --json
+    python -m repro service -n 16 -d 65536 --shards 4 --transport process \
+        --workers 4 --refill background --low-water 2 --rounds 20
     python -m repro simulate --protocol secagg -n 200 -d 1206590 -p 0.3
     python -m repro gains -n 200 -p 0.1
     python -m repro breakdown -n 200
@@ -141,7 +143,12 @@ def cmd_service(args: argparse.Namespace) -> int:
     """Run the sharded aggregation service and report its metrics."""
     import json
 
-    from repro.service import AggregationService, RefillMode, ServiceConfig
+    from repro.service import (
+        AggregationService,
+        RefillMode,
+        ServiceConfig,
+        TransportKind,
+    )
 
     config = ServiceConfig(
         num_cohorts=args.cohorts,
@@ -153,6 +160,8 @@ def cmd_service(args: argparse.Namespace) -> int:
         refill_mode=RefillMode(args.refill),
         dropout_tolerance=max(1, args.num_users // 8),
         privacy=max(1, args.num_users // 8),
+        transport=TransportKind(args.transport),
+        num_workers=args.workers,
         seed=args.seed,
     )
     with AggregationService(config) as svc:
@@ -170,9 +179,15 @@ def cmd_service(args: argparse.Namespace) -> int:
     metrics = snapshot["metrics"]
     print(f"service: {args.cohorts} cohorts x N={args.num_users} "
           f"d={args.dim} shards={args.shards} pool={args.pool} "
-          f"low_water={args.low_water} refill={args.refill}")
+          f"low_water={args.low_water} refill={args.refill} "
+          f"transport={args.transport}")
     print(f"  rounds completed : {metrics['total_rounds']}")
     print(f"  online stalls    : {metrics['total_stalls']}")
+    for kind, t in metrics.get("transports", {}).items():
+        print(f"  transport {kind:7s}: {t['rounds']} rounds, "
+              f"{1e3 * t['mean_round_seconds']:.2f} ms/round scatter-gather, "
+              f"{t['bytes_sent'] + t['bytes_received']} wire bytes, "
+              f"{t['shard_stalls']} shard stalls")
     if snapshot["refiller"] is not None:
         ref = snapshot["refiller"]
         print(f"  background refills: {ref['refills']} "
@@ -289,6 +304,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pool", type=int, default=4)
     p.add_argument("--low-water", type=int, default=0)
     p.add_argument("--refill", choices=["sync", "background"], default="sync")
+    p.add_argument(
+        "--transport", choices=["inline", "process"], default="inline",
+        help="shard execution backend: 'inline' calls the per-shard "
+             "sessions in this process (the default); 'process' pins each "
+             "shard's session in a long-lived worker process and "
+             "scatter/gathers rounds and refills over the binary wire "
+             "format, so shards use multiple cores",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes per cohort for --transport process "
+             "(default: one per shard; fewer workers host several shards "
+             "each)",
+    )
     p.add_argument("--dropout", type=float, default=0.0)
     p.add_argument("--settle", action="store_true",
                    help="wait for the refiller between sweeps (steady state)")

@@ -40,6 +40,14 @@ class DropoutError(ProtocolError):
     """Too many users dropped for the configured resiliency guarantee."""
 
 
+class WireError(ReproError):
+    """Malformed, truncated, or version-incompatible wire frame."""
+
+
+class TransportError(ReproError):
+    """Shard transport failure (dead worker, shutdown race, bad routing)."""
+
+
 class QuantizationError(ReproError):
     """Quantizer misuse (overflow risk, invalid level count, ...)."""
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 import abc
 import threading
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set
 
 import numpy as np
@@ -260,6 +260,26 @@ class ProtocolSession:
         """
         self._require_open()
         return 0
+
+    def state_snapshot(self) -> Dict[str, object]:
+        """Pickle-safe view of the session's pool state and counters.
+
+        This is the state a shard transport ships across a process (or,
+        later, network) boundary: plain ints/bools plus a
+        :class:`SessionStats` value — no live protocol objects, locks, or
+        rng streams.  Taken under the pool lock so a transport never
+        observes a half-updated (level, stats) pair while a concurrent
+        refill lands.
+        """
+        with self._pool_lock:
+            return {
+                "pool_level": self.pool_level,
+                "pool_size": self.pool_size,
+                "low_water": self.low_water,
+                "supports_pool": self.supports_pool,
+                "closed": self._closed,
+                "stats": replace(self.stats),
+            }
 
     # ------------------------------------------------------------------
     def run_round(

@@ -18,6 +18,10 @@ Layering (see the repo README for the full picture)::
 * :mod:`repro.service.sharding` — model-vector sharding: a coordinator
   that scatters client updates across per-shard sessions and reassembles
   shard aggregates bit-identically to the single-shard path.
+* :mod:`repro.service.transport` — where shard sessions execute: called
+  directly in-process (:class:`InlineTransport`) or pinned in long-lived
+  worker processes and driven with :mod:`repro.wire` frames
+  (:class:`ProcessPoolTransport`), selected from :class:`ServiceConfig`.
 * :mod:`repro.service.cohort` — the per-cohort round state machine.
 * :mod:`repro.service.scheduler` — round-robin scheduling of many
   cohorts over the shared refill pipeline.
@@ -27,13 +31,21 @@ Layering (see the repo README for the full picture)::
   that wires all of the above together from a :class:`ServiceConfig`.
 """
 
-from repro.service.config import RefillMode, ServiceConfig
+from repro.service.config import RefillMode, ServiceConfig, TransportKind
 from repro.service.cohort import Cohort, CohortPhase
-from repro.service.metrics import CohortMetrics, ServiceMetrics
+from repro.service.metrics import CohortMetrics, ServiceMetrics, TransportMetrics
 from repro.service.refill import BackgroundRefiller
 from repro.service.scheduler import CohortScheduler
 from repro.service.service import AggregationService
 from repro.service.sharding import ShardedSession, ShardPlan
+from repro.service.transport import (
+    InlineTransport,
+    ProcessPoolTransport,
+    ProcessShardHandle,
+    ShardSessionSpec,
+    ShardTransport,
+    build_transport,
+)
 
 __all__ = [
     "AggregationService",
@@ -42,9 +54,17 @@ __all__ = [
     "CohortMetrics",
     "CohortPhase",
     "CohortScheduler",
+    "InlineTransport",
+    "ProcessPoolTransport",
+    "ProcessShardHandle",
     "RefillMode",
     "ServiceConfig",
     "ServiceMetrics",
     "ShardPlan",
+    "ShardSessionSpec",
+    "ShardTransport",
     "ShardedSession",
+    "TransportKind",
+    "TransportMetrics",
+    "build_transport",
 ]

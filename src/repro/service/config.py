@@ -13,8 +13,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Optional
 
-from repro.exceptions import ReproError
+from repro.exceptions import ParameterError, ReproError
 
 
 class RefillMode(enum.Enum):
@@ -30,6 +31,23 @@ class RefillMode(enum.Enum):
 
     SYNC = "sync"
     BACKGROUND = "background"
+
+
+class TransportKind(enum.Enum):
+    """Where a cohort's per-shard sessions execute.
+
+    * ``INLINE`` — sessions live in the service process and are called
+      directly (:class:`~repro.service.transport.InlineTransport`); shard
+      rounds and refill encodes share the GIL.
+    * ``PROCESS`` — each shard's session is pinned in a long-lived
+      worker process
+      (:class:`~repro.service.transport.ProcessPoolTransport`) and
+      spoken to in :mod:`repro.wire` frames; shard rounds scatter/gather
+      across cores and refills overlap across workers.
+    """
+
+    INLINE = "inline"
+    PROCESS = "process"
 
 
 @dataclass(frozen=True)
@@ -63,6 +81,12 @@ class ServiceConfig:
         and ``"naive"`` (replay sessions, useful as an oracle) are wired.
     refill_poll_interval_s:
         Background refiller sleep between low-water polls when idle.
+    transport:
+        Shard execution backend, see :class:`TransportKind`.
+    num_workers:
+        Worker processes for the ``PROCESS`` transport (per cohort).
+        Defaults to one worker per shard; fewer workers host multiple
+        shards each.  Meaningless (and rejected) for ``INLINE``.
     seed:
         Base seed; cohort ``c`` shard ``s`` derives an independent
         deterministic stream from it.
@@ -79,17 +103,32 @@ class ServiceConfig:
     privacy: int = 1
     protocol: str = "lightsecagg"
     refill_poll_interval_s: float = 0.001
+    transport: TransportKind = TransportKind.INLINE
+    num_workers: Optional[int] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
+        # Everything a bad pair could break late — shard geometry inside
+        # ShardPlan, protocol geometry inside LSAParams during session
+        # construction, worker counts inside the transport — is validated
+        # here at config build time, with the same semantics, so a
+        # misconfigured deployment fails before any process or pool is
+        # created.
         if self.num_cohorts < 1:
             raise ReproError(f"need >= 1 cohort, got {self.num_cohorts}")
+        if self.num_users < 2:
+            raise ReproError(
+                f"need >= 2 users per cohort, got {self.num_users}"
+            )
+        if self.model_dim < 1:
+            raise ReproError(f"model_dim must be >= 1, got {self.model_dim}")
         if self.num_shards < 1:
             raise ReproError(f"need >= 1 shard, got {self.num_shards}")
         if self.num_shards > self.model_dim:
             raise ReproError(
-                f"cannot split d={self.model_dim} into {self.num_shards} "
-                "non-empty shards"
+                f"cannot split model_dim={self.model_dim} into "
+                f"{self.num_shards} non-empty shards: num_shards must be "
+                f"in [1, model_dim]"
             )
         if self.pool_size < 1:
             raise ReproError(f"pool_size must be >= 1, got {self.pool_size}")
@@ -99,3 +138,30 @@ class ServiceConfig:
             )
         if self.protocol not in ("lightsecagg", "naive"):
             raise ReproError(f"unknown service protocol {self.protocol!r}")
+        if self.protocol == "lightsecagg":
+            from repro.protocols.lightsecagg.params import LSAParams
+
+            try:
+                LSAParams.from_guarantees(
+                    self.num_users,
+                    privacy=self.privacy,
+                    dropout_tolerance=self.dropout_tolerance,
+                )
+            except ParameterError as exc:
+                raise ReproError(
+                    f"infeasible protocol geometry for N={self.num_users}, "
+                    f"T={self.privacy}, D={self.dropout_tolerance}: {exc}"
+                ) from exc
+        if not isinstance(self.transport, TransportKind):
+            raise ReproError(
+                f"transport must be a TransportKind, got {self.transport!r}"
+            )
+        if self.num_workers is not None:
+            if self.transport is not TransportKind.PROCESS:
+                raise ReproError(
+                    "num_workers only applies to the process transport"
+                )
+            if self.num_workers < 1:
+                raise ReproError(
+                    f"need >= 1 worker process, got {self.num_workers}"
+                )

@@ -39,12 +39,43 @@ class CohortMetrics:
         return self.rounds / self.online_seconds
 
 
+@dataclass
+class TransportMetrics:
+    """Per-backend scatter/gather counters (internal, lock-guarded).
+
+    One entry per transport kind (``inline`` / ``process``): logical
+    rounds executed through that backend, wall-clock spent in its
+    scatter+gather, wire traffic, and how many *shard*-level stalls its
+    round results reported (a shard whose worker found an empty pool).
+    """
+
+    rounds: int = 0
+    round_seconds: float = 0.0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    shard_stalls: int = 0
+
+    @property
+    def mean_round_seconds(self) -> float:
+        if self.rounds == 0:
+            return 0.0
+        return self.round_seconds / self.rounds
+
+
 class ServiceMetrics:
-    """Aggregated, thread-safe metrics across all cohorts."""
+    """Aggregated, thread-safe metrics across all cohorts.
+
+    Every mutation *and* every read of the mutable series/counters
+    happens under one lock: producers on the consumer and refiller
+    threads call the ``record_*`` methods, readers get consistent copies
+    via :meth:`snapshot` / :meth:`pool_depth_series` — internal lists are
+    never handed out.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._cohorts: Dict[int, CohortMetrics] = {}
+        self._transports: Dict[str, TransportMetrics] = {}
         self._t0 = time.monotonic()
 
     # ------------------------------------------------------------------
@@ -84,9 +115,37 @@ class ServiceMetrics:
                 (time.monotonic() - self._t0, pool_level_after)
             )
 
+    def record_transport_round(
+        self,
+        kind: str,
+        seconds: float,
+        bytes_sent: int = 0,
+        bytes_received: int = 0,
+        stalled_shards: int = 0,
+    ) -> None:
+        """Record one logical round's scatter/gather through a backend."""
+        with self._lock:
+            t = self._transports.setdefault(kind, TransportMetrics())
+            t.rounds += 1
+            t.round_seconds += seconds
+            t.bytes_sent += bytes_sent
+            t.bytes_received += bytes_received
+            t.shard_stalls += stalled_shards
+
     # ------------------------------------------------------------------
     # consumer side
     # ------------------------------------------------------------------
+    def pool_depth_series(self, cohort_id: int) -> List[Tuple[float, int]]:
+        """A consistent copy of one cohort's pool-depth series.
+
+        Samplers on other threads (benchmark pollers, dashboards) must go
+        through this accessor — the internal list is appended to by both
+        the consumer and the refiller thread and is never exposed raw.
+        """
+        with self._lock:
+            m = self._cohorts.get(cohort_id)
+            return [] if m is None else list(m.pool_depth_series)
+
     def snapshot(self) -> Dict:
         """Consistent point-in-time view, JSON-serializable."""
         with self._lock:
@@ -101,11 +160,22 @@ class ServiceMetrics:
                     "background_rounds_refilled": m.background_rounds_refilled,
                     "pool_depth_series": list(m.pool_depth_series),
                 }
+            transports = {}
+            for kind, t in sorted(self._transports.items()):
+                transports[kind] = {
+                    "rounds": t.rounds,
+                    "round_seconds": t.round_seconds,
+                    "mean_round_seconds": t.mean_round_seconds,
+                    "bytes_sent": t.bytes_sent,
+                    "bytes_received": t.bytes_received,
+                    "shard_stalls": t.shard_stalls,
+                }
             return {
                 "uptime_seconds": time.monotonic() - self._t0,
                 "total_rounds": sum(m.rounds for m in self._cohorts.values()),
                 "total_stalls": sum(m.stalls for m in self._cohorts.values()),
                 "cohorts": cohorts,
+                "transports": transports,
             }
 
     @property

@@ -26,7 +26,7 @@ import threading
 import time
 from typing import Callable, List, Optional, Tuple
 
-from repro.exceptions import ProtocolError
+from repro.exceptions import ProtocolError, TransportError
 from repro.protocols.base import ProtocolSession
 from repro.service.metrics import ServiceMetrics
 
@@ -170,16 +170,44 @@ class BackgroundRefiller:
                     continue
                 self._in_flight = True
             try:
-                for session, cohort_id, depth_fn in needy:
-                    with self._cond:
-                        if self._stopping:
-                            # Finish cleanly: skip refills not yet started.
-                            return
-                    self._refill_one(session, cohort_id, depth_fn)
+                self._refill_batch(needy)
             finally:
                 with self._cond:
                     self._in_flight = False
                     self._cond.notify_all()
+
+    def _refill_batch(self, needy) -> None:
+        """Refill one batch of needy sessions, overlapping where possible.
+
+        Sessions exposing the two-phase ``refill_begin`` / ``refill_join``
+        surface (process-transport shard handles) are *scattered* first —
+        every worker starts encoding before any result is gathered — so
+        top-ups for different shards run concurrently on the workers'
+        cores.  Plain in-process sessions refill synchronously, one at a
+        time, exactly as before (there is only this one worker thread to
+        run them on).  A stop request lets refills already started run to
+        completion (begun tickets are still joined; their material lands
+        in the pools) but starts no new ones.
+        """
+        tickets = []
+        for entry in needy:
+            with self._cond:
+                if self._stopping:
+                    break  # finish cleanly: skip refills not yet started
+            session = entry[0]
+            if hasattr(session, "refill_begin"):
+                try:
+                    tickets.append((entry, session.refill_begin()))
+                except (ProtocolError, TransportError):
+                    continue  # closed between the low-water check and now
+            else:
+                self._refill_one(*entry)
+        for (session, cohort_id, depth_fn), ticket in tickets:
+            try:
+                added = session.refill_join(ticket)
+            except (ProtocolError, TransportError):
+                continue
+            self._account(session, cohort_id, depth_fn, added)
 
     def _refill_one(
         self,
@@ -193,6 +221,15 @@ class BackgroundRefiller:
             # The consumer closed the session between the low-water check
             # and the refill; nothing to top up.
             return
+        self._account(session, cohort_id, depth_fn, added)
+
+    def _account(
+        self,
+        session: ProtocolSession,
+        cohort_id: int,
+        depth_fn: Optional[Callable[[], int]],
+        added: int,
+    ) -> None:
         if added > 0:
             self.refills += 1
             self.rounds_refilled += added

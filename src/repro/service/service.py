@@ -28,16 +28,18 @@ import numpy as np
 
 from repro.field.arithmetic import FiniteField
 from repro.protocols.base import AggregationResult
-from repro.protocols.lightsecagg.params import LSAParams
-from repro.protocols.lightsecagg.protocol import LightSecAgg
-from repro.protocols.naive import NaiveAggregation
 from repro.protocols.base import sample_dropouts
 from repro.service.cohort import Cohort
-from repro.service.config import RefillMode, ServiceConfig
+from repro.service.config import RefillMode, ServiceConfig, TransportKind
 from repro.service.metrics import ServiceMetrics
 from repro.service.refill import BackgroundRefiller
 from repro.service.scheduler import CohortScheduler
 from repro.service.sharding import ShardedSession, ShardPlan
+from repro.service.transport import (
+    ShardSessionSpec,
+    ShardTransport,
+    build_transport,
+)
 
 
 class AggregationService:
@@ -58,6 +60,7 @@ class AggregationService:
                 metrics=self.metrics,
             )
         self.plan = ShardPlan(config.model_dim, config.num_shards)
+        self._transports: List[ShardTransport] = []
         self.cohorts: List[Cohort] = [
             self._build_cohort(cid) for cid in range(config.num_cohorts)
         ]
@@ -67,41 +70,57 @@ class AggregationService:
     # ------------------------------------------------------------------
     # assembly
     # ------------------------------------------------------------------
-    def _build_protocol(self, shard_dim: int):
+    def _shard_specs(self, cohort_id: int) -> List[ShardSessionSpec]:
+        """Declarative per-shard session specs for one cohort.
+
+        The spec — not a live session — is the unit both transports build
+        from: the inline backend constructs the session in this process,
+        the process backend ships the spec to a worker which constructs
+        an identical one (same seed path, same rng streams, bit-identical
+        pools).
+        """
         cfg = self.config
-        if cfg.protocol == "naive":
-            return NaiveAggregation(self.gf, cfg.num_users, shard_dim)
-        params = LSAParams.from_guarantees(
-            cfg.num_users,
-            privacy=cfg.privacy,
-            dropout_tolerance=cfg.dropout_tolerance,
-        )
-        return LightSecAgg(self.gf, params, shard_dim)
+        return [
+            ShardSessionSpec(
+                protocol=cfg.protocol,
+                num_users=cfg.num_users,
+                shard_dim=self.plan.widths[shard],
+                privacy=cfg.privacy,
+                dropout_tolerance=cfg.dropout_tolerance,
+                pool_size=cfg.pool_size,
+                low_water=cfg.low_water,
+                seed=(cfg.seed, cohort_id, shard),
+                field_modulus=self.gf.q,
+            )
+            for shard in range(cfg.num_shards)
+        ]
 
     def _build_cohort(self, cohort_id: int) -> Cohort:
         cfg = self.config
-        shard_sessions = []
-        for shard in range(cfg.num_shards):
-            protocol = self._build_protocol(self.plan.widths[shard])
-            rng = np.random.default_rng([cfg.seed, cohort_id, shard])
-            shard_sessions.append(
-                protocol.session(
-                    pool_size=cfg.pool_size, rng=rng, low_water=cfg.low_water
-                )
-            )
-        if cfg.num_shards == 1:
-            session = shard_sessions[0]
+        transport = build_transport(
+            cfg.transport.value,
+            self._shard_specs(cohort_id),
+            gf=self.gf,
+            num_workers=cfg.num_workers,
+            metrics=self.metrics,
+            cohort_id=cohort_id,
+        )
+        self._transports.append(transport)
+        if cfg.transport is TransportKind.INLINE and cfg.num_shards == 1:
+            # Unsharded inline deployments keep the bare session (no
+            # coordinator indirection), exactly the pre-transport layout.
+            session = transport.shard_handles[0]
         else:
-            session = ShardedSession(self.plan, shard_sessions)
+            session = ShardedSession(self.plan, transport=transport)
         if self.refiller is not None:
             # Shard granularity: one shard can refill while another shard
             # of the same cohort is mid-round.  Metrics always sample the
             # cohort's *logical* depth (min over shards) so the series is
             # one consistent quantity.
             logical = session
-            for shard_session in shard_sessions:
+            for handle in transport.shard_handles:
                 self.refiller.register(
-                    shard_session,
+                    handle,
                     cohort_id,
                     depth_fn=lambda logical=logical: logical.pool_level,
                 )
@@ -126,11 +145,20 @@ class AggregationService:
         return self
 
     def stop(self) -> None:
-        """Stop the refill worker and close all sessions."""
+        """Stop the refill worker, close all sessions, shut workers down.
+
+        Ordering matters: the refiller is joined first (a refill in
+        flight completes and its material is delivered), then cohorts
+        close their sessions, then transports release their backends —
+        for the process transport that is the Shutdown handshake with
+        every worker.
+        """
         if self.refiller is not None:
             self.refiller.stop()
         for cohort in self.cohorts:
             cohort.close()
+        for transport in self._transports:
+            transport.close()
         self._started = False
 
     def __enter__(self) -> "AggregationService":
@@ -204,6 +232,17 @@ class AggregationService:
                 "low_water": cfg.low_water,
                 "refill_mode": cfg.refill_mode.value,
                 "protocol": cfg.protocol,
+                "transport": cfg.transport.value,
+                "num_workers": cfg.num_workers,
+            },
+            "transport": {
+                "kind": cfg.transport.value,
+                "workers_alive": sum(
+                    getattr(t, "workers_alive", 0) for t in self._transports
+                ),
+                "workers_total": sum(
+                    getattr(t, "num_workers", 0) for t in self._transports
+                ),
             },
             "started": self._started,
             "refiller": None

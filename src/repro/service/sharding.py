@@ -31,6 +31,7 @@ from repro.protocols.base import (
     SessionStats,
     Transcript,
 )
+from repro.service.transport import InlineTransport, ShardTransport
 
 
 class ShardPlan:
@@ -93,12 +94,47 @@ class ShardedSession:
     ``refill``, ``pool_level``, ``needs_refill``, ``close``, ``stats``
     ...), so the FL loop, the cohort state machine, and the background
     refiller all treat it interchangeably with a single-shard session.
-    Per-shard sessions can also be registered with a refiller
-    *individually* (see :attr:`shard_sessions`), which lets their refills
-    interleave with rounds at shard granularity.
+
+    Shard execution is delegated to a
+    :class:`~repro.service.transport.ShardTransport`: pass live sessions
+    (wrapped in an :class:`~repro.service.transport.InlineTransport`,
+    the original direct-call behaviour, bit-identical) or any other
+    backend via ``transport=`` — e.g. a
+    :class:`~repro.service.transport.ProcessPoolTransport` whose shard
+    rounds run on separate cores.  Per-shard handles can also be
+    registered with a refiller *individually* (see
+    :attr:`shard_sessions`), which lets their refills interleave with
+    rounds at shard granularity.
     """
 
-    def __init__(self, plan: ShardPlan, shard_sessions: Sequence):
+    def __init__(
+        self,
+        plan: ShardPlan,
+        shard_sessions: Optional[Sequence] = None,
+        *,
+        transport: Optional[ShardTransport] = None,
+    ):
+        if (shard_sessions is None) == (transport is None):
+            raise ProtocolError(
+                "pass exactly one of shard_sessions= or transport="
+            )
+        if transport is None:
+            self._validate_sessions(plan, shard_sessions)
+            transport = InlineTransport(shard_sessions)
+        if transport.num_shards != plan.num_shards:
+            raise ProtocolError(
+                f"plan has {plan.num_shards} shards but the transport "
+                f"drives {transport.num_shards}"
+            )
+        self.plan = plan
+        self.transport = transport
+        self.shard_sessions = list(transport.shard_handles)
+        self.num_users = self._shared_num_users(self.shard_sessions)
+        self.stats = SessionStats()
+        self._logical_misses = 0  # rounds in which any shard missed
+
+    @staticmethod
+    def _validate_sessions(plan: ShardPlan, shard_sessions: Sequence) -> None:
         if len(shard_sessions) != plan.num_shards:
             raise ProtocolError(
                 f"plan has {plan.num_shards} shards but "
@@ -110,18 +146,20 @@ class ShardedSession:
                     f"shard {s} session covers d={sess.protocol.model_dim}, "
                     f"plan expects {plan.widths[s]}"
                 )
-        users = {sess.num_users for sess in shard_sessions}
+        if len({sess.gf for sess in shard_sessions}) != 1:
+            raise ProtocolError("shard sessions disagree on the field")
+
+    @staticmethod
+    def _shared_num_users(handles: Sequence) -> int:
+        users = {
+            h.num_users if hasattr(h, "num_users") else h.spec.num_users
+            for h in handles
+        }
         if len(users) != 1:
             raise ProtocolError(
                 f"shard sessions disagree on user count: {sorted(users)}"
             )
-        if len({sess.gf for sess in shard_sessions}) != 1:
-            raise ProtocolError("shard sessions disagree on the field")
-        self.plan = plan
-        self.shard_sessions = list(shard_sessions)
-        self.num_users = users.pop()
-        self.stats = SessionStats()
-        self._logical_misses = 0  # rounds in which any shard missed
+        return users.pop()
 
     # ------------------------------------------------------------------
     # session surface (pool management)
@@ -129,7 +167,7 @@ class ShardedSession:
     @property
     def gf(self):
         """The shared field (validated identical across shard protocols)."""
-        return self.shard_sessions[0].gf
+        return self.transport.gf
 
     @property
     def pool_level(self) -> int:
@@ -150,18 +188,24 @@ class ShardedSession:
 
     @property
     def closed(self) -> bool:
-        return any(s.closed for s in self.shard_sessions)
+        return self.transport.closed or any(
+            s.closed for s in self.shard_sessions
+        )
 
     def refill(self, rounds: Optional[int] = None) -> int:
-        """Refill every shard; returns the max rounds added to any shard."""
-        return max(s.refill(rounds) for s in self.shard_sessions)
+        """Refill every shard; returns the max rounds added to any shard.
+
+        On a process transport the per-shard refill requests are all
+        scattered before any is joined, so the encodes overlap across
+        worker cores.
+        """
+        return self.transport.refill_all(rounds)
 
     def offline_elements(self) -> int:
         return sum(s.offline_elements() for s in self.shard_sessions)
 
     def close(self) -> None:
-        for s in self.shard_sessions:
-            s.close()
+        self.transport.close()
 
     def __enter__(self) -> "ShardedSession":
         return self
@@ -189,13 +233,14 @@ class ShardedSession:
         scattered: Dict[int, List[np.ndarray]] = {
             uid: self.plan.scatter(vec) for uid, vec in updates.items()
         }
+        per_shard_updates = [
+            {uid: parts[s] for uid, parts in scattered.items()}
+            for s in range(self.plan.num_shards)
+        ]
         misses_before = sum(s.stats.pool_misses for s in self.shard_sessions)
-        shard_results: List[AggregationResult] = []
-        for s, sess in enumerate(self.shard_sessions):
-            shard_updates = {uid: parts[s] for uid, parts in scattered.items()}
-            shard_results.append(
-                sess.run_round(shard_updates, set(dropouts), rng, **phase_kwargs)
-            )
+        shard_results: List[AggregationResult] = self.transport.run_all(
+            per_shard_updates, dropouts, rng, **phase_kwargs
+        )
         misses_after = sum(s.stats.pool_misses for s in self.shard_sessions)
         if misses_after > misses_before:
             self._logical_misses += 1

@@ -1,0 +1,50 @@
+"""Versioned binary wire format for shard transport messages.
+
+The service layer's scatter/gather of shard rounds and refills speaks
+this format over whatever byte transport is configured — an in-process
+call (no frames at all), a ``multiprocessing`` pipe today, a socket in a
+networked deployment tomorrow.  See :mod:`repro.wire.format` for the
+frame layout and :mod:`repro.wire.messages` for the message set.
+"""
+
+from repro.wire.format import (
+    HEADER_SIZE,
+    MAGIC,
+    WIRE_VERSION,
+    PayloadReader,
+    PayloadWriter,
+    decode_frame,
+    encode_frame,
+)
+from repro.wire.messages import (
+    WIRE_MESSAGES,
+    ErrorFrame,
+    PoolSnapshot,
+    RefillRequest,
+    ShardRoundRequest,
+    ShardRoundResult,
+    SnapshotRequest,
+    Shutdown,
+    decode_message,
+    encode_message,
+)
+
+__all__ = [
+    "HEADER_SIZE",
+    "MAGIC",
+    "WIRE_VERSION",
+    "PayloadReader",
+    "PayloadWriter",
+    "decode_frame",
+    "encode_frame",
+    "WIRE_MESSAGES",
+    "ErrorFrame",
+    "PoolSnapshot",
+    "RefillRequest",
+    "ShardRoundRequest",
+    "ShardRoundResult",
+    "SnapshotRequest",
+    "Shutdown",
+    "decode_message",
+    "encode_message",
+]

@@ -1,0 +1,215 @@
+"""Low-level framing and payload primitives for the shard wire protocol.
+
+Every message that crosses a shard-transport boundary travels as one
+*frame*::
+
+    | magic "LW" | version u8 | msg_type u8 | request_id u64 | len u32 | payload |
+
+All integers are little-endian.  ``request_id`` is a caller-chosen
+correlation id: a transport multiplexing several outstanding requests
+over one connection (e.g. an online round racing a background refill)
+matches each response frame to its request by this id, so frames may
+arrive out of order.  ``len`` is the payload length in bytes, which lets
+a stream reader recover frame boundaries without parsing the payload.
+
+Payloads are built from a small set of typed primitives
+(:class:`PayloadWriter` / :class:`PayloadReader`).  Numpy arrays are the
+hot path: the writer appends the array's buffer as a memoryview (no
+serialization pass, one copy total at the final join) and the reader
+returns ``np.frombuffer`` views straight into the received frame — a
+decoded ``ShardRoundRequest`` aliases the frame's bytes rather than
+copying them.  Decoded arrays are therefore read-only; callers that
+mutate must copy.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import WireError
+
+MAGIC = b"LW"
+WIRE_VERSION = 1
+
+# magic(2) version(1) msg_type(1) request_id(8) payload_len(4)
+_HEADER = struct.Struct("<2sBBQI")
+HEADER_SIZE = _HEADER.size
+
+_U8 = struct.Struct("<B")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+
+# Wire dtype codes.  A closed set keeps decode safe: no pickling, no
+# arbitrary dtype strings from the peer.
+_DTYPE_CODES = {
+    np.dtype(np.uint8): 0,
+    np.dtype(np.uint32): 1,
+    np.dtype(np.uint64): 2,
+    np.dtype(np.int64): 3,
+    np.dtype(np.float64): 4,
+}
+_CODE_DTYPES = {code: dt for dt, code in _DTYPE_CODES.items()}
+
+
+class PayloadWriter:
+    """Accumulates payload primitives as a list of buffer segments.
+
+    Array data is appended as a memoryview over the array's own buffer,
+    so building a payload never serializes or copies element data; the
+    single copy happens in :meth:`getvalue`'s join (or in the socket
+    layer, for transports that support vectored writes of
+    :attr:`segments`).
+    """
+
+    def __init__(self) -> None:
+        self.segments: List[Union[bytes, memoryview]] = []
+
+    # -- scalar primitives ---------------------------------------------
+    def put_u8(self, value: int) -> None:
+        self.segments.append(_U8.pack(value))
+
+    def put_u32(self, value: int) -> None:
+        self.segments.append(_U32.pack(value))
+
+    def put_u64(self, value: int) -> None:
+        self.segments.append(_U64.pack(value))
+
+    def put_i64(self, value: int) -> None:
+        self.segments.append(_I64.pack(value))
+
+    def put_f64(self, value: float) -> None:
+        self.segments.append(_F64.pack(value))
+
+    def put_bytes(self, data: bytes) -> None:
+        self.put_u32(len(data))
+        self.segments.append(data)
+
+    def put_str(self, text: str) -> None:
+        self.put_bytes(text.encode("utf-8"))
+
+    # -- arrays ---------------------------------------------------------
+    def put_array(self, array: np.ndarray) -> None:
+        """Append one numpy array: dtype code, shape, raw C-order bytes."""
+        array = np.asarray(array)
+        code = _DTYPE_CODES.get(array.dtype)
+        if code is None:
+            raise WireError(
+                f"dtype {array.dtype} is not wire-encodable; supported: "
+                f"{sorted(str(d) for d in _DTYPE_CODES)}"
+            )
+        if array.ndim > 255:
+            raise WireError(f"array rank {array.ndim} exceeds wire limit")
+        contiguous = np.ascontiguousarray(array)
+        self.put_u8(code)
+        self.put_u8(contiguous.ndim)
+        for dim in contiguous.shape:
+            self.put_u64(dim)
+        if contiguous.size:
+            self.segments.append(memoryview(contiguous).cast("B"))
+
+    def getvalue(self) -> bytes:
+        return b"".join(self.segments)
+
+
+class PayloadReader:
+    """Sequential reader over one frame's payload memoryview."""
+
+    def __init__(self, view: memoryview) -> None:
+        self._view = view
+        self._offset = 0
+
+    def _take(self, nbytes: int) -> memoryview:
+        end = self._offset + nbytes
+        if end > len(self._view):
+            raise WireError(
+                f"truncated payload: wanted {nbytes} bytes at offset "
+                f"{self._offset}, have {len(self._view) - self._offset}"
+            )
+        chunk = self._view[self._offset : end]
+        self._offset = end
+        return chunk
+
+    # -- scalar primitives ---------------------------------------------
+    def get_u8(self) -> int:
+        return _U8.unpack(self._take(1))[0]
+
+    def get_u32(self) -> int:
+        return _U32.unpack(self._take(4))[0]
+
+    def get_u64(self) -> int:
+        return _U64.unpack(self._take(8))[0]
+
+    def get_i64(self) -> int:
+        return _I64.unpack(self._take(8))[0]
+
+    def get_f64(self) -> float:
+        return _F64.unpack(self._take(8))[0]
+
+    def get_bytes(self) -> bytes:
+        return bytes(self._take(self.get_u32()))
+
+    def get_str(self) -> str:
+        return self.get_bytes().decode("utf-8")
+
+    # -- arrays ---------------------------------------------------------
+    def get_array(self) -> np.ndarray:
+        """Read one array as a zero-copy (read-only) view into the frame."""
+        code = self.get_u8()
+        dtype = _CODE_DTYPES.get(code)
+        if dtype is None:
+            raise WireError(f"unknown wire dtype code {code}")
+        ndim = self.get_u8()
+        shape = tuple(self.get_u64() for _ in range(ndim))
+        count = 1
+        for dim in shape:
+            count *= dim
+        raw = self._take(count * dtype.itemsize)
+        return np.frombuffer(raw, dtype=dtype).reshape(shape)
+
+    @property
+    def remaining(self) -> int:
+        return len(self._view) - self._offset
+
+
+def encode_frame(msg_type: int, request_id: int, payload: PayloadWriter) -> bytes:
+    """Assemble one wire frame from a message type and its payload."""
+    body = payload.getvalue()
+    return _HEADER.pack(
+        MAGIC, WIRE_VERSION, msg_type, request_id, len(body)
+    ) + body
+
+
+def decode_frame(data: bytes) -> Tuple[int, int, PayloadReader]:
+    """Split one frame into ``(msg_type, request_id, payload reader)``.
+
+    Validates magic, version, and the length prefix; a frame whose
+    declared payload length disagrees with the buffer is rejected rather
+    than silently mis-parsed.
+    """
+    if len(data) < HEADER_SIZE:
+        raise WireError(
+            f"frame too short for header: {len(data)} < {HEADER_SIZE} bytes"
+        )
+    view = memoryview(data)
+    magic, version, msg_type, request_id, length = _HEADER.unpack(
+        view[:HEADER_SIZE]
+    )
+    if magic != MAGIC:
+        raise WireError(f"bad frame magic {magic!r}, expected {MAGIC!r}")
+    if version != WIRE_VERSION:
+        raise WireError(
+            f"unsupported wire version {version}, this build speaks "
+            f"{WIRE_VERSION}"
+        )
+    payload = view[HEADER_SIZE:]
+    if len(payload) != length:
+        raise WireError(
+            f"frame length mismatch: header declares {length} payload "
+            f"bytes, buffer carries {len(payload)}"
+        )
+    return msg_type, request_id, PayloadReader(payload)

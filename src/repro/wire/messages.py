@@ -1,0 +1,466 @@
+"""Typed messages of the shard wire protocol, version 1.
+
+The message set covers everything the service layer sends between a
+shard coordinator and the process hosting that shard's protocol session:
+
+* :class:`ShardRoundRequest` / :class:`ShardRoundResult` — one online
+  round for one shard: the scattered update slices and dropout sets out,
+  the shard aggregate, survivors, transcript, and pool state back.
+* :class:`RefillRequest` / :class:`PoolSnapshot` — top up a shard's
+  offline pool; the snapshot doubles as the generic "current pool +
+  session stats" report (it also answers :class:`SnapshotRequest` and
+  acknowledges :class:`Shutdown`).
+* :class:`ErrorFrame` — a remote exception, carried by name + message so
+  the coordinator can re-raise the library's own exception types.
+* :class:`Shutdown` — drain and close the shard session; the worker
+  finishes a refill already in flight before acknowledging.
+
+Encoding uses :mod:`repro.wire.format` primitives only — no pickling —
+so frames are safe to accept from an untrusted peer and identical
+whether the transport is an in-memory pipe, a multiprocessing
+connection, or a socket.
+
+Every payload is deterministic given the message fields: user ids and
+dropout sets are sorted on encode, so two semantically equal messages
+are byte-equal (property-tested), which is what lets the tests pin
+"process-backed round == inline round" at the frame level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple, Type
+
+import numpy as np
+
+import repro.exceptions as _exceptions
+from repro.exceptions import WireError
+from repro.protocols.base import (
+    PHASES,
+    AggregationResult,
+    RoundMetrics,
+    SessionStats,
+    Transcript,
+)
+from repro.wire.format import (
+    PayloadReader,
+    PayloadWriter,
+    decode_frame,
+    encode_frame,
+)
+
+_PHASE_INDEX = {phase: i for i, phase in enumerate(PHASES)}
+
+
+def _put_id_set(w: PayloadWriter, ids) -> None:
+    w.put_array(np.fromiter(sorted(ids), dtype=np.uint32, count=len(ids)))
+
+
+def _get_id_set(r: PayloadReader) -> Set[int]:
+    return set(int(i) for i in r.get_array())
+
+
+def _put_stats(w: PayloadWriter, stats: SessionStats) -> None:
+    w.put_u64(stats.rounds)
+    w.put_u64(stats.refills)
+    w.put_u64(stats.pool_hits)
+    w.put_u64(stats.pool_misses)
+    w.put_u64(stats.precomputed_rounds)
+    w.put_f64(stats.refill_seconds)
+
+
+def _get_stats(r: PayloadReader) -> SessionStats:
+    return SessionStats(
+        rounds=r.get_u64(),
+        refills=r.get_u64(),
+        pool_hits=r.get_u64(),
+        pool_misses=r.get_u64(),
+        precomputed_rounds=r.get_u64(),
+        refill_seconds=r.get_f64(),
+    )
+
+
+@dataclass
+class ShardRoundRequest:
+    """One online round for one shard: scattered updates + dropout sets."""
+
+    TYPE = 1
+
+    shard_id: int
+    round_id: int
+    user_ids: List[int]
+    updates: np.ndarray  # (len(user_ids), shard_width) uint64, row i = user_ids[i]
+    dropouts: Set[int] = field(default_factory=set)
+    offline_dropouts: Set[int] = field(default_factory=set)
+
+    @classmethod
+    def from_updates(
+        cls,
+        shard_id: int,
+        round_id: int,
+        updates: Dict[int, np.ndarray],
+        dropouts: Set[int],
+        offline_dropouts: Optional[Set[int]] = None,
+    ) -> "ShardRoundRequest":
+        """Stack a per-user update dict into the wire's matrix layout."""
+        user_ids = sorted(updates)
+        stacked = np.stack(
+            [np.asarray(updates[uid], dtype=np.uint64) for uid in user_ids]
+        ) if user_ids else np.zeros((0, 0), dtype=np.uint64)
+        return cls(
+            shard_id=shard_id,
+            round_id=round_id,
+            user_ids=user_ids,
+            updates=stacked,
+            dropouts=set(dropouts),
+            offline_dropouts=set(offline_dropouts or set()),
+        )
+
+    def updates_dict(self) -> Dict[int, np.ndarray]:
+        """Rebuild the per-user update mapping (rows are frame views)."""
+        return {uid: self.updates[i] for i, uid in enumerate(self.user_ids)}
+
+    def _encode(self, w: PayloadWriter) -> None:
+        # user_ids order is load-bearing (row i of ``updates`` belongs to
+        # user_ids[i]), so ids and rows are canonicalized *together*:
+        # permute both into sorted-id order.  Sorting ids alone would
+        # silently reassign rows for any directly-constructed message
+        # with unsorted ids.
+        ids = np.asarray(self.user_ids, dtype=np.uint32)
+        updates = np.asarray(self.updates, dtype=np.uint64)
+        if updates.ndim != 2 or updates.shape[0] != ids.size:
+            raise WireError(
+                f"updates matrix {updates.shape} does not match "
+                f"{ids.size} user ids"
+            )
+        if ids.size and np.any(ids[:-1] >= ids[1:]):
+            order = np.argsort(ids, kind="stable")
+            ids = ids[order]
+            if np.any(ids[:-1] >= ids[1:]):
+                raise WireError("duplicate user ids in round request")
+            updates = updates[order]
+        w.put_u32(self.shard_id)
+        w.put_u64(self.round_id)
+        w.put_array(ids)
+        w.put_array(np.ascontiguousarray(updates))
+        _put_id_set(w, self.dropouts)
+        _put_id_set(w, self.offline_dropouts)
+
+    @classmethod
+    def _decode(cls, r: PayloadReader) -> "ShardRoundRequest":
+        shard_id = r.get_u32()
+        round_id = r.get_u64()
+        user_ids = sorted(_get_id_set(r))
+        updates = r.get_array()
+        if updates.ndim != 2 or updates.shape[0] != len(user_ids):
+            raise WireError(
+                f"round request carries {updates.shape} update matrix for "
+                f"{len(user_ids)} users"
+            )
+        return cls(
+            shard_id=shard_id,
+            round_id=round_id,
+            user_ids=user_ids,
+            updates=updates,
+            dropouts=_get_id_set(r),
+            offline_dropouts=_get_id_set(r),
+        )
+
+
+@dataclass
+class ShardRoundResult:
+    """One shard's round outcome, sufficient to rebuild the result.
+
+    Carries the shard aggregate, survivors, the full per-round transcript
+    (as an ``(M, 5)`` table of sender/receiver/phase/size/key-sized), the
+    round metrics, and the session's post-round pool state and cumulative
+    stats so the coordinator's per-shard bookkeeping matches the inline
+    path without extra round trips.
+    """
+
+    TYPE = 2
+
+    shard_id: int
+    round_id: int
+    aggregate: np.ndarray
+    survivors: List[int]
+    transcript_table: np.ndarray  # (M, 5) int64
+    metrics_counts: Tuple[int, int, int]  # decode_ops, prg_elements, encode_ops
+    metrics_extra: Dict[str, float]
+    stalled: bool
+    pool_level: int
+    stats: SessionStats
+
+    @classmethod
+    def from_result(
+        cls,
+        shard_id: int,
+        round_id: int,
+        result: AggregationResult,
+        stalled: bool,
+        pool_level: int,
+        stats: SessionStats,
+    ) -> "ShardRoundResult":
+        table = np.asarray(
+            [
+                (
+                    m.sender,
+                    m.receiver,
+                    _PHASE_INDEX[m.phase],
+                    m.size,
+                    int(m.is_key_sized),
+                )
+                for m in result.transcript.messages
+            ],
+            dtype=np.int64,
+        ).reshape(len(result.transcript.messages), 5)
+        return cls(
+            shard_id=shard_id,
+            round_id=round_id,
+            aggregate=np.ascontiguousarray(result.aggregate, dtype=np.uint64),
+            survivors=list(result.survivors),
+            transcript_table=table,
+            metrics_counts=(
+                result.metrics.server_decode_ops,
+                result.metrics.server_prg_elements,
+                result.metrics.user_encode_ops,
+            ),
+            metrics_extra=dict(result.metrics.extra),
+            stalled=stalled,
+            pool_level=pool_level,
+            stats=stats,
+        )
+
+    def to_result(self) -> AggregationResult:
+        transcript = Transcript()
+        for sender, receiver, phase_idx, size, key_sized in self.transcript_table:
+            transcript.record(
+                int(sender),
+                int(receiver),
+                PHASES[int(phase_idx)],
+                int(size),
+                bool(key_sized),
+            )
+        metrics = RoundMetrics(
+            server_decode_ops=int(self.metrics_counts[0]),
+            server_prg_elements=int(self.metrics_counts[1]),
+            user_encode_ops=int(self.metrics_counts[2]),
+            extra=dict(self.metrics_extra),
+        )
+        return AggregationResult(
+            aggregate=self.aggregate,
+            survivors=list(self.survivors),
+            transcript=transcript,
+            metrics=metrics,
+        )
+
+    def _encode(self, w: PayloadWriter) -> None:
+        w.put_u32(self.shard_id)
+        w.put_u64(self.round_id)
+        w.put_array(np.ascontiguousarray(self.aggregate, dtype=np.uint64))
+        w.put_array(np.asarray(self.survivors, dtype=np.uint32))
+        w.put_array(np.ascontiguousarray(self.transcript_table, dtype=np.int64))
+        for count in self.metrics_counts:
+            w.put_u64(count)
+        w.put_u32(len(self.metrics_extra))
+        for key in sorted(self.metrics_extra):
+            w.put_str(key)
+            w.put_f64(self.metrics_extra[key])
+        w.put_u8(int(self.stalled))
+        w.put_u32(self.pool_level)
+        _put_stats(w, self.stats)
+
+    @classmethod
+    def _decode(cls, r: PayloadReader) -> "ShardRoundResult":
+        shard_id = r.get_u32()
+        round_id = r.get_u64()
+        aggregate = r.get_array()
+        survivors = [int(i) for i in r.get_array()]
+        table = r.get_array()
+        if table.ndim != 2 or (table.size and table.shape[1] != 5):
+            raise WireError(f"bad transcript table shape {table.shape}")
+        counts = tuple(r.get_u64() for _ in range(3))
+        extra = {}
+        for _ in range(r.get_u32()):
+            key = r.get_str()
+            extra[key] = r.get_f64()
+        return cls(
+            shard_id=shard_id,
+            round_id=round_id,
+            aggregate=aggregate,
+            survivors=survivors,
+            transcript_table=table.reshape(-1, 5),
+            metrics_counts=counts,  # type: ignore[arg-type]
+            metrics_extra=extra,
+            stalled=bool(r.get_u8()),
+            pool_level=r.get_u32(),
+            stats=_get_stats(r),
+        )
+
+
+@dataclass
+class RefillRequest:
+    """Top up one shard's offline pool (``rounds=None`` = to pool size)."""
+
+    TYPE = 3
+
+    shard_id: int
+    rounds: Optional[int] = None
+
+    def _encode(self, w: PayloadWriter) -> None:
+        w.put_u32(self.shard_id)
+        w.put_i64(-1 if self.rounds is None else self.rounds)
+
+    @classmethod
+    def _decode(cls, r: PayloadReader) -> "RefillRequest":
+        shard_id = r.get_u32()
+        rounds = r.get_i64()
+        return cls(shard_id=shard_id, rounds=None if rounds < 0 else rounds)
+
+
+@dataclass
+class PoolSnapshot:
+    """One shard session's pool state and cumulative stats."""
+
+    TYPE = 4
+
+    shard_id: int
+    pool_level: int
+    pool_size: int
+    rounds_added: int
+    closed: bool
+    stats: SessionStats
+
+    def _encode(self, w: PayloadWriter) -> None:
+        w.put_u32(self.shard_id)
+        w.put_u32(self.pool_level)
+        w.put_u32(self.pool_size)
+        w.put_i64(self.rounds_added)
+        w.put_u8(int(self.closed))
+        _put_stats(w, self.stats)
+
+    @classmethod
+    def _decode(cls, r: PayloadReader) -> "PoolSnapshot":
+        return cls(
+            shard_id=r.get_u32(),
+            pool_level=r.get_u32(),
+            pool_size=r.get_u32(),
+            rounds_added=r.get_i64(),
+            closed=bool(r.get_u8()),
+            stats=_get_stats(r),
+        )
+
+
+@dataclass
+class ErrorFrame:
+    """A remote exception: library exception name + message.
+
+    :meth:`raise_` re-raises the named :mod:`repro.exceptions` type when
+    it exists (so e.g. a worker-side ``ProtocolError`` surfaces as a
+    ``ProtocolError`` to the coordinator's caller) and falls back to
+    :class:`~repro.exceptions.TransportError` for anything unknown.
+    """
+
+    TYPE = 5
+
+    shard_id: int
+    kind: str
+    message: str
+
+    @classmethod
+    def from_exception(cls, shard_id: int, exc: BaseException) -> "ErrorFrame":
+        return cls(
+            shard_id=shard_id, kind=type(exc).__name__, message=str(exc)
+        )
+
+    def raise_(self) -> None:
+        exc_type = getattr(_exceptions, self.kind, None)
+        if isinstance(exc_type, type) and issubclass(
+            exc_type, _exceptions.ReproError
+        ):
+            raise exc_type(self.message)
+        raise _exceptions.TransportError(
+            f"shard {self.shard_id} worker failed with {self.kind}: "
+            f"{self.message}"
+        )
+
+    def _encode(self, w: PayloadWriter) -> None:
+        w.put_u32(self.shard_id)
+        w.put_str(self.kind)
+        w.put_str(self.message)
+
+    @classmethod
+    def _decode(cls, r: PayloadReader) -> "ErrorFrame":
+        return cls(shard_id=r.get_u32(), kind=r.get_str(), message=r.get_str())
+
+
+@dataclass
+class SnapshotRequest:
+    """Ask for one shard's :class:`PoolSnapshot` without touching the pool."""
+
+    TYPE = 6
+
+    shard_id: int
+
+    def _encode(self, w: PayloadWriter) -> None:
+        w.put_u32(self.shard_id)
+
+    @classmethod
+    def _decode(cls, r: PayloadReader) -> "SnapshotRequest":
+        return cls(shard_id=r.get_u32())
+
+
+@dataclass
+class Shutdown:
+    """Close every session a worker hosts and exit its serve loop.
+
+    A refill already in flight on the worker completes (and its material
+    lands in the pool) before the shutdown is acknowledged.
+    """
+
+    TYPE = 7
+
+    def _encode(self, w: PayloadWriter) -> None:  # no fields
+        pass
+
+    @classmethod
+    def _decode(cls, r: PayloadReader) -> "Shutdown":
+        return cls()
+
+
+WIRE_MESSAGES: Dict[int, Type] = {
+    cls.TYPE: cls
+    for cls in (
+        ShardRoundRequest,
+        ShardRoundResult,
+        RefillRequest,
+        PoolSnapshot,
+        ErrorFrame,
+        SnapshotRequest,
+        Shutdown,
+    )
+}
+
+
+def encode_message(message, request_id: int = 0) -> bytes:
+    """Encode one typed message into a complete wire frame."""
+    msg_type = getattr(type(message), "TYPE", None)
+    if msg_type not in WIRE_MESSAGES:
+        raise WireError(f"{type(message).__name__} is not a wire message")
+    w = PayloadWriter()
+    message._encode(w)
+    return encode_frame(msg_type, request_id, w)
+
+
+def decode_message(frame: bytes):
+    """Decode one frame into ``(request_id, message)``."""
+    msg_type, request_id, reader = decode_frame(frame)
+    cls = WIRE_MESSAGES.get(msg_type)
+    if cls is None:
+        raise WireError(f"unknown wire message type {msg_type}")
+    message = cls._decode(reader)
+    if reader.remaining:
+        raise WireError(
+            f"{cls.__name__} frame has {reader.remaining} trailing bytes"
+        )
+    return request_id, message

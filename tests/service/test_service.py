@@ -196,6 +196,40 @@ class TestSchedulerAndConfig:
             with pytest.raises(ReproError):
                 config(**bad)
 
+    def test_shard_dim_pair_fails_at_config_build_with_clear_message(self):
+        """The bad (num_shards, model_dim) pair that ShardPlan would reject
+        is caught when the config is built, naming both knobs and the
+        valid range — not later, inside session construction."""
+        with pytest.raises(
+            ReproError,
+            match=r"cannot split model_dim=41 into 64 non-empty shards: "
+                  r"num_shards must be in \[1, model_dim\]",
+        ):
+            config(num_shards=64)
+
+    def test_infeasible_protocol_geometry_fails_at_config_build(self):
+        # T + D >= N violates Theorem 1; previously this surfaced as a
+        # ParameterError from deep inside LSAParams during cohort
+        # construction.  Now the config names the offending triple.
+        with pytest.raises(
+            ReproError, match=r"infeasible protocol geometry for N=8, T=5, D=4"
+        ):
+            config(privacy=5, dropout_tolerance=4)
+        with pytest.raises(ReproError, match="need >= 2 users"):
+            config(num_users=1, num_shards=1)
+
+    def test_transport_knobs_validated(self):
+        from repro.service import TransportKind
+
+        with pytest.raises(ReproError, match="num_workers only applies"):
+            config(num_workers=2)  # default transport is INLINE
+        with pytest.raises(ReproError, match=">= 1 worker"):
+            config(transport=TransportKind.PROCESS, num_workers=0)
+        with pytest.raises(ReproError, match="must be a TransportKind"):
+            config(transport="process")
+        cfg = config(transport=TransportKind.PROCESS, num_workers=2)
+        assert cfg.num_workers == 2
+
     def test_naive_protocol_cohorts_run_without_pools(self, gf):
         cfg = config(
             protocol="naive", num_shards=2, num_cohorts=1,

@@ -1,0 +1,344 @@
+"""Shard transports: inline/process parity, worker lifecycle, refill overlap.
+
+The acceptance criterion pinned here: rounds driven through
+``ProcessPoolTransport`` (sessions in worker processes, spoken to in wire
+frames) are bit-identical to ``InlineTransport`` (direct calls) across
+mixed dropout patterns — same aggregates, survivors, transcripts, and
+pool dynamics — and workers shut down cleanly with a refill in flight.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DropoutError, ProtocolError, TransportError
+from repro.field import DEFAULT_PRIME, FiniteField
+from repro.service import (
+    AggregationService,
+    BackgroundRefiller,
+    InlineTransport,
+    ProcessPoolTransport,
+    RefillMode,
+    ServiceConfig,
+    ShardPlan,
+    ShardSessionSpec,
+    ShardedSession,
+    TransportKind,
+    build_transport,
+)
+
+N, DIM, SHARDS = 8, 37, 3
+
+
+def make_specs(shards=SHARDS, dim=DIM, pool_size=3, low_water=1,
+               protocol="lightsecagg", seed=0):
+    plan = ShardPlan(dim, shards)
+    return plan, [
+        ShardSessionSpec(
+            protocol=protocol,
+            num_users=N,
+            shard_dim=plan.widths[s],
+            privacy=2,
+            dropout_tolerance=2,
+            pool_size=pool_size,
+            low_water=low_water,
+            seed=(seed, 0, s),
+        )
+        for s in range(shards)
+    ]
+
+
+def mixed_dropout_rounds(gf, rounds=6, seed=11):
+    """A deterministic stream of (updates, dropouts, offline_dropouts)."""
+    rng = np.random.default_rng(seed)
+    for r in range(rounds):
+        updates = {i: gf.random(DIM, rng) for i in range(N)}
+        dropouts = set(
+            rng.choice(N, size=int(rng.integers(0, 3)), replace=False).tolist()
+        )
+        offline = {int(rng.integers(0, N))} if r % 3 == 2 else set()
+        yield updates, dropouts, offline - dropouts
+
+
+@pytest.fixture
+def process_session():
+    plan, specs = make_specs()
+    transport = ProcessPoolTransport(specs)
+    session = ShardedSession(plan, transport=transport)
+    yield session, transport
+    transport.close()
+
+
+class TestProcessInlineBitIdentity:
+    def test_rounds_bit_identical_across_mixed_dropouts(self, gf,
+                                                        process_session):
+        """Aggregate, survivors, transcript, and pool dynamics all match."""
+        process, _ = process_session
+        plan, specs = make_specs()
+        inline = ShardedSession(
+            plan, transport=InlineTransport.from_specs(specs, gf=gf)
+        )
+        for updates, dropouts, offline in mixed_dropout_rounds(gf):
+            kwargs = {"offline_dropouts": offline} if offline else {}
+            got = process.run_round(updates, set(dropouts), **kwargs)
+            want = inline.run_round(updates, set(dropouts), **kwargs)
+            assert got.survivors == want.survivors
+            assert np.array_equal(got.aggregate, want.aggregate)
+            assert len(got.transcript) == len(want.transcript)
+            for phase in ("offline", "upload", "recovery"):
+                assert got.transcript.elements(
+                    phase=phase
+                ) == want.transcript.elements(phase=phase)
+            assert got.metrics.server_decode_ops == want.metrics.server_decode_ops
+            assert got.metrics.extra == want.metrics.extra
+        for counter in ("rounds", "refills", "pool_hits", "pool_misses",
+                        "precomputed_rounds"):
+            assert getattr(process.stats, counter) == getattr(
+                inline.stats, counter
+            ), counter  # refill_seconds is wall-clock, not a count
+        assert process.pool_level == inline.pool_level
+        inline.close()
+
+    def test_fewer_workers_than_shards_same_results(self, gf):
+        plan, specs = make_specs()
+        transport = ProcessPoolTransport(specs, num_workers=2)
+        assert transport.num_workers == 2
+        multi = ShardedSession(plan, transport=transport)
+        inline = ShardedSession(
+            plan, transport=InlineTransport.from_specs(specs, gf=gf)
+        )
+        try:
+            for updates, dropouts, _ in mixed_dropout_rounds(gf, rounds=3):
+                got = multi.run_round(updates, set(dropouts))
+                want = inline.run_round(updates, set(dropouts))
+                assert got.survivors == want.survivors
+                assert np.array_equal(got.aggregate, want.aggregate)
+        finally:
+            transport.close()
+            inline.close()
+
+    def test_service_level_parity_all_backends(self, gf):
+        """The full service stack: inline/process x sync/background."""
+        outputs = {}
+        for kind in (TransportKind.INLINE, TransportKind.PROCESS):
+            for mode in (RefillMode.SYNC, RefillMode.BACKGROUND):
+                cfg = ServiceConfig(
+                    num_cohorts=1,
+                    num_users=N,
+                    model_dim=DIM,
+                    num_shards=2,
+                    pool_size=3,
+                    low_water=0 if mode is RefillMode.SYNC else 1,
+                    refill_mode=mode,
+                    dropout_tolerance=2,
+                    privacy=2,
+                    transport=kind,
+                    seed=5,
+                )
+                with AggregationService(cfg, gf=gf) as svc:
+                    outputs[(kind, mode)] = svc.run_synthetic(
+                        rounds=4,
+                        dropout_rate=0.2,
+                        rng=np.random.default_rng(9),
+                    )
+        base = outputs[(TransportKind.INLINE, RefillMode.SYNC)]
+        for key, results in outputs.items():
+            for sweep, base_sweep in zip(results, base):
+                assert sweep[0].survivors == base_sweep[0].survivors, key
+                assert np.array_equal(
+                    sweep[0].aggregate, base_sweep[0].aggregate
+                ), key
+
+
+class TestProcessWorkerLifecycle:
+    def test_clean_shutdown_with_refill_in_flight(self):
+        """Close lands while a worker is mid-refill: the refill completes,
+        every worker acknowledges shutdown and exits with code 0."""
+        plan, specs = make_specs(pool_size=6)
+        transport = ProcessPoolTransport(specs)
+        handles = transport.shard_handles
+        tickets = [h.refill_begin() for h in handles]  # refills in flight
+        transport.close()
+        assert transport.closed
+        for client in transport._clients:
+            assert not client.process.is_alive()
+            assert client.process.exitcode == 0
+        # The begun refills were joined by nobody; the workers still
+        # completed them before acknowledging shutdown (exitcode 0 above
+        # proves the serve loop exited through the Shutdown branch).
+        assert len(tickets) == len(handles)
+
+    def test_refill_join_after_close_raises_protocol_error(self):
+        plan, specs = make_specs(shards=1)
+        transport = ProcessPoolTransport(specs)
+        transport.close()
+        with pytest.raises(ProtocolError, match="closed"):
+            transport.shard_handles[0].refill()
+        with pytest.raises(ProtocolError, match="closed"):
+            ShardedSession(plan, transport=transport).run_round({}, set())
+
+    def test_close_is_idempotent(self):
+        _, specs = make_specs(shards=1)
+        transport = ProcessPoolTransport(specs)
+        transport.close()
+        transport.close()
+        assert transport.workers_alive == 0
+
+    def test_multi_shard_worker_with_frames_larger_than_pipe_buffer(self, gf):
+        """Deadlock regression: scattering several shard requests to ONE
+        worker, each frame far larger than the OS pipe buffer (~64KB).
+        Without an always-draining receiver on the coordinator side, the
+        worker blocks flushing shard 0's result while the coordinator
+        blocks writing shard 1's request, and the round never completes."""
+        dim = 2**17  # ~1MB of update payload per shard request
+        plan = ShardPlan(dim, 2)
+        specs = [
+            ShardSessionSpec(
+                protocol="naive", num_users=N, shard_dim=plan.widths[s],
+                privacy=2, dropout_tolerance=2, pool_size=1, low_water=0,
+                seed=(0, 0, s),
+            )
+            for s in range(2)
+        ]
+        transport = ProcessPoolTransport(specs, num_workers=1)
+        session = ShardedSession(plan, transport=transport)
+        try:
+            rng = np.random.default_rng(0)
+            updates = {i: gf.random(dim, rng) for i in range(N)}
+            result = session.run_round(updates, {1})
+            from repro.protocols import NaiveAggregation
+
+            expected = NaiveAggregation(gf, N, dim).expected_aggregate(
+                updates, result.survivors
+            )
+            assert np.array_equal(result.aggregate, expected)
+        finally:
+            transport.close()
+
+    def test_round_error_propagates_and_worker_stays_usable(self, gf):
+        plan, specs = make_specs(shards=2)
+        transport = ProcessPoolTransport(specs)
+        session = ShardedSession(plan, transport=transport)
+        try:
+            rng = np.random.default_rng(0)
+            updates = {i: gf.random(DIM, rng) for i in range(N)}
+            # Dropping all but one user leaves survivors < U: the worker's
+            # DropoutError crosses the wire and re-raises as itself.
+            with pytest.raises(DropoutError, match="survivors"):
+                session.run_round(updates, set(range(N - 1)))
+            # Both pipes were drained; the next (valid) round still works.
+            result = session.run_round(updates, {1})
+            assert result.survivors == [i for i in range(N) if i != 1]
+        finally:
+            transport.close()
+
+    def test_unsupported_phase_kwargs_rejected(self, gf):
+        plan, specs = make_specs(shards=1)
+        transport = ProcessPoolTransport(specs)
+        session = ShardedSession(plan, transport=transport)
+        try:
+            rng = np.random.default_rng(0)
+            updates = {i: gf.random(DIM, rng) for i in range(N)}
+            with pytest.raises(TransportError, match="phase kwargs"):
+                session.run_round(updates, set(), mystery_kwarg=1)
+        finally:
+            transport.close()
+
+
+class TestProcessHandleSurface:
+    def test_cached_pool_state_tracks_rounds_and_refills(self, gf,
+                                                         process_session):
+        session, transport = process_session
+        handle = transport.shard_handles[0]
+        assert handle.supports_pool and handle.pool_level == 0
+        assert handle.needs_refill  # empty pool, low_water 1
+        session.refill()
+        assert handle.pool_level == 3
+        assert not handle.needs_refill
+        rng = np.random.default_rng(1)
+        updates = {i: gf.random(DIM, rng) for i in range(N)}
+        session.run_round(updates, set())
+        session.run_round(updates, set())
+        assert handle.pool_level == 1  # refreshed by round-result frames
+        assert handle.needs_refill
+        assert handle.stats.pool_hits == 2
+        assert handle.sync().pool_level == 1  # explicit snapshot agrees
+
+    def test_background_refiller_drives_process_handles(self, gf,
+                                                        process_session):
+        """The refiller's scatter/gather path keeps worker pools topped."""
+        session, transport = process_session
+        session.refill()
+        refiller = BackgroundRefiller(poll_interval_s=0.001)
+        for handle in transport.shard_handles:
+            refiller.register(handle, cohort_id=0)
+        with refiller:
+            rng = np.random.default_rng(2)
+            updates = {i: gf.random(DIM, rng) for i in range(N)}
+            for _ in range(4):
+                session.run_round(updates, set())
+                refiller.notify()
+                assert refiller.wait_until_idle(timeout=10.0)
+            assert session.pool_level >= 2  # topped back above low water
+        assert refiller.refills > 0
+
+    def test_naive_replay_shards_over_processes(self, gf):
+        plan, specs = make_specs(shards=2, protocol="naive")
+        transport = ProcessPoolTransport(specs)
+        session = ShardedSession(plan, transport=transport)
+        try:
+            assert not session.supports_pool
+            assert session.refill() == 0
+            rng = np.random.default_rng(3)
+            updates = {i: gf.random(DIM, rng) for i in range(N)}
+            result = session.run_round(updates, {2})
+            from repro.protocols import NaiveAggregation
+
+            expected = NaiveAggregation(gf, N, DIM).expected_aggregate(
+                updates, result.survivors
+            )
+            assert np.array_equal(result.aggregate, expected)
+        finally:
+            transport.close()
+
+
+class TestTransportConstruction:
+    def test_build_transport_dispatch_and_unknown_kind(self, gf):
+        _, specs = make_specs(shards=1)
+        inline = build_transport("inline", specs, gf=gf)
+        assert isinstance(inline, InlineTransport) and inline.kind == "inline"
+        inline.close()
+        with pytest.raises(ProtocolError, match="unknown transport"):
+            build_transport("carrier-pigeon", specs)
+
+    def test_spec_build_matches_direct_construction(self, gf):
+        _, specs = make_specs(shards=1)
+        built = specs[0].build(gf)
+        assert built.pool_size == specs[0].pool_size
+        assert built.low_water == specs[0].low_water
+        assert built.protocol.model_dim == specs[0].shard_dim
+        assert built.gf is gf
+        default_field = specs[0].build()
+        assert default_field.gf.q == DEFAULT_PRIME
+
+    def test_sharded_session_requires_exactly_one_source(self):
+        plan, specs = make_specs(shards=1)
+        with pytest.raises(ProtocolError, match="exactly one"):
+            ShardedSession(plan)
+        inline = InlineTransport.from_specs(specs)
+        with pytest.raises(ProtocolError, match="exactly one"):
+            ShardedSession(plan, inline.shard_handles, transport=inline)
+        inline.close()
+
+    def test_transport_shard_count_must_match_plan(self):
+        plan, specs = make_specs(shards=2)
+        inline = InlineTransport.from_specs(specs)
+        with pytest.raises(ProtocolError, match="transport drives"):
+            ShardedSession(ShardPlan(DIM, 3), transport=inline)
+        inline.close()
+
+    def test_invalid_worker_count_rejected(self):
+        _, specs = make_specs(shards=1)
+        with pytest.raises(ProtocolError, match=">= 1 worker"):
+            ProcessPoolTransport(specs, num_workers=0)

@@ -1,0 +1,310 @@
+"""Wire-format round trips: frames, primitives, and every message type."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DropoutError, ProtocolError, TransportError, WireError
+from repro.protocols.base import (
+    PHASES,
+    AggregationResult,
+    RoundMetrics,
+    SessionStats,
+    Transcript,
+)
+from repro.wire import (
+    HEADER_SIZE,
+    MAGIC,
+    WIRE_VERSION,
+    ErrorFrame,
+    PayloadReader,
+    PayloadWriter,
+    PoolSnapshot,
+    RefillRequest,
+    ShardRoundRequest,
+    ShardRoundResult,
+    SnapshotRequest,
+    Shutdown,
+    decode_frame,
+    decode_message,
+    encode_frame,
+    encode_message,
+)
+
+
+class TestFrameLayout:
+    def test_header_magic_version_and_length(self):
+        w = PayloadWriter()
+        w.put_u32(7)
+        frame = encode_frame(3, 99, w)
+        assert frame[:2] == MAGIC
+        assert frame[2] == WIRE_VERSION
+        msg_type, request_id, reader = decode_frame(frame)
+        assert (msg_type, request_id) == (3, 99)
+        assert reader.get_u32() == 7
+        assert reader.remaining == 0
+
+    def test_truncated_and_corrupted_frames_rejected(self):
+        frame = encode_message(Shutdown(), 1)
+        with pytest.raises(WireError, match="too short"):
+            decode_frame(frame[: HEADER_SIZE - 1])
+        with pytest.raises(WireError, match="magic"):
+            decode_frame(b"XX" + frame[2:])
+        bad_version = frame[:2] + bytes([WIRE_VERSION + 1]) + frame[3:]
+        with pytest.raises(WireError, match="version"):
+            decode_frame(bad_version)
+        with pytest.raises(WireError, match="length mismatch"):
+            decode_frame(frame + b"\x00")
+
+    def test_unknown_message_type_rejected(self):
+        frame = encode_frame(200, 0, PayloadWriter())
+        with pytest.raises(WireError, match="unknown wire message type"):
+            decode_message(frame)
+
+    def test_truncated_payload_rejected(self):
+        w = PayloadWriter()
+        w.put_u32(5)  # ShardRoundRequest.shard_id only; rest missing
+        frame = encode_frame(ShardRoundRequest.TYPE, 0, w)
+        with pytest.raises(WireError, match="truncated"):
+            decode_message(frame)
+
+
+class TestPayloadPrimitives:
+    def test_scalars_round_trip(self):
+        w = PayloadWriter()
+        w.put_u8(255)
+        w.put_u32(2**32 - 1)
+        w.put_u64(2**63)
+        w.put_i64(-12345)
+        w.put_f64(3.5)
+        w.put_str("grüße")
+        r = PayloadReader(memoryview(w.getvalue()))
+        assert r.get_u8() == 255
+        assert r.get_u32() == 2**32 - 1
+        assert r.get_u64() == 2**63
+        assert r.get_i64() == -12345
+        assert r.get_f64() == 3.5
+        assert r.get_str() == "grüße"
+        assert r.remaining == 0
+
+    def test_array_decode_is_zero_copy_view(self):
+        data = np.arange(12, dtype=np.uint64).reshape(3, 4)
+        w = PayloadWriter()
+        w.put_array(data)
+        buf = w.getvalue()
+        out = PayloadReader(memoryview(buf)).get_array()
+        assert np.array_equal(out, data)
+        assert out.base is not None  # a view into the frame, not a copy
+        with pytest.raises(ValueError):
+            out[0, 0] = 1  # frame-backed arrays are read-only
+
+    def test_non_contiguous_and_empty_arrays(self):
+        data = np.arange(20, dtype=np.uint64).reshape(4, 5)[:, ::2]
+        w = PayloadWriter()
+        w.put_array(data)
+        w.put_array(np.zeros((0, 3), dtype=np.int64))
+        r = PayloadReader(memoryview(w.getvalue()))
+        assert np.array_equal(r.get_array(), data)
+        assert r.get_array().shape == (0, 3)
+
+    def test_unsupported_dtype_rejected(self):
+        w = PayloadWriter()
+        with pytest.raises(WireError, match="not wire-encodable"):
+            w.put_array(np.zeros(3, dtype=np.complex128))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        arr=st.lists(
+            st.integers(min_value=0, max_value=2**64 - 1),
+            min_size=0,
+            max_size=64,
+        ),
+        request_id=st.integers(min_value=0, max_value=2**64 - 1),
+    )
+    def test_u64_arrays_round_trip_any_contents(self, arr, request_id):
+        data = np.asarray(arr, dtype=np.uint64)
+        w = PayloadWriter()
+        w.put_array(data)
+        frame = encode_frame(1, request_id, w)
+        _, rid, reader = decode_frame(frame)
+        assert rid == request_id
+        assert np.array_equal(reader.get_array(), data)
+
+
+# ----------------------------------------------------------------------
+# message round trips
+# ----------------------------------------------------------------------
+@st.composite
+def round_requests(draw):
+    num_users = draw(st.integers(min_value=1, max_value=8))
+    width = draw(st.integers(min_value=1, max_value=16))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    rng = np.random.default_rng(seed)
+    updates = {
+        uid: rng.integers(0, 2**31 - 1, size=width, dtype=np.uint64)
+        for uid in range(num_users)
+    }
+    dropouts = set(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_users - 1), max_size=3
+            )
+        )
+    )
+    offline = set(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_users - 1), max_size=2
+            )
+        )
+    )
+    return ShardRoundRequest.from_updates(
+        shard_id=draw(st.integers(min_value=0, max_value=31)),
+        round_id=draw(st.integers(min_value=0, max_value=2**40)),
+        updates=updates,
+        dropouts=dropouts,
+        offline_dropouts=offline,
+    )
+
+
+class TestMessageRoundTrips:
+    @settings(max_examples=40, deadline=None)
+    @given(request=round_requests(), request_id=st.integers(0, 2**64 - 1))
+    def test_round_request_round_trips(self, request, request_id):
+        rid, back = decode_message(encode_message(request, request_id))
+        assert rid == request_id
+        assert back.shard_id == request.shard_id
+        assert back.round_id == request.round_id
+        assert back.user_ids == request.user_ids
+        assert back.dropouts == request.dropouts
+        assert back.offline_dropouts == request.offline_dropouts
+        assert np.array_equal(back.updates, request.updates)
+        for uid, vec in back.updates_dict().items():
+            assert np.array_equal(vec, request.updates_dict()[uid])
+
+    @settings(max_examples=40, deadline=None)
+    @given(request=round_requests())
+    def test_semantically_equal_requests_are_byte_equal(self, request):
+        """Encoding is canonical: id sets are sorted, layouts are fixed."""
+        shuffled = ShardRoundRequest(
+            shard_id=request.shard_id,
+            round_id=request.round_id,
+            user_ids=request.user_ids,
+            updates=request.updates,
+            dropouts=set(sorted(request.dropouts, reverse=True)),
+            offline_dropouts=set(request.offline_dropouts),
+        )
+        assert encode_message(request, 7) == encode_message(shuffled, 7)
+
+    def test_directly_constructed_request_with_unsorted_ids_keeps_rows(self):
+        """Row i belongs to user_ids[i]; encoding must permute ids and
+        rows together, not sort ids out from under the matrix."""
+        rows = np.stack(
+            [np.full(4, 30, dtype=np.uint64), np.full(4, 10, dtype=np.uint64)]
+        )
+        request = ShardRoundRequest(
+            shard_id=0, round_id=0, user_ids=[3, 1], updates=rows,
+        )
+        _, back = decode_message(encode_message(request, 1))
+        decoded = back.updates_dict()
+        assert np.array_equal(decoded[3], np.full(4, 30, dtype=np.uint64))
+        assert np.array_equal(decoded[1], np.full(4, 10, dtype=np.uint64))
+
+    def test_duplicate_or_mismatched_user_ids_rejected(self):
+        rows = np.zeros((2, 4), dtype=np.uint64)
+        with pytest.raises(WireError, match="duplicate user ids"):
+            encode_message(
+                ShardRoundRequest(0, 0, user_ids=[2, 2], updates=rows), 1
+            )
+        with pytest.raises(WireError, match="does not match"):
+            encode_message(
+                ShardRoundRequest(0, 0, user_ids=[1], updates=rows), 1
+            )
+
+    def test_round_result_rebuilds_aggregation_result(self):
+        transcript = Transcript()
+        transcript.record(0, -1, "upload", 10)
+        transcript.record(2, -1, "recovery", 4, is_key_sized=True)
+        result = AggregationResult(
+            aggregate=np.arange(10, dtype=np.uint64),
+            survivors=[0, 2, 3],
+            transcript=transcript,
+            metrics=RoundMetrics(
+                server_decode_ops=44,
+                server_prg_elements=0,
+                user_encode_ops=7,
+                extra={"pool_level": 2.0, "amortized_encode_ops": 96.0},
+            ),
+        )
+        stats = SessionStats(rounds=5, refills=2, pool_hits=4, pool_misses=1,
+                             precomputed_rounds=8, refill_seconds=0.125)
+        msg = ShardRoundResult.from_result(
+            3, 17, result, stalled=True, pool_level=2, stats=stats
+        )
+        rid, back = decode_message(encode_message(msg, 9))
+        assert rid == 9
+        assert back.stalled and back.pool_level == 2
+        assert back.stats == stats
+        rebuilt = back.to_result()
+        assert np.array_equal(rebuilt.aggregate, result.aggregate)
+        assert rebuilt.survivors == result.survivors
+        assert rebuilt.metrics.server_decode_ops == 44
+        assert rebuilt.metrics.extra == result.metrics.extra
+        assert len(rebuilt.transcript) == 2
+        msg_a, msg_b = rebuilt.transcript.messages
+        assert (msg_a.sender, msg_a.receiver, msg_a.phase) == (0, -1, "upload")
+        assert msg_b.is_key_sized and msg_b.phase == "recovery"
+        for phase in PHASES:
+            assert rebuilt.transcript.elements(
+                phase=phase
+            ) == result.transcript.elements(phase=phase)
+
+    def test_refill_request_none_and_explicit(self):
+        for rounds in (None, 0, 5):
+            _, back = decode_message(
+                encode_message(RefillRequest(2, rounds), 1)
+            )
+            assert back == RefillRequest(2, rounds)
+
+    def test_pool_snapshot_round_trips(self):
+        snap = PoolSnapshot(
+            shard_id=1, pool_level=3, pool_size=4, rounds_added=2,
+            closed=True,
+            stats=SessionStats(rounds=9, refill_seconds=0.5),
+        )
+        _, back = decode_message(encode_message(snap, 12))
+        assert back == snap
+
+    def test_snapshot_request_and_shutdown(self):
+        _, back = decode_message(encode_message(SnapshotRequest(5), 2))
+        assert back == SnapshotRequest(5)
+        _, back = decode_message(encode_message(Shutdown(), 3))
+        assert isinstance(back, Shutdown)
+
+
+class TestErrorFrames:
+    @pytest.mark.parametrize(
+        "exc", [ProtocolError("survivors below U"), DropoutError("too many")]
+    )
+    def test_known_exceptions_reraise_as_themselves(self, exc):
+        frame = encode_message(ErrorFrame.from_exception(4, exc), 8)
+        _, back = decode_message(frame)
+        with pytest.raises(type(exc), match=str(exc)):
+            back.raise_()
+
+    def test_unknown_exception_becomes_transport_error(self):
+        frame = encode_message(
+            ErrorFrame.from_exception(0, ValueError("weird")), 1
+        )
+        _, back = decode_message(frame)
+        with pytest.raises(TransportError, match="ValueError: weird"):
+            back.raise_()
+
+    def test_arbitrary_kind_cannot_smuggle_non_repro_types(self):
+        """A malicious peer naming e.g. SystemExit still gets TransportError."""
+        _, back = decode_message(
+            encode_message(ErrorFrame(0, "SystemExit", "0"), 1)
+        )
+        with pytest.raises(TransportError):
+            back.raise_()
