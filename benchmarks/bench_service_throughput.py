@@ -10,17 +10,22 @@ Measures the aggregation service end to end on this machine and emits
   background+sharded deployment driven through the ``inline`` backend
   (per-shard sessions called directly, GIL-serialized) vs the
   ``process`` backend (each shard pinned in a worker process, rounds
-  scatter/gathered in wire frames).  Reports online rounds/sec, the
-  process/inline speedup, scatter-gather latency, and wire traffic.
-  The speedup is a *parallelism* measurement: on a multi-core host the
-  process backend overlaps the per-shard field work and wins once
-  per-shard compute dominates the ~ms of frame+pipe overhead; on a
-  single core it can only measure that overhead (``host.cpu_count`` is
-  recorded in the JSON so readers can tell which regime a report is
-  from).
+  scatter/gathered in wire frames) vs the ``socket`` backend (the same
+  frames over TCP to an in-process ``ShardWorkerServer`` on localhost —
+  the multi-host transport measured at its floor).  Reports online
+  rounds/sec, each backend's speedup over inline, scatter-gather
+  latency, and wire traffic.  The speedups are *parallelism*
+  measurements: on a multi-core host the process backend overlaps the
+  per-shard field work and wins once per-shard compute dominates the
+  ~ms of frame+pipe overhead; on a single core it can only measure that
+  overhead (``host.cpu_count`` is recorded in the JSON so readers can
+  tell which regime a report is from).  The socket numbers on localhost
+  additionally fold in loopback TCP latency; worker-side threads share
+  the host's cores with the coordinator, so the same caveat applies
+  twice over on a 1-core container.
 
 Run ``python benchmarks/bench_service_throughput.py --help`` for the
-sweep knobs (``--transport inline|process|both``, ``--shards``,
+sweep knobs (``--transport inline|process|socket|all``, ``--shards``,
 ``--dim``, ``--rounds``).
 
 Acceptance gates: zero online stalls for the background configurations
@@ -165,6 +170,16 @@ SWEEP_ROUNDS = 12
 
 
 def run_transport_config(kind, users, dim, shards, rounds):
+    # The socket backend needs a worker host to connect to; benching on
+    # localhost against an in-process ShardWorkerServer measures the
+    # transport's floor (frames + loopback TCP, no real network).
+    server = None
+    connect = None
+    if kind is TransportKind.SOCKET:
+        from repro.service import ShardWorkerServer
+
+        server = ShardWorkerServer().start()
+        connect = (server.address,)
     config = ServiceConfig(
         num_cohorts=1,
         num_users=users,
@@ -176,21 +191,27 @@ def run_transport_config(kind, users, dim, shards, rounds):
         dropout_tolerance=users // 8,
         privacy=users // 8,
         transport=kind,
+        connect=connect,
         seed=0,
     )
     rng = np.random.default_rng(42)
-    with AggregationService(config, gf=GF) as svc:
-        cohort = svc.cohorts[0]
-        updates = {i: GF.random(dim, rng) for i in range(users)}
-        t0 = time.perf_counter()
-        for r in range(rounds):
-            dropouts = {int(rng.integers(0, users))} if r % 3 else set()
-            cohort.run_round(updates, dropouts, rng)
-            # Steady state: the refiller finishes before the next round,
-            # so the sweep measures round execution, not pool contention.
-            svc.refiller.wait_until_idle(timeout=120.0)
-        wall = time.perf_counter() - t0
-        snapshot = svc.status()
+    try:
+        with AggregationService(config, gf=GF) as svc:
+            cohort = svc.cohorts[0]
+            updates = {i: GF.random(dim, rng) for i in range(users)}
+            t0 = time.perf_counter()
+            for r in range(rounds):
+                dropouts = {int(rng.integers(0, users))} if r % 3 else set()
+                cohort.run_round(updates, dropouts, rng)
+                # Steady state: the refiller finishes before the next
+                # round, so the sweep measures round execution, not pool
+                # contention.
+                svc.refiller.wait_until_idle(timeout=120.0)
+            wall = time.perf_counter() - t0
+            snapshot = svc.status()
+    finally:
+        if server is not None:
+            server.stop()
     cohort_metrics = snapshot["metrics"]["cohorts"][0]
     # The inline single-shard layout bypasses the transport entirely
     # (bare session, no scatter/gather), so it records no transport
@@ -217,7 +238,7 @@ def run_transport_config(kind, users, dim, shards, rounds):
 
 
 def run_transport_sweep(
-    transports=("inline", "process"),
+    transports=("inline", "process", "socket"),
     users=SWEEP_USERS,
     dim=SWEEP_DIM,
     shards=SWEEP_SHARDS,
@@ -237,16 +258,16 @@ def run_transport_sweep(
         report["transports"][name] = run_transport_config(
             TransportKind(name), users, dim, shards, rounds
         )
-    if {"inline", "process"} <= set(report["transports"]):
+    if "inline" in report["transports"]:
         inline_rps = report["transports"]["inline"][
             "online_rounds_per_second"
         ]
-        process_rps = report["transports"]["process"][
-            "online_rounds_per_second"
-        ]
-        report["speedup_process_over_inline"] = (
-            process_rps / inline_rps if inline_rps > 0 else None
-        )
+        for name in ("process", "socket"):
+            if name in report["transports"] and inline_rps > 0:
+                report[f"speedup_{name}_over_inline"] = (
+                    report["transports"][name]["online_rounds_per_second"]
+                    / inline_rps
+                )
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, "service_transport_sweep.json")
     with open(path, "w") as fh:
@@ -259,12 +280,13 @@ def run_transport_sweep(
             f"scatter-gather, stalls={r['stalls']}, "
             f"wire={r['wire_bytes_sent'] + r['wire_bytes_received']}B"
         )
-    speedup = report.get("speedup_process_over_inline")
-    if speedup is not None:
-        print(
-            f"process/inline speedup: {speedup:.2f}x on "
-            f"{report['host']['cpu_count']} cpu(s)"
-        )
+    for name in ("process", "socket"):
+        speedup = report.get(f"speedup_{name}_over_inline")
+        if speedup is not None:
+            print(
+                f"{name}/inline speedup: {speedup:.2f}x on "
+                f"{report['host']['cpu_count']} cpu(s)"
+            )
     return report
 
 
@@ -273,9 +295,12 @@ def main(argv=None):
         description="aggregation-service throughput benchmarks"
     )
     parser.add_argument(
-        "--transport", choices=["inline", "process", "both"], default="both",
-        help="which shard-execution backend(s) to sweep (default: both, "
-             "which also reports the process/inline speedup)",
+        "--transport",
+        choices=["inline", "process", "socket", "both", "all"],
+        default="all",
+        help="which shard-execution backend(s) to sweep (default: all "
+             "three, which also reports each backend's speedup over "
+             "inline; 'both' is the legacy inline+process pair)",
     )
     parser.add_argument("--shards", type=int, default=SWEEP_SHARDS)
     parser.add_argument("--dim", type=int, default=SWEEP_DIM)
@@ -288,11 +313,10 @@ def main(argv=None):
     args = parser.parse_args(argv)
     if not args.skip_refill_report:
         test_background_refill_eliminates_stalls()
-    transports = (
-        ("inline", "process")
-        if args.transport == "both"
-        else (args.transport,)
-    )
+    transports = {
+        "all": ("inline", "process", "socket"),
+        "both": ("inline", "process"),
+    }.get(args.transport, (args.transport,))
     run_transport_sweep(
         transports=transports, users=args.users, dim=args.dim,
         shards=args.shards, rounds=args.rounds,

@@ -8,6 +8,9 @@ Usage (also via ``python -m repro``)::
         --refill background --low-water 2 --rounds 20 --json
     python -m repro service -n 16 -d 65536 --shards 4 --transport process \
         --workers 4 --refill background --low-water 2 --rounds 20
+    python -m repro shard-worker --listen 0.0.0.0:7000
+    python -m repro service -n 16 -d 65536 --shards 4 --transport socket \
+        --connect host-a:7000,host-b:7000 --refill background --rounds 20
     python -m repro simulate --protocol secagg -n 200 -d 1206590 -p 0.3
     python -m repro gains -n 200 -p 0.1
     python -m repro breakdown -n 200
@@ -162,6 +165,11 @@ def cmd_service(args: argparse.Namespace) -> int:
         privacy=max(1, args.num_users // 8),
         transport=TransportKind(args.transport),
         num_workers=args.workers,
+        connect=(
+            tuple(a.strip() for a in args.connect.split(","))
+            if args.connect
+            else None
+        ),
         seed=args.seed,
     )
     with AggregationService(config) as svc:
@@ -187,7 +195,8 @@ def cmd_service(args: argparse.Namespace) -> int:
         print(f"  transport {kind:7s}: {t['rounds']} rounds, "
               f"{1e3 * t['mean_round_seconds']:.2f} ms/round scatter-gather, "
               f"{t['bytes_sent'] + t['bytes_received']} wire bytes, "
-              f"{t['shard_stalls']} shard stalls")
+              f"{t['shard_stalls']} shard stalls, "
+              f"{t.get('reconnects', 0)} reconnects")
     if snapshot["refiller"] is not None:
         ref = snapshot["refiller"]
         print(f"  background refills: {ref['refills']} "
@@ -195,6 +204,28 @@ def cmd_service(args: argparse.Namespace) -> int:
     for cid, m in metrics["cohorts"].items():
         print(f"  cohort {cid}: {m['rounds']} rounds, {m['stalls']} stalls, "
               f"{m['rounds_per_second']:.1f} rounds/s online")
+    return 0
+
+
+def cmd_shard_worker(args: argparse.Namespace) -> int:
+    """Host shard sessions over TCP for --transport socket coordinators."""
+    from repro.exceptions import TransportError
+    from repro.service import ShardWorkerServer
+    from repro.service.socket_worker import parse_address
+
+    try:
+        host, port = parse_address(args.listen)
+    except TransportError as exc:
+        raise SystemExit(str(exc))
+    server = ShardWorkerServer(host, port).start()
+    print(f"shard worker listening on {server.address} "
+          f"(ctrl-C to stop)", flush=True)
+    try:
+        server.serve_forever(max_seconds=args.max_seconds)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
     return 0
 
 
@@ -305,18 +336,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--low-water", type=int, default=0)
     p.add_argument("--refill", choices=["sync", "background"], default="sync")
     p.add_argument(
-        "--transport", choices=["inline", "process"], default="inline",
+        "--transport", choices=["inline", "process", "socket"],
+        default="inline",
         help="shard execution backend: 'inline' calls the per-shard "
              "sessions in this process (the default); 'process' pins each "
              "shard's session in a long-lived worker process and "
              "scatter/gathers rounds and refills over the binary wire "
-             "format, so shards use multiple cores",
+             "format, so shards use multiple cores; 'socket' speaks the "
+             "same frames over TCP to standalone `repro shard-worker` "
+             "hosts named by --connect, with heartbeat supervision and "
+             "reconnect/re-pin",
     )
     p.add_argument(
         "--workers", type=int, default=None, metavar="N",
         help="worker processes per cohort for --transport process "
              "(default: one per shard; fewer workers host several shards "
              "each)",
+    )
+    p.add_argument(
+        "--connect", default=None, metavar="HOST:PORT[,HOST:PORT...]",
+        help="shard-worker addresses for --transport socket; shards are "
+             "assigned round-robin across them and all cohorts share one "
+             "connection per address",
     )
     p.add_argument("--dropout", type=float, default=0.0)
     p.add_argument("--settle", action="store_true",
@@ -325,6 +366,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the full status snapshot as JSON")
     p.set_defaults(func=cmd_service)
+
+    p = sub.add_parser(
+        "shard-worker",
+        help="host shard sessions over TCP for --transport socket "
+             "coordinators (sessions are built here from the specs the "
+             "coordinator sends; nothing live crosses the network)",
+    )
+    p.add_argument(
+        "--listen", default="127.0.0.1:7000", metavar="HOST:PORT",
+        help="bind address (port 0 picks an ephemeral port, printed on "
+             "startup)",
+    )
+    p.add_argument(
+        "--max-seconds", type=float, default=None, metavar="S",
+        help="exit after S seconds (default: serve until interrupted)",
+    )
+    p.set_defaults(func=cmd_shard_worker)
 
     p = sub.add_parser("simulate", help="timing model for one round")
     p.add_argument("--protocol", default="lightsecagg",

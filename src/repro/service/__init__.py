@@ -22,6 +22,10 @@ Layering (see the repo README for the full picture)::
   directly in-process (:class:`InlineTransport`) or pinned in long-lived
   worker processes and driven with :mod:`repro.wire` frames
   (:class:`ProcessPoolTransport`), selected from :class:`ServiceConfig`.
+* :mod:`repro.service.socket_transport` / :mod:`.socket_worker` — the
+  same frames over TCP: :class:`SocketTransport` drives standalone
+  ``repro shard-worker`` hosts (:class:`ShardWorkerServer`) with
+  heartbeat supervision and reconnect/re-pin — the multi-host backend.
 * :mod:`repro.service.cohort` — the per-cohort round state machine.
 * :mod:`repro.service.scheduler` — round-robin scheduling of many
   cohorts over the shared refill pipeline.
@@ -38,6 +42,8 @@ from repro.service.refill import BackgroundRefiller
 from repro.service.scheduler import CohortScheduler
 from repro.service.service import AggregationService
 from repro.service.sharding import ShardedSession, ShardPlan
+from repro.service.socket_transport import SocketShardHandle, SocketTransport
+from repro.service.socket_worker import ShardWorkerServer
 from repro.service.transport import (
     InlineTransport,
     ProcessPoolTransport,
@@ -63,7 +69,10 @@ __all__ = [
     "ShardPlan",
     "ShardSessionSpec",
     "ShardTransport",
+    "ShardWorkerServer",
     "ShardedSession",
+    "SocketShardHandle",
+    "SocketTransport",
     "TransportKind",
     "TransportMetrics",
     "build_transport",

@@ -22,6 +22,7 @@ event background refill eliminates, and the cohort counts it.
 from __future__ import annotations
 
 import enum
+import threading
 import time
 from typing import Dict, Optional, Set
 
@@ -71,16 +72,40 @@ class Cohort:
         self.phase = CohortPhase.IDLE
         self.rounds = 0
         self.stalls = 0
+        self._phase_lock = threading.Lock()
 
     # ------------------------------------------------------------------
+    # Phase mutations happen under one lock so a concurrent close() can
+    # never interleave *inside* a transition: CLOSED is terminal (a
+    # transition can neither overwrite it nor half-observe it).
     def _transition(self, expected: CohortPhase, to: CohortPhase) -> None:
-        if self.phase is not expected:
-            raise ProtocolError(
-                f"cohort {self.cohort_id}: invalid transition "
-                f"{self.phase.value} -> {to.value} (expected to be in "
-                f"{expected.value})"
-            )
-        self.phase = to
+        with self._phase_lock:
+            if self.phase is not expected:
+                raise ProtocolError(
+                    f"cohort {self.cohort_id}: invalid transition "
+                    f"{self.phase.value} -> {to.value} (expected to be in "
+                    f"{expected.value})"
+                )
+            self.phase = to
+
+    def _advance(self, expected: CohortPhase, to: CohortPhase) -> None:
+        """Mid-round transition that tolerates a concurrent close().
+
+        CLOSED is terminal: once close() has marked the cohort, the round
+        in flight keeps running to completion but stops moving the phase
+        machine, so its errors (if any) come from the closed *session* —
+        not from a misleading invalid-transition complaint.
+        """
+        with self._phase_lock:
+            if self.phase is CohortPhase.CLOSED:
+                return
+            if self.phase is not expected:
+                raise ProtocolError(
+                    f"cohort {self.cohort_id}: invalid transition "
+                    f"{self.phase.value} -> {to.value} (expected to be in "
+                    f"{expected.value})"
+                )
+            self.phase = to
 
     def run_round(
         self,
@@ -89,16 +114,39 @@ class Cohort:
         rng: Optional[np.random.Generator] = None,
         **phase_kwargs,
     ) -> AggregationResult:
-        """Drive one full round through the phase machine."""
+        """Drive one full round through the phase machine.
+
+        Close/round race semantics: a :meth:`close` that lands while a
+        round is COLLECTING or AGGREGATING does not abort it — the
+        in-flight round completes and returns its result (the session
+        round has already committed its pool accounting by the time the
+        race is observable), the cohort simply stays CLOSED instead of
+        returning to IDLE.  Rounds *started* after close fail immediately
+        with a closed-cohort error.
+        """
         dropouts = set(dropouts or set())
         # Entering the machine happens OUTSIDE the recovery block: a call
         # rejected here (cohort busy or closed) must not clobber the
-        # phase of a round legitimately in progress.
-        self._transition(CohortPhase.IDLE, CohortPhase.COLLECTING)
+        # phase of a round legitimately in progress.  The entry check and
+        # the transition race a concurrent close(), so the closed-cohort
+        # error is (re)issued whenever CLOSED is what made entry invalid
+        # — never a misleading invalid-transition complaint.
+        try:
+            if self.phase is CohortPhase.CLOSED:
+                raise ProtocolError(
+                    f"cohort {self.cohort_id} is closed; no further rounds"
+                )
+            self._transition(CohortPhase.IDLE, CohortPhase.COLLECTING)
+        except ProtocolError:
+            if self.phase is CohortPhase.CLOSED:
+                raise ProtocolError(
+                    f"cohort {self.cohort_id} is closed; no further rounds"
+                ) from None
+            raise
         try:
             # COLLECTING: updates are already in hand in-process; a
             # transport would gather client uploads here.
-            self._transition(CohortPhase.COLLECTING, CohortPhase.AGGREGATING)
+            self._advance(CohortPhase.COLLECTING, CohortPhase.AGGREGATING)
             supports_pool = getattr(self.session, "supports_pool", False)
             level_before = self.session.pool_level if supports_pool else None
             stalled = bool(supports_pool and level_before == 0)
@@ -116,19 +164,26 @@ class Cohort:
                 )
             if self.refiller is not None:
                 self.refiller.notify()
-            self._transition(CohortPhase.AGGREGATING, CohortPhase.IDLE)
+            # close() may have raced this round: the work is done and the
+            # session already committed its pool accounting, so return
+            # the result and leave the cohort CLOSED rather than blowing
+            # up the success path on an AGGREGATING -> IDLE transition
+            # the close made invalid.
+            self._advance(CohortPhase.AGGREGATING, CohortPhase.IDLE)
             return result
         except Exception:
             # A failed round (e.g. survivors below U) leaves the cohort
             # ready for the next round, matching session semantics.
-            if self.phase is not CohortPhase.CLOSED:
-                self.phase = CohortPhase.IDLE
+            with self._phase_lock:
+                if self.phase is not CohortPhase.CLOSED:
+                    self.phase = CohortPhase.IDLE
             raise
 
     # ------------------------------------------------------------------
     def close(self) -> None:
         self.session.close()
-        self.phase = CohortPhase.CLOSED
+        with self._phase_lock:
+            self.phase = CohortPhase.CLOSED
 
     def status(self) -> Dict:
         """Snapshotable cohort state for coordinators and the CLI."""

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.exceptions import ParameterError, ReproError
 
@@ -44,10 +44,16 @@ class TransportKind(enum.Enum):
       (:class:`~repro.service.transport.ProcessPoolTransport`) and
       spoken to in :mod:`repro.wire` frames; shard rounds scatter/gather
       across cores and refills overlap across workers.
+    * ``SOCKET`` — the same frames over TCP to standalone ``repro
+      shard-worker`` hosts
+      (:class:`~repro.service.socket_transport.SocketTransport`), with
+      heartbeat supervision and reconnect/re-pin; requires ``connect``
+      addresses.  The multi-host deployment backend.
     """
 
     INLINE = "inline"
     PROCESS = "process"
+    SOCKET = "socket"
 
 
 @dataclass(frozen=True)
@@ -87,6 +93,12 @@ class ServiceConfig:
         Worker processes for the ``PROCESS`` transport (per cohort).
         Defaults to one worker per shard; fewer workers host multiple
         shards each.  Meaningless (and rejected) for ``INLINE``.
+    connect:
+        ``host:port`` shard-worker addresses for the ``SOCKET``
+        transport; shards are assigned round-robin across them, and all
+        cohorts of this service batch their shards over one shared
+        connection per address.  Required for ``SOCKET``, rejected
+        elsewhere.
     seed:
         Base seed; cohort ``c`` shard ``s`` derives an independent
         deterministic stream from it.
@@ -105,6 +117,7 @@ class ServiceConfig:
     refill_poll_interval_s: float = 0.001
     transport: TransportKind = TransportKind.INLINE
     num_workers: Optional[int] = None
+    connect: Optional[Tuple[str, ...]] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -165,3 +178,17 @@ class ServiceConfig:
                 raise ReproError(
                     f"need >= 1 worker process, got {self.num_workers}"
                 )
+        if self.transport is TransportKind.SOCKET:
+            if not self.connect:
+                raise ReproError(
+                    "the socket transport needs connect=('host:port', ...) "
+                    "shard-worker addresses"
+                )
+            from repro.service.socket_worker import parse_address
+
+            for address in self.connect:
+                parse_address(address)  # raises on malformed host:port
+        elif self.connect is not None:
+            raise ReproError(
+                "connect addresses only apply to the socket transport"
+            )

@@ -54,6 +54,9 @@ class TransportMetrics:
     bytes_sent: int = 0
     bytes_received: int = 0
     shard_stalls: int = 0
+    # Networked backends only: connections re-established (with session
+    # re-pin) after a heartbeat timeout or socket error.
+    reconnects: int = 0
 
     @property
     def mean_round_seconds(self) -> float:
@@ -132,6 +135,12 @@ class ServiceMetrics:
             t.bytes_received += bytes_received
             t.shard_stalls += stalled_shards
 
+    def record_transport_reconnect(self, kind: str) -> None:
+        """Record one reconnect (+ session re-pin) of a networked backend."""
+        with self._lock:
+            t = self._transports.setdefault(kind, TransportMetrics())
+            t.reconnects += 1
+
     # ------------------------------------------------------------------
     # consumer side
     # ------------------------------------------------------------------
@@ -169,6 +178,7 @@ class ServiceMetrics:
                     "bytes_sent": t.bytes_sent,
                     "bytes_received": t.bytes_received,
                     "shard_stalls": t.shard_stalls,
+                    "reconnects": t.reconnects,
                 }
             return {
                 "uptime_seconds": time.monotonic() - self._t0,

@@ -85,10 +85,25 @@ class BackgroundRefiller:
             self._cond.notify_all()
 
     def start(self) -> "BackgroundRefiller":
-        """Start the worker thread (idempotent)."""
+        """Start the worker thread (idempotent while one is running).
+
+        The single-worker contract is enforced here: if a previous
+        :meth:`stop` timed out and its worker is still draining, starting
+        a second worker beside it would let two threads refill the same
+        session concurrently, so the call fails loudly instead.  A worker
+        that has already exited (timed-out stop that later completed) is
+        reaped and replaced.
+        """
         with self._cond:
             if self._thread is not None:
-                return self
+                if self._thread.is_alive():
+                    if self._stopping:
+                        raise ProtocolError(
+                            "refiller worker is still stopping (a previous "
+                            "stop() timed out); retry stop() before start()"
+                        )
+                    return self
+                self._thread = None  # previous worker finished; reap it
             self._stopping = False
             self._thread = threading.Thread(
                 target=self._run, name="offline-refiller", daemon=True
@@ -96,15 +111,28 @@ class BackgroundRefiller:
             self._thread.start()
         return self
 
-    def stop(self, timeout: Optional[float] = None) -> None:
-        """Stop and join the worker; a refill in flight completes first."""
+    def stop(self, timeout: Optional[float] = None) -> bool:
+        """Stop and join the worker; a refill in flight completes first.
+
+        Returns True when the worker is fully stopped (or was never
+        running).  When ``timeout`` elapses while a refill is still
+        draining, the worker thread is *kept* — ``running`` stays True,
+        ``start()`` refuses to spawn a second worker beside it, and a
+        later ``stop()`` can finish the join.
+        """
         with self._cond:
             self._stopping = True
             self._cond.notify_all()
             thread = self._thread
-        if thread is not None:
-            thread.join(timeout)
-            self._thread = None
+        if thread is None:
+            return True
+        thread.join(timeout)
+        if thread.is_alive():
+            return False  # join timed out; keep _thread so `running` is honest
+        with self._cond:
+            if self._thread is thread:
+                self._thread = None
+        return True
 
     @property
     def running(self) -> bool:

@@ -104,6 +104,7 @@ class AggregationService:
             num_workers=cfg.num_workers,
             metrics=self.metrics,
             cohort_id=cohort_id,
+            connect=cfg.connect,
         )
         self._transports.append(transport)
         if cfg.transport is TransportKind.INLINE and cfg.num_shards == 1:
@@ -234,6 +235,7 @@ class AggregationService:
                 "protocol": cfg.protocol,
                 "transport": cfg.transport.value,
                 "num_workers": cfg.num_workers,
+                "connect": list(cfg.connect) if cfg.connect else None,
             },
             "transport": {
                 "kind": cfg.transport.value,

@@ -17,6 +17,10 @@ drives either:
   rounds run on separate cores; refills run on a dedicated thread inside
   each worker, so pool top-ups overlap both with other shards' encodes
   and with rounds on the same worker.
+* :class:`~repro.service.socket_transport.SocketTransport` (its own
+  module) — the same frames over TCP to standalone ``repro
+  shard-worker`` hosts, adding heartbeat supervision and reconnect with
+  session re-pin; the multi-host deployment backend.
 
 Both backends expose the per-shard sessions as *handles* with the
 :class:`~repro.protocols.base.ProtocolSession` pool surface
@@ -69,7 +73,7 @@ from repro.wire import (
     encode_message,
 )
 
-TRANSPORT_KINDS = ("inline", "process")
+TRANSPORT_KINDS = ("inline", "process", "socket")
 
 
 @dataclass(frozen=True)
@@ -533,7 +537,7 @@ class ProcessShardHandle:
 
     def __repr__(self) -> str:
         return (
-            f"ProcessShardHandle(shard={self.shard_id}, "
+            f"{type(self).__name__}(shard={self.shard_id}, "
             f"pool={self.pool_level}/{self.pool_size}, "
             f"rounds={self.stats.rounds})"
         )
@@ -769,8 +773,14 @@ def build_transport(
     num_workers: Optional[int] = None,
     metrics=None,
     cohort_id: int = 0,
+    connect: Optional[Sequence[str]] = None,
 ) -> ShardTransport:
-    """Construct the configured transport backend from shard specs."""
+    """Construct the configured transport backend from shard specs.
+
+    ``connect`` lists ``host:port`` worker addresses for the ``socket``
+    backend (shards round-robin across them); the other backends reject
+    it, like ``num_workers`` outside ``process``.
+    """
     if kind == "inline":
         return InlineTransport.from_specs(
             specs, gf=gf, metrics=metrics, cohort_id=cohort_id
@@ -778,6 +788,15 @@ def build_transport(
     if kind == "process":
         return ProcessPoolTransport(
             specs, num_workers=num_workers, metrics=metrics,
+            cohort_id=cohort_id,
+        )
+    if kind == "socket":
+        # Local import: the socket backend pulls in this module's spec
+        # and handle types, so a top-level import would be a cycle.
+        from repro.service.socket_transport import SocketTransport
+
+        return SocketTransport(
+            specs, connect=connect or (), metrics=metrics,
             cohort_id=cohort_id,
         )
     raise ProtocolError(

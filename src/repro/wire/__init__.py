@@ -2,49 +2,70 @@
 
 The service layer's scatter/gather of shard rounds and refills speaks
 this format over whatever byte transport is configured — an in-process
-call (no frames at all), a ``multiprocessing`` pipe today, a socket in a
-networked deployment tomorrow.  See :mod:`repro.wire.format` for the
-frame layout and :mod:`repro.wire.messages` for the message set.
+call (no frames at all), a ``multiprocessing`` pipe, or a TCP socket
+(:class:`~repro.service.socket_transport.SocketTransport` speaking to a
+``repro shard-worker`` host).  See :mod:`repro.wire.format` for the
+frame layout, :mod:`repro.wire.messages` for the message set, and
+:mod:`repro.wire.stream` for byte-stream reassembly and vectored
+writes.
 """
 
 from repro.wire.format import (
     HEADER_SIZE,
     MAGIC,
+    MAX_PAYLOAD_BYTES,
     WIRE_VERSION,
     PayloadReader,
     PayloadWriter,
     decode_frame,
     encode_frame,
+    frame_segments,
 )
 from repro.wire.messages import (
     WIRE_MESSAGES,
     ErrorFrame,
+    Ping,
     PoolSnapshot,
     RefillRequest,
+    SessionSetup,
+    SessionTeardown,
+    SetupAck,
     ShardRoundRequest,
     ShardRoundResult,
     SnapshotRequest,
     Shutdown,
     decode_message,
     encode_message,
+    encode_segments,
 )
+from repro.wire.stream import FrameAssembler, recv_frames, send_segments
 
 __all__ = [
     "HEADER_SIZE",
     "MAGIC",
+    "MAX_PAYLOAD_BYTES",
     "WIRE_VERSION",
     "PayloadReader",
     "PayloadWriter",
     "decode_frame",
     "encode_frame",
+    "frame_segments",
     "WIRE_MESSAGES",
     "ErrorFrame",
+    "Ping",
     "PoolSnapshot",
     "RefillRequest",
+    "SessionSetup",
+    "SessionTeardown",
+    "SetupAck",
     "ShardRoundRequest",
     "ShardRoundResult",
     "SnapshotRequest",
     "Shutdown",
     "decode_message",
     "encode_message",
+    "encode_segments",
+    "FrameAssembler",
+    "recv_frames",
+    "send_segments",
 ]

@@ -34,6 +34,10 @@ from repro.exceptions import WireError
 MAGIC = b"LW"
 WIRE_VERSION = 1
 
+# The frame header's ``len`` field is a u32, so no payload (and no
+# length-prefixed bytes/str primitive) may exceed this many bytes.
+MAX_PAYLOAD_BYTES = 0xFFFFFFFF
+
 # magic(2) version(1) msg_type(1) request_id(8) payload_len(4)
 _HEADER = struct.Struct("<2sBBQI")
 HEADER_SIZE = _HEADER.size
@@ -86,6 +90,11 @@ class PayloadWriter:
         self.segments.append(_F64.pack(value))
 
     def put_bytes(self, data: bytes) -> None:
+        if len(data) > MAX_PAYLOAD_BYTES:
+            raise WireError(
+                f"bytes value of {len(data)} bytes exceeds the u32 length "
+                f"prefix (max {MAX_PAYLOAD_BYTES})"
+            )
         self.put_u32(len(data))
         self.segments.append(data)
 
@@ -111,6 +120,11 @@ class PayloadWriter:
             self.put_u64(dim)
         if contiguous.size:
             self.segments.append(memoryview(contiguous).cast("B"))
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload size, computed without joining the segments."""
+        return sum(len(segment) for segment in self.segments)
 
     def getvalue(self) -> bytes:
         return b"".join(self.segments)
@@ -176,12 +190,30 @@ class PayloadReader:
         return len(self._view) - self._offset
 
 
+def frame_segments(
+    msg_type: int, request_id: int, payload: PayloadWriter
+) -> List[Union[bytes, memoryview]]:
+    """One frame as ``[header, *payload segments]``, ready for a vectored
+    write (``socket.sendmsg``) with no join of the payload buffers.
+
+    The u32 ``len`` header field is validated here — the one choke point
+    both the joining and the vectored encode paths go through — so an
+    oversized payload surfaces as a typed :class:`WireError` instead of a
+    raw ``struct.error`` (or, worse, a silently mis-framed stream).
+    """
+    nbytes = payload.nbytes
+    if nbytes > MAX_PAYLOAD_BYTES:
+        raise WireError(
+            f"payload of {nbytes} bytes exceeds the u32 frame length "
+            f"field (max {MAX_PAYLOAD_BYTES})"
+        )
+    header = _HEADER.pack(MAGIC, WIRE_VERSION, msg_type, request_id, nbytes)
+    return [header, *payload.segments]
+
+
 def encode_frame(msg_type: int, request_id: int, payload: PayloadWriter) -> bytes:
     """Assemble one wire frame from a message type and its payload."""
-    body = payload.getvalue()
-    return _HEADER.pack(
-        MAGIC, WIRE_VERSION, msg_type, request_id, len(body)
-    ) + body
+    return b"".join(frame_segments(msg_type, request_id, payload))
 
 
 def decode_frame(data: bytes) -> Tuple[int, int, PayloadReader]:

@@ -14,6 +14,20 @@ shard coordinator and the process hosting that shard's protocol session:
   the coordinator can re-raise the library's own exception types.
 * :class:`Shutdown` — drain and close the shard session; the worker
   finishes a refill already in flight before acknowledging.
+* :class:`SessionSetup` / :class:`SetupAck` / :class:`SessionTeardown` —
+  networked-worker lifecycle: a coordinator ships declarative
+  :class:`~repro.service.transport.ShardSessionSpec` entries, each bound
+  to a connection-unique *slot* id, and the worker host builds the
+  sessions locally (never unpickling live objects).  Slots are what let
+  one connection batch shards of *several* cohorts: every subsequent
+  round/refill/snapshot message addresses a slot via its ``shard_id``
+  field, and teardown releases one cohort's slots without touching its
+  neighbours'.  Setup is also the *re-pin* path: after a reconnect the
+  coordinator replays its ``SessionSetup`` so a restarted worker rebuilds
+  identical sessions from the specs.
+* :class:`Ping` — connection supervision; the worker echoes it under the
+  same request id, off the round-serving path, so heartbeats stay live
+  while a slow round executes.
 
 Encoding uses :mod:`repro.wire.format` primitives only — no pickling —
 so frames are safe to accept from an untrusted peer and identical
@@ -46,7 +60,7 @@ from repro.wire.format import (
     PayloadReader,
     PayloadWriter,
     decode_frame,
-    encode_frame,
+    frame_segments,
 )
 
 _PHASE_INDEX = {phase: i for i, phase in enumerate(PHASES)}
@@ -410,6 +424,128 @@ class SnapshotRequest:
         return cls(shard_id=r.get_u32())
 
 
+def _put_spec(w: PayloadWriter, spec) -> None:
+    """Encode one ShardSessionSpec field-by-field (never pickled)."""
+    w.put_str(spec.protocol)
+    w.put_u32(spec.num_users)
+    w.put_u64(spec.shard_dim)
+    w.put_u32(spec.privacy)
+    w.put_u32(spec.dropout_tolerance)
+    w.put_u32(spec.pool_size)
+    w.put_u32(spec.low_water)
+    w.put_u32(len(spec.seed))
+    for part in spec.seed:
+        w.put_i64(part)
+    w.put_u64(spec.field_modulus)
+
+
+def _get_spec(r: PayloadReader):
+    # Lazy import: repro.service.transport itself imports repro.wire, so
+    # binding the spec type at module load would be a cycle.
+    from repro.service.transport import ShardSessionSpec
+
+    protocol = r.get_str()
+    num_users = r.get_u32()
+    shard_dim = r.get_u64()
+    privacy = r.get_u32()
+    dropout_tolerance = r.get_u32()
+    pool_size = r.get_u32()
+    low_water = r.get_u32()
+    seed = tuple(r.get_i64() for _ in range(r.get_u32()))
+    return ShardSessionSpec(
+        protocol=protocol,
+        num_users=num_users,
+        shard_dim=shard_dim,
+        privacy=privacy,
+        dropout_tolerance=dropout_tolerance,
+        pool_size=pool_size,
+        low_water=low_water,
+        seed=seed,
+        field_modulus=r.get_u64(),
+    )
+
+
+@dataclass
+class SessionSetup:
+    """Build (or re-pin) shard sessions on a worker host, one per slot.
+
+    ``entries`` maps connection-unique slot ids to the declarative specs
+    the worker builds sessions from.  Several cohorts' shards can ride
+    one connection: each cohort's coordinator allocates disjoint slots,
+    and all later per-shard messages address slots through their
+    ``shard_id`` field.  Re-sending a slot already hosted *rebuilds* that
+    slot's session from the spec — the reconnect re-pin semantics.
+    """
+
+    TYPE = 8
+
+    entries: List[Tuple[int, object]] = field(default_factory=list)
+
+    def _encode(self, w: PayloadWriter) -> None:
+        w.put_u32(len(self.entries))
+        for slot, spec in sorted(self.entries, key=lambda e: e[0]):
+            w.put_u32(slot)
+            _put_spec(w, spec)
+
+    @classmethod
+    def _decode(cls, r: PayloadReader) -> "SessionSetup":
+        count = r.get_u32()
+        return cls(entries=[(r.get_u32(), _get_spec(r)) for _ in range(count)])
+
+
+@dataclass
+class SetupAck:
+    """Acknowledges a setup/teardown: the slot ids the request touched."""
+
+    TYPE = 9
+
+    slots: List[int] = field(default_factory=list)
+
+    def _encode(self, w: PayloadWriter) -> None:
+        w.put_array(np.fromiter(
+            sorted(self.slots), dtype=np.uint32, count=len(self.slots)
+        ))
+
+    @classmethod
+    def _decode(cls, r: PayloadReader) -> "SetupAck":
+        return cls(slots=[int(s) for s in r.get_array()])
+
+
+@dataclass
+class SessionTeardown:
+    """Close the sessions in ``slots`` only, leaving the connection (and
+    any other cohort's slots on it) alive.  Acked with a SetupAck."""
+
+    TYPE = 10
+
+    slots: List[int] = field(default_factory=list)
+
+    def _encode(self, w: PayloadWriter) -> None:
+        w.put_array(np.fromiter(
+            sorted(self.slots), dtype=np.uint32, count=len(self.slots)
+        ))
+
+    @classmethod
+    def _decode(cls, r: PayloadReader) -> "SessionTeardown":
+        return cls(slots=[int(s) for s in r.get_array()])
+
+
+@dataclass
+class Ping:
+    """Connection heartbeat; echoed back verbatim under the request id."""
+
+    TYPE = 11
+
+    nonce: int = 0
+
+    def _encode(self, w: PayloadWriter) -> None:
+        w.put_u64(self.nonce)
+
+    @classmethod
+    def _decode(cls, r: PayloadReader) -> "Ping":
+        return cls(nonce=r.get_u64())
+
+
 @dataclass
 class Shutdown:
     """Close every session a worker hosts and exit its serve loop.
@@ -437,19 +573,33 @@ WIRE_MESSAGES: Dict[int, Type] = {
         PoolSnapshot,
         ErrorFrame,
         SnapshotRequest,
+        SessionSetup,
+        SetupAck,
+        SessionTeardown,
+        Ping,
         Shutdown,
     )
 }
 
 
-def encode_message(message, request_id: int = 0) -> bytes:
-    """Encode one typed message into a complete wire frame."""
+def encode_segments(message, request_id: int = 0):
+    """Encode one typed message as ``[header, *payload segments]``.
+
+    The vectored-write twin of :func:`encode_message`: socket transports
+    hand the list straight to ``sendmsg`` so array payloads go out with
+    zero joins (see :func:`repro.wire.stream.send_segments`).
+    """
     msg_type = getattr(type(message), "TYPE", None)
     if msg_type not in WIRE_MESSAGES:
         raise WireError(f"{type(message).__name__} is not a wire message")
     w = PayloadWriter()
     message._encode(w)
-    return encode_frame(msg_type, request_id, w)
+    return frame_segments(msg_type, request_id, w)
+
+
+def encode_message(message, request_id: int = 0) -> bytes:
+    """Encode one typed message into a complete wire frame."""
+    return b"".join(encode_segments(message, request_id))
 
 
 def decode_message(frame: bytes):

@@ -1,9 +1,76 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite, plus a per-test timeout guard.
+
+The timeout guard exists for the socket/worker tests: a wedged
+connection or a deadlocked thread pairing must fail the one test fast
+(with a traceback pointing at the blocked line) instead of hanging the
+whole CI job until the runner is killed.  It is implemented here with
+``SIGALRM`` rather than the ``pytest-timeout`` package so the suite has
+no extra test dependency; the semantics match pytest-timeout's "signal"
+method.  Override per test with ``@pytest.mark.timeout(seconds)``, or
+suite-wide with the ``REPRO_TEST_TIMEOUT_S`` environment variable
+(``0`` disables the guard entirely).
+"""
+
+import os
+import signal
+import threading
 
 import numpy as np
 import pytest
 
 from repro.field import DEFAULT_PRIME, PAPER_PRIME, FiniteField
+
+DEFAULT_TEST_TIMEOUT_S = float(os.environ.get("REPRO_TEST_TIMEOUT_S", "120"))
+
+
+def _timeout_guard(item, stage):
+    """Arm SIGALRM around one runtest stage (hookwrapper body).
+
+    Setup and teardown are guarded too: a fixture that wedges (a worker
+    server that won't stop, a refiller that won't join) hangs the job
+    just as effectively as a wedged test body.
+    """
+    timeout = DEFAULT_TEST_TIMEOUT_S
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        timeout = float(marker.args[0])
+    if (
+        timeout <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_timeout(signum, frame):
+        pytest.fail(
+            f"test {stage} exceeded the per-test timeout of {timeout:g}s "
+            f"(likely a hung socket/worker; see the traceback for the "
+            f"blocked call)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_timeout)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_setup(item):
+    yield from _timeout_guard(item, "setup")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    yield from _timeout_guard(item, "call")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_teardown(item):
+    yield from _timeout_guard(item, "teardown")
 
 
 @pytest.fixture

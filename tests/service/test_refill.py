@@ -195,3 +195,47 @@ class TestCleanShutdown:
             assert refiller.start()._thread is first
         finally:
             refiller.stop()
+
+    def test_stop_timeout_keeps_worker_and_blocks_second_start(self, gf,
+                                                               proto):
+        """Regression: a timed-out stop() must not lie about the worker.
+
+        With an artificially slow refill in flight, stop(timeout) used to
+        join-with-timeout and unconditionally clear ``_thread`` — so
+        ``running`` reported False while the worker was still alive, and
+        a subsequent start() spawned a second worker beside the zombie.
+        """
+        started = threading.Event()
+        release = threading.Event()
+        session = proto.session(pool_size=3, rng=np.random.default_rng(7))
+        inner_refill = session.refill
+
+        def slow_refill(rounds=None):
+            started.set()
+            assert release.wait(timeout=30.0)  # artificially slow encode
+            return inner_refill(rounds)
+
+        session.refill = slow_refill
+        refiller = BackgroundRefiller(poll_interval_s=0.0005).start()
+        refiller.register(session)
+        assert started.wait(timeout=30.0)  # worker is mid-refill
+
+        assert refiller.stop(timeout=0.05) is False  # join timed out
+        assert refiller.running  # the worker is still alive and says so
+        zombie = refiller._thread
+        assert zombie is not None and zombie.is_alive()
+        with pytest.raises(ProtocolError, match="still stopping"):
+            refiller.start()  # must NOT spawn a second worker
+        worker_threads = [
+            t for t in threading.enumerate() if t.name == "offline-refiller"
+        ]
+        assert worker_threads == [zombie]
+
+        release.set()  # let the slow refill drain
+        assert refiller.stop(timeout=30.0) is True
+        assert not refiller.running and refiller._thread is None
+        assert session.pool_level == 3  # in-flight material still delivered
+        # After a *completed* stop, the refiller is restartable as before.
+        refiller.start()
+        assert refiller.running
+        assert refiller.stop() is True

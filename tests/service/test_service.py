@@ -6,6 +6,8 @@ single-shard synchronous path, with zero online stalls at steady state
 (vs >= 1 per pool cycle for synchronous refill).
 """
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -142,8 +144,49 @@ class TestCohortStateMachine:
         assert cohort.phase is CohortPhase.CLOSED
         rng = np.random.default_rng(3)
         updates = {i: gf.random(DIM, rng) for i in range(N)}
-        with pytest.raises(ProtocolError, match="invalid transition"):
+        with pytest.raises(ProtocolError, match="cohort 0 is closed"):
             cohort.run_round(updates, set(), rng)
+
+    def test_close_racing_aggregating_round_lets_it_complete(self):
+        """Regression: close() landing while a round is AGGREGATING used
+        to make the success path's AGGREGATING -> IDLE transition throw
+        *after* the session round had already committed its pool
+        accounting.  Semantics now: the in-flight round completes and
+        returns its result; the cohort stays CLOSED; later rounds fail
+        with a clear closed-cohort error."""
+        aggregating = threading.Event()
+        release = threading.Event()
+        sentinel = object()
+
+        class _GatedSession:
+            supports_pool = False
+            closed = False
+
+            def run_round(self, updates, dropouts, rng=None, **kw):
+                aggregating.set()
+                assert release.wait(timeout=30.0)
+                return sentinel
+
+            def close(self):
+                self.closed = True
+
+        cohort = Cohort(3, _GatedSession())
+        results = []
+        runner = threading.Thread(
+            target=lambda: results.append(cohort.run_round({}, set()))
+        )
+        runner.start()
+        assert aggregating.wait(timeout=30.0)
+        assert cohort.phase is CohortPhase.AGGREGATING
+        cohort.close()  # races the in-flight round
+        release.set()
+        runner.join(timeout=30.0)
+        assert not runner.is_alive()
+        assert results == [sentinel]  # the round completed and returned
+        assert cohort.phase is CohortPhase.CLOSED
+        assert cohort.rounds == 1
+        with pytest.raises(ProtocolError, match="cohort 3 is closed"):
+            cohort.run_round({}, set())
 
     def test_stall_counted_on_cold_pool(self, gf):
         cohort = self.make_cohort(gf)

@@ -81,6 +81,39 @@ class TestService:
         with pytest.raises(SystemExit):
             main(["service", "--refill", "eager"])
 
+    def test_service_over_socket_worker(self, capsys):
+        """End-to-end over TCP: an in-process worker host serves a
+        --transport socket service run."""
+        from repro.service import ShardWorkerServer
+
+        with ShardWorkerServer() as server:
+            assert main(["service", "-n", "8", "-d", "64", "-c", "2",
+                         "-s", "2", "-r", "3", "--pool", "3",
+                         "--low-water", "1", "--refill", "background",
+                         "--transport", "socket",
+                         "--connect", server.address]) == 0
+        out = capsys.readouterr().out
+        assert "rounds completed : 6" in out
+        assert "transport socket" in out
+
+    def test_service_socket_requires_connect(self):
+        from repro.exceptions import ReproError
+
+        with pytest.raises(ReproError, match="connect"):
+            main(["service", "--transport", "socket"])
+
+
+class TestShardWorker:
+    def test_shard_worker_serves_until_max_seconds(self, capsys):
+        assert main(["shard-worker", "--listen", "127.0.0.1:0",
+                     "--max-seconds", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "listening on 127.0.0.1:" in out
+
+    def test_shard_worker_rejects_bad_listen_address(self):
+        with pytest.raises(SystemExit):
+            main(["shard-worker", "--listen", "nowhere"])
+
 
 class TestParser:
     def test_missing_command_exits(self):

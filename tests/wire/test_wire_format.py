@@ -16,12 +16,17 @@ from repro.protocols.base import (
 from repro.wire import (
     HEADER_SIZE,
     MAGIC,
+    MAX_PAYLOAD_BYTES,
     WIRE_VERSION,
     ErrorFrame,
     PayloadReader,
     PayloadWriter,
+    Ping,
     PoolSnapshot,
     RefillRequest,
+    SessionSetup,
+    SessionTeardown,
+    SetupAck,
     ShardRoundRequest,
     ShardRoundResult,
     SnapshotRequest,
@@ -30,6 +35,8 @@ from repro.wire import (
     decode_message,
     encode_frame,
     encode_message,
+    encode_segments,
+    frame_segments,
 )
 
 
@@ -281,6 +288,88 @@ class TestMessageRoundTrips:
         assert back == SnapshotRequest(5)
         _, back = decode_message(encode_message(Shutdown(), 3))
         assert isinstance(back, Shutdown)
+
+    def test_session_setup_round_trips_specs_per_slot(self):
+        from repro.service.transport import ShardSessionSpec
+
+        specs = [
+            ShardSessionSpec(
+                protocol="lightsecagg", num_users=8, shard_dim=13,
+                privacy=2, dropout_tolerance=2, pool_size=3, low_water=1,
+                seed=(4, 0, s),
+            )
+            for s in range(2)
+        ]
+        setup = SessionSetup(entries=[(7, specs[0]), (3, specs[1])])
+        rid, back = decode_message(encode_message(setup, 21))
+        assert rid == 21
+        # Canonical slot order on the wire; specs survive field-by-field.
+        assert back.entries == [(3, specs[1]), (7, specs[0])]
+        # Specs with negative seed parts (i64 on the wire) survive too.
+        negative = ShardSessionSpec(
+            protocol="naive", num_users=4, shard_dim=5, privacy=1,
+            dropout_tolerance=1, pool_size=1, low_water=0, seed=(-3, 1),
+        )
+        _, back = decode_message(encode_message(SessionSetup([(0, negative)]), 1))
+        assert back.entries == [(0, negative)]
+
+    def test_setup_ack_teardown_and_ping(self):
+        _, back = decode_message(encode_message(SetupAck([4, 1, 2]), 5))
+        assert back == SetupAck([1, 2, 4])
+        _, back = decode_message(encode_message(SessionTeardown([9, 0]), 6))
+        assert back == SessionTeardown([0, 9])
+        _, back = decode_message(encode_message(Ping(nonce=77), 7))
+        assert back == Ping(nonce=77)
+
+    def test_encode_segments_matches_encode_message(self):
+        """The vectored-write path emits byte-identical frames."""
+        msg = PoolSnapshot(
+            shard_id=1, pool_level=2, pool_size=4, rounds_added=1,
+            closed=False, stats=SessionStats(rounds=3),
+        )
+        assert b"".join(encode_segments(msg, 11)) == encode_message(msg, 11)
+
+
+class _FakeHugeSegment:
+    """Stands in for a >4GiB buffer without allocating one."""
+
+    def __init__(self, nbytes: int):
+        self.nbytes = nbytes
+
+    def __len__(self) -> int:
+        return self.nbytes
+
+
+class TestU32LengthGuards:
+    def test_payload_over_u32_max_raises_wire_error(self):
+        w = PayloadWriter()
+        w.segments.append(_FakeHugeSegment(MAX_PAYLOAD_BYTES + 1))
+        with pytest.raises(WireError, match=str(MAX_PAYLOAD_BYTES + 1)):
+            encode_frame(1, 0, w)
+        with pytest.raises(WireError, match="u32 frame length"):
+            frame_segments(1, 0, w)
+
+    def test_payload_at_exactly_u32_max_passes_the_guard(self):
+        """The boundary itself is legal; only the header pack is exercised
+        (the fake segment would fail a real join, which never happens in
+        frame_segments)."""
+        w = PayloadWriter()
+        w.segments.append(_FakeHugeSegment(MAX_PAYLOAD_BYTES))
+        header, segment = frame_segments(2, 9, w)
+        assert len(header) == HEADER_SIZE
+        _, _, _, rid, length = __import__("struct").unpack("<2sBBQI", header)
+        assert (rid, length) == (9, MAX_PAYLOAD_BYTES)
+        assert segment is w.segments[0]
+
+    def test_oversized_bytes_value_raises_wire_error(self):
+        class _FakeHugeBytes(bytes):
+            def __len__(self):
+                return MAX_PAYLOAD_BYTES + 1
+
+        w = PayloadWriter()
+        with pytest.raises(WireError, match="u32 length prefix"):
+            w.put_bytes(_FakeHugeBytes())
+        assert w.segments == []  # nothing half-appended after the failure
 
 
 class TestErrorFrames:
