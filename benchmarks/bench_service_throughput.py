@@ -24,9 +24,18 @@ Measures the aggregation service end to end on this machine and emits
   the host's cores with the coordinator, so the same caveat applies
   twice over on a 1-core container.
 
+  The sweep also carries the two bandwidth lanes: ``process+packed``
+  and ``socket+packed`` rerun the identical workload with sub-word
+  bit-packed element encoding (the report's ``wire_reduction_*`` keys
+  give raw/packed bytes-sent ratios), and ``shm`` moves element bytes
+  through a shared-memory segment so the pipes carry only references
+  (``shm_bytes`` vs near-zero ``wire_bytes_sent``).  Every lane hashes
+  its per-round aggregates; ``aggregates_bit_identical`` asserts the
+  encodings changed nothing but the byte count.
+
 Run ``python benchmarks/bench_service_throughput.py --help`` for the
-sweep knobs (``--transport inline|process|socket|all``, ``--shards``,
-``--dim``, ``--rounds``).
+sweep knobs (``--transport <lane>|all``, ``--shards``, ``--dim``,
+``--rounds``).
 
 Acceptance gates: zero online stalls for the background configurations
 vs >= 1 stall per pool cycle for sync; on a multi-core host, process
@@ -34,6 +43,7 @@ online rounds/sec > 1.5x inline at >= 4 shards.
 """
 
 import argparse
+import hashlib
 import json
 import os
 import time
@@ -47,6 +57,7 @@ from repro.service import (
     RefillMode,
     ServiceConfig,
     TransportKind,
+    WireFormat,
 )
 
 N_USERS = 16
@@ -169,7 +180,8 @@ SWEEP_LOW_WATER = 2
 SWEEP_ROUNDS = 12
 
 
-def run_transport_config(kind, users, dim, shards, rounds):
+def run_transport_config(kind, users, dim, shards, rounds,
+                         wire_format=WireFormat.RAW):
     # The socket backend needs a worker host to connect to; benching on
     # localhost against an in-process ShardWorkerServer measures the
     # transport's floor (frames + loopback TCP, no real network).
@@ -191,10 +203,15 @@ def run_transport_config(kind, users, dim, shards, rounds):
         dropout_tolerance=users // 8,
         privacy=users // 8,
         transport=kind,
+        wire_format=wire_format,
         connect=connect,
         seed=0,
     )
+    # Every lane draws from an identically seeded stream, so the rounds
+    # (updates AND dropout patterns) are the same everywhere and the
+    # aggregate digest below must match across lanes bit for bit.
     rng = np.random.default_rng(42)
+    digest = hashlib.sha256()
     try:
         with AggregationService(config, gf=GF) as svc:
             cohort = svc.cohorts[0]
@@ -202,7 +219,9 @@ def run_transport_config(kind, users, dim, shards, rounds):
             t0 = time.perf_counter()
             for r in range(rounds):
                 dropouts = {int(rng.integers(0, users))} if r % 3 else set()
-                cohort.run_round(updates, dropouts, rng)
+                result = cohort.run_round(updates, dropouts, rng)
+                digest.update(result.aggregate.tobytes())
+                digest.update(np.asarray(result.survivors).tobytes())
                 # Steady state: the refiller finishes before the next
                 # round, so the sweep measures round execution, not pool
                 # contention.
@@ -220,11 +239,12 @@ def run_transport_config(kind, users, dim, shards, rounds):
         kind.value,
         {
             "mean_round_seconds": 0.0, "bytes_sent": 0,
-            "bytes_received": 0, "shard_stalls": 0,
+            "bytes_received": 0, "shm_bytes": 0, "shard_stalls": 0,
         },
     )
     return {
         "transport": kind.value,
+        "wire_format": wire_format.value,
         "rounds": cohort_metrics["rounds"],
         "stalls": cohort_metrics["stalls"],
         "online_rounds_per_second": cohort_metrics["rounds_per_second"],
@@ -233,12 +253,28 @@ def run_transport_config(kind, users, dim, shards, rounds):
         "mean_scatter_gather_seconds": transport_metrics["mean_round_seconds"],
         "wire_bytes_sent": transport_metrics["bytes_sent"],
         "wire_bytes_received": transport_metrics["bytes_received"],
+        "shm_bytes": transport_metrics.get("shm_bytes", 0),
         "shard_stalls": transport_metrics["shard_stalls"],
+        "aggregate_sha256": digest.hexdigest(),
     }
 
 
+# Lane name -> (backend, wire format).  The ``+packed`` lanes rerun the
+# identical workload with sub-word bit-packed element encoding; the shm
+# lane moves element bytes through a shared-memory segment and keeps the
+# pipes for references, so it runs the plain encoding.
+SWEEP_LANES = {
+    "inline": (TransportKind.INLINE, WireFormat.RAW),
+    "process": (TransportKind.PROCESS, WireFormat.RAW),
+    "process+packed": (TransportKind.PROCESS, WireFormat.PACKED),
+    "socket": (TransportKind.SOCKET, WireFormat.RAW),
+    "socket+packed": (TransportKind.SOCKET, WireFormat.PACKED),
+    "shm": (TransportKind.SHM, WireFormat.RAW),
+}
+
+
 def run_transport_sweep(
-    transports=("inline", "process", "socket"),
+    transports=tuple(SWEEP_LANES),
     users=SWEEP_USERS,
     dim=SWEEP_DIM,
     shards=SWEEP_SHARDS,
@@ -255,9 +291,14 @@ def run_transport_sweep(
         "transports": {},
     }
     for name in transports:
+        kind, wire_format = SWEEP_LANES[name]
         report["transports"][name] = run_transport_config(
-            TransportKind(name), users, dim, shards, rounds
+            kind, users, dim, shards, rounds, wire_format=wire_format
         )
+    digests = {
+        r["aggregate_sha256"] for r in report["transports"].values()
+    }
+    report["aggregates_bit_identical"] = len(digests) == 1
     if "inline" in report["transports"]:
         inline_rps = report["transports"]["inline"][
             "online_rounds_per_second"
@@ -268,6 +309,13 @@ def run_transport_sweep(
                     report["transports"][name]["online_rounds_per_second"]
                     / inline_rps
                 )
+    for name in ("process", "socket"):
+        raw = report["transports"].get(name)
+        packed = report["transports"].get(f"{name}+packed")
+        if raw and packed and packed["wire_bytes_sent"] > 0:
+            report[f"wire_reduction_{name}_packed"] = (
+                raw["wire_bytes_sent"] / packed["wire_bytes_sent"]
+            )
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, "service_transport_sweep.json")
     with open(path, "w") as fh:
@@ -275,10 +323,11 @@ def run_transport_sweep(
     print(f"\n--- service_transport_sweep -> {path} ---")
     for name, r in report["transports"].items():
         print(
-            f"{name:8s} {r['online_rounds_per_second']:8.2f} rounds/s "
+            f"{name:14s} {r['online_rounds_per_second']:8.2f} rounds/s "
             f"online, {1e3 * r['mean_scatter_gather_seconds']:7.2f} ms "
             f"scatter-gather, stalls={r['stalls']}, "
-            f"wire={r['wire_bytes_sent'] + r['wire_bytes_received']}B"
+            f"wire={r['wire_bytes_sent'] + r['wire_bytes_received']}B, "
+            f"shm={r['shm_bytes']}B"
         )
     for name in ("process", "socket"):
         speedup = report.get(f"speedup_{name}_over_inline")
@@ -287,6 +336,11 @@ def run_transport_sweep(
                 f"{name}/inline speedup: {speedup:.2f}x on "
                 f"{report['host']['cpu_count']} cpu(s)"
             )
+        reduction = report.get(f"wire_reduction_{name}_packed")
+        if reduction is not None:
+            print(f"{name} packed wire reduction: {reduction:.2f}x")
+    if not report["aggregates_bit_identical"]:
+        print("WARNING: lanes disagree on the aggregate digest")
     return report
 
 
@@ -296,11 +350,12 @@ def main(argv=None):
     )
     parser.add_argument(
         "--transport",
-        choices=["inline", "process", "socket", "both", "all"],
+        choices=[*SWEEP_LANES, "both", "all"],
         default="all",
-        help="which shard-execution backend(s) to sweep (default: all "
-             "three, which also reports each backend's speedup over "
-             "inline; 'both' is the legacy inline+process pair)",
+        help="which lane(s) to sweep (default: all — every backend x "
+             "wire format, which also reports speedups over inline and "
+             "the packed wire reduction; 'both' is the legacy "
+             "inline+process pair)",
     )
     parser.add_argument("--shards", type=int, default=SWEEP_SHARDS)
     parser.add_argument("--dim", type=int, default=SWEEP_DIM)
@@ -314,7 +369,7 @@ def main(argv=None):
     if not args.skip_refill_report:
         test_background_refill_eliminates_stalls()
     transports = {
-        "all": ("inline", "process", "socket"),
+        "all": tuple(SWEEP_LANES),
         "both": ("inline", "process"),
     }.get(args.transport, (args.transport,))
     run_transport_sweep(

@@ -151,6 +151,7 @@ def cmd_service(args: argparse.Namespace) -> int:
         RefillMode,
         ServiceConfig,
         TransportKind,
+        WireFormat,
     )
 
     config = ServiceConfig(
@@ -164,6 +165,7 @@ def cmd_service(args: argparse.Namespace) -> int:
         dropout_tolerance=max(1, args.num_users // 8),
         privacy=max(1, args.num_users // 8),
         transport=TransportKind(args.transport),
+        wire_format=WireFormat(args.wire_format),
         num_workers=args.workers,
         connect=(
             tuple(a.strip() for a in args.connect.split(","))
@@ -188,13 +190,14 @@ def cmd_service(args: argparse.Namespace) -> int:
     print(f"service: {args.cohorts} cohorts x N={args.num_users} "
           f"d={args.dim} shards={args.shards} pool={args.pool} "
           f"low_water={args.low_water} refill={args.refill} "
-          f"transport={args.transport}")
+          f"transport={args.transport} wire_format={args.wire_format}")
     print(f"  rounds completed : {metrics['total_rounds']}")
     print(f"  online stalls    : {metrics['total_stalls']}")
     for kind, t in metrics.get("transports", {}).items():
         print(f"  transport {kind:7s}: {t['rounds']} rounds, "
               f"{1e3 * t['mean_round_seconds']:.2f} ms/round scatter-gather, "
               f"{t['bytes_sent'] + t['bytes_received']} wire bytes, "
+              f"{t.get('shm_bytes', 0)} shm bytes, "
               f"{t['shard_stalls']} shard stalls, "
               f"{t.get('reconnects', 0)} reconnects")
     if snapshot["refiller"] is not None:
@@ -336,7 +339,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--low-water", type=int, default=0)
     p.add_argument("--refill", choices=["sync", "background"], default="sync")
     p.add_argument(
-        "--transport", choices=["inline", "process", "socket"],
+        "--transport", choices=["inline", "process", "socket", "shm"],
         default="inline",
         help="shard execution backend: 'inline' calls the per-shard "
              "sessions in this process (the default); 'process' pins each "
@@ -345,11 +348,20 @@ def build_parser() -> argparse.ArgumentParser:
              "format, so shards use multiple cores; 'socket' speaks the "
              "same frames over TCP to standalone `repro shard-worker` "
              "hosts named by --connect, with heartbeat supervision and "
-             "reconnect/re-pin",
+             "reconnect/re-pin; 'shm' is the process backend with vector "
+             "payloads handed over in shared memory (frames carry only "
+             "name+offset references)",
+    )
+    p.add_argument(
+        "--wire-format", choices=["raw", "packed"], default="packed",
+        help="vector payload encoding on framed transports: 'packed' "
+             "bit-packs field elements to ceil(log2(q)) bits per element "
+             "where the peer negotiates the capability (the default); "
+             "'raw' sends full little-endian words",
     )
     p.add_argument(
         "--workers", type=int, default=None, metavar="N",
-        help="worker processes per cohort for --transport process "
+        help="worker processes per cohort for --transport process/shm "
              "(default: one per shard; fewer workers host several shards "
              "each)",
     )

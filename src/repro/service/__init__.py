@@ -35,7 +35,12 @@ Layering (see the repo README for the full picture)::
   that wires all of the above together from a :class:`ServiceConfig`.
 """
 
-from repro.service.config import RefillMode, ServiceConfig, TransportKind
+from repro.service.config import (
+    RefillMode,
+    ServiceConfig,
+    TransportKind,
+    WireFormat,
+)
 from repro.service.cohort import Cohort, CohortPhase
 from repro.service.metrics import CohortMetrics, ServiceMetrics, TransportMetrics
 from repro.service.refill import BackgroundRefiller
@@ -75,5 +80,6 @@ __all__ = [
     "SocketTransport",
     "TransportKind",
     "TransportMetrics",
+    "WireFormat",
     "build_transport",
 ]

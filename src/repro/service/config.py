@@ -49,11 +49,34 @@ class TransportKind(enum.Enum):
       (:class:`~repro.service.socket_transport.SocketTransport`), with
       heartbeat supervision and reconnect/re-pin; requires ``connect``
       addresses.  The multi-host deployment backend.
+    * ``SHM`` — the process backend with the shared-memory payload
+      lane: vector payloads stage in a coordinator-owned
+      :class:`~repro.wire.SegmentArena` and cross the pipe as
+      name+offset references, so element bytes never transit the pipe.
+      Same-host only.
     """
 
     INLINE = "inline"
     PROCESS = "process"
     SOCKET = "socket"
+    SHM = "shm"
+
+
+class WireFormat(enum.Enum):
+    """How vector payloads are encoded inside wire frames.
+
+    * ``RAW`` — little-endian element bytes, the format every peer
+      speaks (PR 5's only encoding).
+    * ``PACKED`` — sub-word bit-packing
+      (:meth:`~repro.wire.PayloadWriter.put_packed_array`): each element
+      of a bounded uint array travels in ``b < 32`` bits instead of its
+      dtype width.  Negotiated per connection via
+      :data:`~repro.wire.CAP_PACKED_ARRAYS`; peers that do not
+      acknowledge the capability keep receiving ``RAW``.
+    """
+
+    RAW = "raw"
+    PACKED = "packed"
 
 
 @dataclass(frozen=True)
@@ -89,10 +112,17 @@ class ServiceConfig:
         Background refiller sleep between low-water polls when idle.
     transport:
         Shard execution backend, see :class:`TransportKind`.
+    wire_format:
+        Vector payload encoding on framed transports, see
+        :class:`WireFormat`.  Defaults to ``PACKED`` — the bandwidth
+        diet is on unless a deployment opts out — which degrades to raw
+        per connection when the peer does not acknowledge the
+        capability.  ``INLINE`` has no wire and ignores it.
     num_workers:
-        Worker processes for the ``PROCESS`` transport (per cohort).
-        Defaults to one worker per shard; fewer workers host multiple
-        shards each.  Meaningless (and rejected) for ``INLINE``.
+        Worker processes for the ``PROCESS`` and ``SHM`` transports
+        (per cohort).  Defaults to one worker per shard; fewer workers
+        host multiple shards each.  Meaningless (and rejected) for
+        ``INLINE``.
     connect:
         ``host:port`` shard-worker addresses for the ``SOCKET``
         transport; shards are assigned round-robin across them, and all
@@ -116,6 +146,7 @@ class ServiceConfig:
     protocol: str = "lightsecagg"
     refill_poll_interval_s: float = 0.001
     transport: TransportKind = TransportKind.INLINE
+    wire_format: WireFormat = WireFormat.PACKED
     num_workers: Optional[int] = None
     connect: Optional[Tuple[str, ...]] = None
     seed: int = 0
@@ -169,10 +200,17 @@ class ServiceConfig:
             raise ReproError(
                 f"transport must be a TransportKind, got {self.transport!r}"
             )
+        if not isinstance(self.wire_format, WireFormat):
+            raise ReproError(
+                f"wire_format must be a WireFormat, got {self.wire_format!r}"
+            )
         if self.num_workers is not None:
-            if self.transport is not TransportKind.PROCESS:
+            if self.transport not in (
+                TransportKind.PROCESS, TransportKind.SHM
+            ):
                 raise ReproError(
-                    "num_workers only applies to the process transport"
+                    "num_workers only applies to the process and shm "
+                    "transports"
                 )
             if self.num_workers < 1:
                 raise ReproError(

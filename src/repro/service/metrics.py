@@ -54,6 +54,11 @@ class TransportMetrics:
     bytes_sent: int = 0
     bytes_received: int = 0
     shard_stalls: int = 0
+    # Vector payload bytes exchanged through shared memory instead of
+    # the pipe/socket (shm payload mode only).  ``bytes_sent`` /
+    # ``bytes_received`` count actual wire frames, so for the shm lane
+    # they stay near zero while this carries the vector volume.
+    shm_bytes: int = 0
     # Networked backends only: connections re-established (with session
     # re-pin) after a heartbeat timeout or socket error.
     reconnects: int = 0
@@ -125,6 +130,7 @@ class ServiceMetrics:
         bytes_sent: int = 0,
         bytes_received: int = 0,
         stalled_shards: int = 0,
+        shm_bytes: int = 0,
     ) -> None:
         """Record one logical round's scatter/gather through a backend."""
         with self._lock:
@@ -134,6 +140,7 @@ class ServiceMetrics:
             t.bytes_sent += bytes_sent
             t.bytes_received += bytes_received
             t.shard_stalls += stalled_shards
+            t.shm_bytes += shm_bytes
 
     def record_transport_reconnect(self, kind: str) -> None:
         """Record one reconnect (+ session re-pin) of a networked backend."""
@@ -177,6 +184,7 @@ class ServiceMetrics:
                     "mean_round_seconds": t.mean_round_seconds,
                     "bytes_sent": t.bytes_sent,
                     "bytes_received": t.bytes_received,
+                    "shm_bytes": t.shm_bytes,
                     "shard_stalls": t.shard_stalls,
                     "reconnects": t.reconnects,
                 }

@@ -52,6 +52,7 @@ from repro.service.transport import (
     ShardTransport,
 )
 from repro.wire import (
+    CAP_PACKED_ARRAYS,
     ErrorFrame,
     FrameAssembler,
     Ping,
@@ -108,6 +109,12 @@ class _SocketClient:
         self._send_lock = threading.Lock()
         self._reconnect_lock = threading.Lock()
         self._slot_specs: Dict[int, ShardSessionSpec] = {}
+        # Wire-format negotiation state: ``requested_caps`` is the OR of
+        # every sharing transport's asks (replayed on re-pin);
+        # ``negotiated_caps`` is what the *current* connection's worker
+        # acknowledged.  Both guarded by ``_cv``.
+        self.requested_caps = 0
+        self.negotiated_caps = 0
         self._repin_listeners: List = []
         self._reconnect_sinks: List[Tuple[object, str]] = []
         self._stop_heartbeat = threading.Event()
@@ -201,6 +208,7 @@ class _SocketClient:
                 if self._broken is None:
                     return
                 entries = sorted(self._slot_specs.items())
+                requested = self.requested_caps
             sock = self._open_socket()  # raises TransportError on failure
             with self._cv:
                 self._generation += 1
@@ -208,11 +216,15 @@ class _SocketClient:
                 self._sock = sock
                 self._responses.clear()
                 self._abandoned.clear()  # old-generation frames can't arrive
+                self.negotiated_caps = 0  # fresh connection, renegotiate
             self._start_receiver()
             if entries:
                 try:
                     request_id = self.next_id()
-                    self.send(SessionSetup(entries), request_id)
+                    self.send(
+                        SessionSetup(entries, capabilities=requested),
+                        request_id,
+                    )
                     ack, _ = self.receive(
                         request_id, timeout=self.setup_timeout_s
                     )
@@ -222,6 +234,8 @@ class _SocketClient:
                         raise TransportError(
                             f"re-pin answered with {type(ack).__name__}"
                         )
+                    with self._cv:
+                        self.negotiated_caps = ack.capabilities
                 except Exception as exc:
                     # A half-pinned connection must not look healthy: no
                     # session is guaranteed to exist behind any slot, so
@@ -287,6 +301,16 @@ class _SocketClient:
     def allocate_slots(self, count: int) -> List[int]:
         with self._cv:
             return [next(self._slots) for _ in range(count)]
+
+    def request_capability(self, cap: int) -> None:
+        """Ask for ``cap`` on every (re)pin from now on."""
+        with self._cv:
+            self.requested_caps |= int(cap)
+
+    def supports(self, cap: int) -> bool:
+        """True iff the current connection's worker acknowledged ``cap``."""
+        with self._cv:
+            return bool(self.negotiated_caps & cap)
 
     def send(self, message, request_id: int) -> int:
         segments = encode_segments(message, request_id)
@@ -485,6 +509,7 @@ class SocketTransport(ShardTransport):
         request_timeout_s: Optional[float] = None,
         setup_timeout_s: float = 60.0,
         share_connections: bool = True,
+        wire_format: str = "raw",
     ):
         if not specs:
             raise ProtocolError("transport needs at least one shard spec")
@@ -493,6 +518,12 @@ class SocketTransport(ShardTransport):
                 "the socket transport needs at least one worker address "
                 "(connect=['host:port', ...])"
             )
+        if wire_format not in ("raw", "packed"):
+            raise ProtocolError(
+                f"unknown wire format {wire_format!r}; expected 'raw' or "
+                f"'packed'"
+            )
+        self.wire_format = wire_format
         self.specs = list(specs)
         self.addresses = [parse_address(a) for a in connect]
         self.request_timeout_s = request_timeout_s
@@ -554,9 +585,14 @@ class SocketTransport(ShardTransport):
                 # removes them again.)
                 with client._cv:
                     client._slot_specs.update(entries)
+                if self.wire_format == "packed":
+                    client.request_capability(CAP_PACKED_ARRAYS)
                 client.ensure_connected()  # a pooled client may be broken
+                with client._cv:
+                    requested = client.requested_caps
                 ack = client.request(
-                    SessionSetup(entries), timeout=setup_timeout_s
+                    SessionSetup(entries, capabilities=requested),
+                    timeout=setup_timeout_s,
                 )
                 if not isinstance(ack, SetupAck) or set(ack.slots) != set(
                     slots
@@ -565,6 +601,8 @@ class SocketTransport(ShardTransport):
                         f"worker at {client.address} acknowledged slots "
                         f"{getattr(ack, 'slots', ack)}, expected {slots}"
                     )
+                with client._cv:
+                    client.negotiated_caps = ack.capabilities
                 listener = self._make_repin_listener(client)
                 client.add_repin_listener(listener)
                 self._listeners.append((client, listener))
@@ -603,6 +641,14 @@ class SocketTransport(ShardTransport):
         # several cohorts can share the connection).
         message.shard_id = self._slot_of[shard_id]
         client.ensure_connected()
+        # Packed encoding is only legal on a connection whose worker
+        # acknowledged it — checked at send time (after ensure_connected)
+        # because a reconnect may have landed this round on an older
+        # worker since the request was staged.
+        if getattr(message, "packed", False) and not client.supports(
+            CAP_PACKED_ARRAYS
+        ):
+            message.packed = False
         request_id = client.next_id()
         nbytes = client.send(message, request_id)
         return request_id, nbytes
@@ -666,6 +712,7 @@ class SocketTransport(ShardTransport):
                 request = ShardRoundRequest.from_updates(
                     self._slot_of[shard_id], round_id, updates, dropouts,
                     offline_dropouts,
+                    packed=self.wire_format == "packed",
                 )
                 request_id, nbytes = self._request(shard_id, request)
                 bytes_sent += nbytes

@@ -48,6 +48,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.exceptions import TransportError, WireError
 from repro.field.arithmetic import FiniteField
 from repro.wire import (
+    SUPPORTED_CAPABILITIES,
     ErrorFrame,
     FrameAssembler,
     Ping,
@@ -237,7 +238,20 @@ class _Connection:
                         self._pin(slot, spec)
                         for slot, spec in message.entries
                     ]
-                    self._send(SetupAck(slots), request_id)
+                    # Capability negotiation: grant the intersection of
+                    # what the coordinator asked for and what this server
+                    # was built to speak (capabilities=0 emulates an old
+                    # worker — the coordinator then falls back to raw).
+                    self._send(
+                        SetupAck(
+                            slots,
+                            capabilities=(
+                                message.capabilities
+                                & self.server.capabilities
+                            ),
+                        ),
+                        request_id,
+                    )
                     continue
                 if isinstance(message, SessionTeardown):
                     self._send(
@@ -271,6 +285,9 @@ class _Connection:
                         stalled=stalled,
                         pool_level=after["pool_level"],
                         stats=after["stats"],
+                        # mirror the request's encoding: packed replies
+                        # only to peers that sent packed requests
+                        packed=message.packed,
                     ),
                     request_id,
                 )
@@ -368,7 +385,15 @@ class ShardWorkerServer:
     one server and starting another on the same address.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        capabilities: int = SUPPORTED_CAPABILITIES,
+    ):
+        # Wire capabilities this host advertises; ``capabilities=0``
+        # emulates a pre-negotiation worker for mixed-version tests.
+        self.capabilities = int(capabilities)
         # create_server sets SO_REUSEADDR on POSIX, so a restarted worker
         # can rebind the same port immediately (the kill/restart story).
         self._listener = socket.create_server((host, port))

@@ -65,15 +65,23 @@ from repro.wire import (
     ErrorFrame,
     PoolSnapshot,
     RefillRequest,
+    SegmentArena,
     ShardRoundRequest,
     ShardRoundResult,
+    ShmArrayRef,
+    ShmRegistry,
     SnapshotRequest,
     Shutdown,
     decode_message,
     encode_message,
 )
 
-TRANSPORT_KINDS = ("inline", "process", "socket")
+TRANSPORT_KINDS = ("inline", "process", "socket", "shm")
+
+#: Element encodings a transport can put on the wire: ``raw`` ships
+#: little-endian words, ``packed`` bit-packs at the data's width (peers
+#: that never advertised CAP_PACKED_ARRAYS still get raw frames).
+WIRE_FORMATS = ("raw", "packed")
 
 
 @dataclass(frozen=True)
@@ -247,6 +255,14 @@ def _worker_serve(conn, specs: Dict[int, ShardSessionSpec]) -> None:
     in-process consumer/refiller pairing.  All sends share one lock; all
     responses carry their request's id, so ordering across the two
     threads is irrelevant.
+
+    Element encodings mirror the coordinator's: a packed round request
+    gets a packed result; a request whose updates arrived by
+    shared-memory reference gets its aggregate placed at the request's
+    ``result_ref`` with only the reference framed back.  The worker's
+    segment attachments are cache-per-process (:class:`ShmRegistry`) and
+    detached on exit; it never unlinks — segments belong to the
+    coordinator.
     """
     gf = None
     sessions = {}
@@ -255,6 +271,7 @@ def _worker_serve(conn, specs: Dict[int, ShardSessionSpec]) -> None:
             gf = FiniteField(spec.field_modulus)
         sessions[shard_id] = spec.build(gf)
     send_lock = threading.Lock()
+    registry = ShmRegistry()
 
     def send(message, request_id: int) -> None:
         frame = encode_message(message, request_id)
@@ -297,7 +314,7 @@ def _worker_serve(conn, specs: Dict[int, ShardSessionSpec]) -> None:
                 frame = conn.recv_bytes()
             except (EOFError, OSError):
                 return  # coordinator died; daemon exit
-            request_id, message = decode_message(frame)
+            request_id, message = decode_message(frame, shm=registry.resolve)
             if isinstance(message, Shutdown):
                 # Contract: a refill in flight completes (and its response
                 # is delivered) before the shutdown is acknowledged.
@@ -335,6 +352,16 @@ def _worker_serve(conn, specs: Dict[int, ShardSessionSpec]) -> None:
                     # level and stats piecemeal would race this worker's
                     # own refill thread and could ship a torn pair.
                     after = session.state_snapshot()
+                    aggregate_ref = None
+                    if message.result_ref is not None:
+                        out = registry.ndarray(message.result_ref)
+                        np.copyto(
+                            out,
+                            np.asarray(
+                                result.aggregate, dtype=np.uint64
+                            ).reshape(message.result_ref.shape),
+                        )
+                        aggregate_ref = message.result_ref
                     send(
                         ShardRoundResult.from_result(
                             message.shard_id,
@@ -343,6 +370,8 @@ def _worker_serve(conn, specs: Dict[int, ShardSessionSpec]) -> None:
                             stalled=stalled,
                             pool_level=after["pool_level"],
                             stats=after["stats"],
+                            packed=message.packed,
+                            aggregate_ref=aggregate_ref,
                         ),
                         request_id,
                     )
@@ -355,6 +384,7 @@ def _worker_serve(conn, specs: Dict[int, ShardSessionSpec]) -> None:
                 send(ErrorFrame.from_exception(shard_id, exc), request_id)
     finally:
         refill_queue.put(None)
+        registry.close()
 
 
 # ----------------------------------------------------------------------
@@ -379,11 +409,12 @@ class _WorkerClient:
     other to read first, regardless of frame size vs. OS pipe buffer.
     """
 
-    def __init__(self, process, conn):
+    def __init__(self, process, conn, shm_resolver=None):
         self.process = process
         self.conn = conn
         self.bytes_sent = 0
         self.bytes_received = 0
+        self._shm_resolver = shm_resolver
         self._send_lock = threading.Lock()
         self._cv = threading.Condition()
         self._responses: Dict[int, object] = {}
@@ -399,7 +430,9 @@ class _WorkerClient:
         while True:
             try:
                 frame = self.conn.recv_bytes()
-                request_id, message = decode_message(frame)
+                request_id, message = decode_message(
+                    frame, shm=self._shm_resolver
+                )
             except (EOFError, OSError, WireError) as exc:
                 with self._cv:
                     self._broken = exc
@@ -550,6 +583,21 @@ class ProcessPoolTransport(ShardTransport):
     refactor exists for); fewer workers host multiple shards each, whose
     rounds then serialize on that worker's main thread — capacity is
     traded explicitly, never silently dropped.
+
+    Two bandwidth knobs ride on top of the pipe protocol:
+
+    * ``wire_format="packed"`` bit-packs update matrices and aggregates
+      at their max's bit width (~2x smaller for 31-bit field elements
+      stored as u64) — worth it even same-host, since pipe writes cost
+      a kernel copy per byte;
+    * ``payload_mode="shm"`` stages vector payloads in a coordinator-
+      owned shared-memory segment (one region pair per shard) and frames
+      only ``(name, offset)`` references, so element bytes never transit
+      the pipe at all.  Regions are reused round over round — safe
+      because at most one round per shard is in flight — and the
+      segment is unlinked in :meth:`close` (with a ``__del__``
+      backstop), so a worker dying mid-round cannot leak ``/dev/shm``
+      entries.
     """
 
     kind = "process"
@@ -562,6 +610,8 @@ class ProcessPoolTransport(ShardTransport):
         cohort_id: int = 0,
         shutdown_timeout_s: float = 10.0,
         mp_context: Optional[str] = None,
+        wire_format: str = "raw",
+        payload_mode: str = "pipe",
     ):
         if not specs:
             raise ProtocolError("transport needs at least one shard spec")
@@ -569,9 +619,25 @@ class ProcessPoolTransport(ShardTransport):
             raise ProtocolError(
                 f"need >= 1 worker process, got {num_workers}"
             )
+        if wire_format not in WIRE_FORMATS:
+            raise ProtocolError(
+                f"unknown wire format {wire_format!r}; expected one of "
+                f"{WIRE_FORMATS}"
+            )
+        if payload_mode not in ("pipe", "shm"):
+            raise ProtocolError(
+                f"unknown payload mode {payload_mode!r}; expected "
+                f"'pipe' or 'shm'"
+            )
         self.specs = list(specs)
         self.num_workers = min(num_workers or len(specs), len(specs))
         self.shutdown_timeout_s = float(shutdown_timeout_s)
+        self.wire_format = wire_format
+        self.payload_mode = payload_mode
+        if payload_mode == "shm":
+            # Report under a distinct metrics lane: the whole point of
+            # the mode is a different wire_bytes profile.
+            self.kind = "shm"
         self._metrics = metrics
         self._cohort_id = int(cohort_id)
         self._gf = FiniteField(self.specs[0].field_modulus)
@@ -580,6 +646,22 @@ class ProcessPoolTransport(ShardTransport):
         self._round_ids = itertools.count(0)
         self._closed = False
         self._close_lock = threading.Lock()
+
+        self._arena: Optional[SegmentArena] = None
+        self._regions: List[Tuple[int, int]] = []  # (req_off, resp_off)
+        self._registry: Optional[ShmRegistry] = None
+        shm_resolver = None
+        if payload_mode == "shm":
+            offset = 0
+            for spec in self.specs:
+                req_nbytes = spec.num_users * spec.shard_dim * 8
+                resp_nbytes = spec.shard_dim * 8
+                self._regions.append((offset, offset + req_nbytes))
+                offset += req_nbytes + resp_nbytes
+            self._arena = SegmentArena(offset)
+            self._registry = ShmRegistry()
+            self._registry.add_local(self._arena)
+            shm_resolver = self._registry.resolve
 
         ctx = multiprocessing.get_context(mp_context)
         self._clients: List[_WorkerClient] = []
@@ -599,7 +681,9 @@ class ProcessPoolTransport(ShardTransport):
             )
             process.start()
             child_conn.close()
-            self._clients.append(_WorkerClient(process, parent_conn))
+            self._clients.append(
+                _WorkerClient(process, parent_conn, shm_resolver=shm_resolver)
+            )
         self._handles = [
             ProcessShardHandle(self, shard, spec)
             for shard, spec in enumerate(self.specs)
@@ -665,10 +749,18 @@ class ProcessPoolTransport(ShardTransport):
         round_id = next(self._round_ids)
         pending = []
         bytes_sent = 0
+        shm_bytes = 0
         for shard_id, updates in enumerate(per_shard_updates):
-            request = ShardRoundRequest.from_updates(
-                shard_id, round_id, updates, dropouts, offline_dropouts
-            )
+            if self.payload_mode == "shm":
+                request, staged = self._stage_shm_request(
+                    shard_id, round_id, updates, dropouts, offline_dropouts
+                )
+                shm_bytes += staged
+            else:
+                request = ShardRoundRequest.from_updates(
+                    shard_id, round_id, updates, dropouts, offline_dropouts,
+                    packed=self.wire_format == "packed",
+                )
             request_id, nbytes = self._request(shard_id, request)
             bytes_sent += nbytes
             pending.append((shard_id, request_id))
@@ -687,7 +779,13 @@ class ProcessPoolTransport(ShardTransport):
             handle = self._handles[shard_id]
             handle._absorb(message.pool_level, message.stats)
             stalled_shards += int(message.stalled)
-            results.append(message.to_result())
+            result = message.to_result()
+            if message.aggregate_ref is not None:
+                # The aggregate aliases this shard's response region,
+                # which the next round will overwrite — detach it.
+                shm_bytes += result.aggregate.nbytes
+                result.aggregate = np.array(result.aggregate)
+            results.append(result)
         if self._metrics is not None:
             # Per-request accounting: only this round's own frames count,
             # not concurrent background-refill traffic on the same pipes.
@@ -697,10 +795,40 @@ class ProcessPoolTransport(ShardTransport):
                 bytes_sent=bytes_sent,
                 bytes_received=bytes_received,
                 stalled_shards=stalled_shards,
+                shm_bytes=shm_bytes,
             )
         if error is not None:
             error.raise_()
         return results
+
+    def _stage_shm_request(
+        self, shard_id, round_id, updates, dropouts, offline_dropouts
+    ) -> Tuple[ShardRoundRequest, int]:
+        """Write one shard's update matrix into its arena region and
+        build the reference-carrying request; returns staged bytes."""
+        assert self._arena is not None
+        req_off, resp_off = self._regions[shard_id]
+        width = self.specs[shard_id].shard_dim
+        user_ids = sorted(updates)
+        shape = (len(user_ids), width) if user_ids else (0, 0)
+        matrix = self._arena.ndarray(req_off, shape)
+        for i, uid in enumerate(user_ids):
+            matrix[i] = updates[uid]
+        request = ShardRoundRequest(
+            shard_id=shard_id,
+            round_id=round_id,
+            user_ids=user_ids,
+            updates=matrix,
+            dropouts=set(dropouts),
+            offline_dropouts=set(offline_dropouts or set()),
+            updates_ref=ShmArrayRef(
+                name=self._arena.name, offset=req_off, shape=shape
+            ),
+            result_ref=ShmArrayRef(
+                name=self._arena.name, offset=resp_off, shape=(width,)
+            ),
+        )
+        return request, matrix.nbytes
 
     def refill_all(self, rounds: Optional[int] = None) -> int:
         """Scatter refills to every shard, then join — encodes overlap.
@@ -754,6 +882,13 @@ class ProcessPoolTransport(ShardTransport):
             client.conn.close()
         for handle in self._handles:
             handle.close()
+        # Segment teardown strictly after worker teardown: the workers
+        # hold attachments, and unlinking first would turn a late round
+        # into a crash instead of a clean shutdown error.
+        if self._registry is not None:
+            self._registry.close()
+        if self._arena is not None:
+            self._arena.close()
 
     @property
     def closed(self) -> bool:
@@ -774,12 +909,16 @@ def build_transport(
     metrics=None,
     cohort_id: int = 0,
     connect: Optional[Sequence[str]] = None,
+    wire_format: str = "raw",
 ) -> ShardTransport:
     """Construct the configured transport backend from shard specs.
 
     ``connect`` lists ``host:port`` worker addresses for the ``socket``
     backend (shards round-robin across them); the other backends reject
-    it, like ``num_workers`` outside ``process``.
+    it, like ``num_workers`` outside ``process``/``shm``.
+    ``wire_format="packed"`` bit-packs vector payloads where the peer
+    supports it (``inline`` has no wire and ignores it; ``shm`` passes
+    vectors by reference, which supersedes packing).
     """
     if kind == "inline":
         return InlineTransport.from_specs(
@@ -788,7 +927,13 @@ def build_transport(
     if kind == "process":
         return ProcessPoolTransport(
             specs, num_workers=num_workers, metrics=metrics,
-            cohort_id=cohort_id,
+            cohort_id=cohort_id, wire_format=wire_format,
+        )
+    if kind == "shm":
+        return ProcessPoolTransport(
+            specs, num_workers=num_workers, metrics=metrics,
+            cohort_id=cohort_id, wire_format=wire_format,
+            payload_mode="shm",
         )
     if kind == "socket":
         # Local import: the socket backend pulls in this module's spec
@@ -797,7 +942,7 @@ def build_transport(
 
         return SocketTransport(
             specs, connect=connect or (), metrics=metrics,
-            cohort_id=cohort_id,
+            cohort_id=cohort_id, wire_format=wire_format,
         )
     raise ProtocolError(
         f"unknown transport {kind!r}; expected one of {TRANSPORT_KINDS}"

@@ -5,9 +5,18 @@ this format over whatever byte transport is configured — an in-process
 call (no frames at all), a ``multiprocessing`` pipe, or a TCP socket
 (:class:`~repro.service.socket_transport.SocketTransport` speaking to a
 ``repro shard-worker`` host).  See :mod:`repro.wire.format` for the
-frame layout, :mod:`repro.wire.messages` for the message set, and
+frame layout, :mod:`repro.wire.messages` for the message set,
 :mod:`repro.wire.stream` for byte-stream reassembly and vectored
-writes.
+writes, and :mod:`repro.wire.shm` for the same-host shared-memory
+payload lane.
+
+Two element encodings ride the same frame format: raw little-endian
+bytes, and sub-word *bit-packed* payloads
+(:meth:`~repro.wire.format.PayloadWriter.put_packed_array`) negotiated
+via :data:`~repro.wire.messages.CAP_PACKED_ARRAYS`.  Same-host
+transports can additionally pass vector payloads by shared-memory
+reference (:class:`~repro.wire.format.ShmArrayRef`) so element bytes
+never transit the pipe at all.
 """
 
 from repro.wire.format import (
@@ -17,11 +26,15 @@ from repro.wire.format import (
     WIRE_VERSION,
     PayloadReader,
     PayloadWriter,
+    ShmArrayRef,
     decode_frame,
     encode_frame,
     frame_segments,
+    packed_nbytes,
 )
 from repro.wire.messages import (
+    CAP_PACKED_ARRAYS,
+    SUPPORTED_CAPABILITIES,
     WIRE_MESSAGES,
     ErrorFrame,
     Ping,
@@ -38,6 +51,12 @@ from repro.wire.messages import (
     encode_message,
     encode_segments,
 )
+from repro.wire.shm import (
+    SEGMENT_PREFIX,
+    SegmentArena,
+    ShmRegistry,
+    created_segments,
+)
 from repro.wire.stream import FrameAssembler, recv_frames, send_segments
 
 __all__ = [
@@ -47,9 +66,13 @@ __all__ = [
     "WIRE_VERSION",
     "PayloadReader",
     "PayloadWriter",
+    "ShmArrayRef",
     "decode_frame",
     "encode_frame",
     "frame_segments",
+    "packed_nbytes",
+    "CAP_PACKED_ARRAYS",
+    "SUPPORTED_CAPABILITIES",
     "WIRE_MESSAGES",
     "ErrorFrame",
     "Ping",
@@ -65,6 +88,10 @@ __all__ = [
     "decode_message",
     "encode_message",
     "encode_segments",
+    "SEGMENT_PREFIX",
+    "SegmentArena",
+    "ShmRegistry",
+    "created_segments",
     "FrameAssembler",
     "recv_frames",
     "send_segments",

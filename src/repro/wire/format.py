@@ -25,7 +25,8 @@ mutate must copy.
 from __future__ import annotations
 
 import struct
-from typing import List, Tuple, Union
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -49,15 +50,113 @@ _I64 = struct.Struct("<q")
 _F64 = struct.Struct("<d")
 
 # Wire dtype codes.  A closed set keeps decode safe: no pickling, no
-# arbitrary dtype strings from the peer.
+# arbitrary dtype strings from the peer.  The keys are spelled as
+# explicit little-endian layouts, not native dtypes: wire arrays are
+# little-endian by definition, and building the whitelist from native
+# dtypes would make a big-endian host silently emit byte-swapped
+# payloads that every little-endian peer mis-reads.
 _DTYPE_CODES = {
-    np.dtype(np.uint8): 0,
-    np.dtype(np.uint32): 1,
-    np.dtype(np.uint64): 2,
-    np.dtype(np.int64): 3,
-    np.dtype(np.float64): 4,
+    np.dtype("|u1"): 0,
+    np.dtype("<u4"): 1,
+    np.dtype("<u8"): 2,
+    np.dtype("<i8"): 3,
+    np.dtype("<f8"): 4,
 }
 _CODE_DTYPES = {code: dt for dt, code in _DTYPE_CODES.items()}
+
+# Array tag layout: the low 6 bits carry the dtype code, the top two
+# flag alternate element encodings.  A raw array's tag is therefore
+# byte-identical to the pre-flag format, so old frames decode unchanged.
+_PACKED_FLAG = 0x80  # elements bit-packed at a declared sub-word width
+_SHM_FLAG = 0x40  # elements live in a named shared-memory segment
+_CODE_MASK = 0x3F
+
+# Dtypes eligible for bit-packing: unsigned, so a declared width ``b``
+# means exactly "every element < 2**b".
+_PACKABLE = frozenset(
+    (np.dtype("|u1"), np.dtype("<u4"), np.dtype("<u8"))
+)
+
+
+def _dtype_code(dtype: np.dtype) -> int:
+    """Map a dtype onto its wire code, with a typed rejection.
+
+    Big-endian layouts of otherwise supported types get a pointed error:
+    they would round-trip with silently swapped bytes if waved through.
+    """
+    code = _DTYPE_CODES.get(dtype)
+    if code is not None:
+        return code
+    if dtype.byteorder == ">" and dtype.newbyteorder("<") in _DTYPE_CODES:
+        raise WireError(
+            f"big-endian dtype {dtype.str} is not wire-encodable: wire "
+            f"arrays are little-endian; convert with "
+            f".astype('{dtype.newbyteorder('<').str}') first"
+        )
+    raise WireError(
+        f"dtype {dtype} is not wire-encodable; supported: "
+        f"{sorted(str(d) for d in _DTYPE_CODES)}"
+    )
+
+
+@dataclass(frozen=True)
+class ShmArrayRef:
+    """Where an array's elements live inside a shared-memory segment.
+
+    A frame carrying a ref instead of element bytes stays a few dozen
+    bytes no matter how large the array: the peer resolves ``name`` to
+    an attached segment and maps ``shape`` elements of ``dtype`` at
+    ``offset`` — the same-host zero-copy lane.
+    """
+
+    name: str
+    offset: int
+    shape: Tuple[int, ...]
+    dtype: str = "<u8"  # numpy dtype string; must be wire-encodable
+
+    @property
+    def count(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count
+
+    @property
+    def nbytes(self) -> int:
+        return self.count * np.dtype(self.dtype).itemsize
+
+
+def _pack_bits(values: np.ndarray, bits: int) -> np.ndarray:
+    """Bit-pack 1-D unsigned values (< ``2**bits``) LSB-first.
+
+    Element ``i`` occupies bit positions ``[i*bits, (i+1)*bits)`` of a
+    little-endian bit stream, so the packed size is exactly
+    ``ceil(n*bits/8)`` bytes regardless of the source dtype width.
+    """
+    le = np.ascontiguousarray(values, dtype="<u8")
+    octets = le.view(np.uint8).reshape(le.size, 8)
+    lanes = np.unpackbits(octets, axis=1, bitorder="little")[:, :bits]
+    return np.packbits(lanes.ravel(), bitorder="little")
+
+
+def _unpack_bits(raw: memoryview, bits: int, count: int) -> np.ndarray:
+    """Inverse of :func:`_pack_bits`: ``count`` values as uint64."""
+    lanes = np.unpackbits(
+        np.frombuffer(raw, dtype=np.uint8),
+        count=count * bits,
+        bitorder="little",
+    ).reshape(count, bits)
+    octets = np.zeros((count, 64), dtype=np.uint8)
+    octets[:, :bits] = lanes
+    packed = np.packbits(octets, axis=1, bitorder="little")
+    return packed.reshape(count, 8).view("<u8").reshape(count).astype(
+        np.uint64, copy=False
+    )
+
+
+def packed_nbytes(count: int, bits: int) -> int:
+    """Element bytes a packed array of ``count`` ``bits``-wide values needs."""
+    return (count * bits + 7) // 8
 
 
 class PayloadWriter:
@@ -105,12 +204,7 @@ class PayloadWriter:
     def put_array(self, array: np.ndarray) -> None:
         """Append one numpy array: dtype code, shape, raw C-order bytes."""
         array = np.asarray(array)
-        code = _DTYPE_CODES.get(array.dtype)
-        if code is None:
-            raise WireError(
-                f"dtype {array.dtype} is not wire-encodable; supported: "
-                f"{sorted(str(d) for d in _DTYPE_CODES)}"
-            )
+        code = _dtype_code(array.dtype)
         if array.ndim > 255:
             raise WireError(f"array rank {array.ndim} exceeds wire limit")
         contiguous = np.ascontiguousarray(array)
@@ -120,6 +214,73 @@ class PayloadWriter:
             self.put_u64(dim)
         if contiguous.size:
             self.segments.append(memoryview(contiguous).cast("B"))
+
+    def put_packed_array(
+        self, array: np.ndarray, bits: Optional[int] = None
+    ) -> None:
+        """Append one unsigned array with elements bit-packed at width
+        ``bits``.
+
+        ``bits`` defaults to the smallest width that holds the array's
+        max; a declared width (e.g. ``ceil(log2 q)`` for field elements)
+        pins the layout independent of the data and is validated against
+        the actual max.  The width rides in the header, so decode is
+        self-describing and :meth:`PayloadReader.get_array` reconstructs
+        the exact original values and dtype.
+        """
+        array = np.asarray(array)
+        code = _dtype_code(array.dtype)
+        if array.dtype not in _PACKABLE:
+            raise WireError(
+                f"dtype {array.dtype} cannot be bit-packed; packable "
+                f"dtypes: {sorted(str(d) for d in _PACKABLE)}"
+            )
+        if array.ndim > 255:
+            raise WireError(f"array rank {array.ndim} exceeds wire limit")
+        dtype_bits = array.dtype.itemsize * 8
+        flat = np.ascontiguousarray(array).reshape(-1)
+        needed = (
+            max(1, int(flat.max()).bit_length()) if flat.size else 1
+        )
+        if bits is None:
+            bits = needed
+        else:
+            bits = int(bits)
+            if not 1 <= bits <= dtype_bits:
+                raise WireError(
+                    f"packed bit width {bits} outside 1..{dtype_bits} "
+                    f"for dtype {array.dtype}"
+                )
+            if flat.size and needed > bits:
+                raise WireError(
+                    f"array max {int(flat.max())} needs {needed} bits, "
+                    f"over the declared {bits}-bit bound"
+                )
+        self.put_u8(_PACKED_FLAG | code)
+        self.put_u8(array.ndim)
+        for dim in array.shape:
+            self.put_u64(dim)
+        self.put_u8(bits)
+        if flat.size:
+            self.segments.append(memoryview(_pack_bits(flat, bits)))
+
+    def put_shm_array(self, ref: ShmArrayRef) -> None:
+        """Append an array *by reference* into a shared-memory segment.
+
+        The element bytes must already sit in the named segment; only
+        the (dtype, shape, name, offset) record crosses the wire.  A
+        reader without an shm resolver rejects the frame, so refs never
+        leak onto a transport that cannot honor them.
+        """
+        code = _dtype_code(np.dtype(ref.dtype))
+        if len(ref.shape) > 255:
+            raise WireError(f"array rank {len(ref.shape)} exceeds wire limit")
+        self.put_u8(_SHM_FLAG | code)
+        self.put_u8(len(ref.shape))
+        for dim in ref.shape:
+            self.put_u64(dim)
+        self.put_str(ref.name)
+        self.put_u64(ref.offset)
 
     @property
     def nbytes(self) -> int:
@@ -131,11 +292,28 @@ class PayloadWriter:
 
 
 class PayloadReader:
-    """Sequential reader over one frame's payload memoryview."""
+    """Sequential reader over one frame's payload memoryview.
 
-    def __init__(self, view: memoryview) -> None:
+    ``shm`` is an optional resolver mapping a shared-memory segment name
+    to its buffer (``Callable[[str], memoryview]``); only readers on a
+    same-host transport provide one, so frames carrying shm array refs
+    fail loudly anywhere else.
+    """
+
+    def __init__(
+        self,
+        view: memoryview,
+        shm: Optional[Callable[[str], memoryview]] = None,
+    ) -> None:
         self._view = view
         self._offset = 0
+        self._shm = shm
+        #: The ref behind the most recent :meth:`get_array` when that
+        #: array came from a shared-memory segment, else ``None``.
+        #: Decoders that must know an array aliases segment memory (and
+        #: so will be overwritten on region reuse) read this instead of
+        #: re-parsing the tag.
+        self.last_shm_ref: Optional[ShmArrayRef] = None
 
     def _take(self, nbytes: int) -> memoryview:
         end = self._offset + nbytes
@@ -149,6 +327,15 @@ class PayloadReader:
         return chunk
 
     # -- scalar primitives ---------------------------------------------
+    def peek_u8(self) -> int:
+        """The next byte without consuming it (e.g. an array's tag)."""
+        if self._offset >= len(self._view):
+            raise WireError(
+                f"truncated payload: wanted 1 byte at offset "
+                f"{self._offset}, have 0"
+            )
+        return self._view[self._offset]
+
     def get_u8(self) -> int:
         return _U8.unpack(self._take(1))[0]
 
@@ -172,8 +359,17 @@ class PayloadReader:
 
     # -- arrays ---------------------------------------------------------
     def get_array(self) -> np.ndarray:
-        """Read one array as a zero-copy (read-only) view into the frame."""
-        code = self.get_u8()
+        """Read one array, whatever its element encoding.
+
+        Raw arrays come back as zero-copy read-only views into the
+        frame; bit-packed arrays are reconstructed exactly (values,
+        dtype, and shape identical to what was packed); shm refs resolve
+        to read-only views into the named segment.
+        """
+        self.last_shm_ref = None
+        tag = self.get_u8()
+        code = tag & _CODE_MASK
+        flags = tag & ~_CODE_MASK
         dtype = _CODE_DTYPES.get(code)
         if dtype is None:
             raise WireError(f"unknown wire dtype code {code}")
@@ -182,12 +378,100 @@ class PayloadReader:
         count = 1
         for dim in shape:
             count *= dim
-        raw = self._take(count * dtype.itemsize)
-        return np.frombuffer(raw, dtype=dtype).reshape(shape)
+        if flags == 0:
+            raw = self._take(count * dtype.itemsize)
+            return np.frombuffer(raw, dtype=dtype).reshape(shape)
+        if flags == _PACKED_FLAG:
+            return self._take_packed(dtype, shape, count)
+        if flags == _SHM_FLAG:
+            return self._take_shm(dtype, shape, count)
+        raise WireError(f"unknown array tag flags 0x{flags:02x}")
+
+    def get_packed_array(self) -> np.ndarray:
+        """Read one array, insisting it was bit-packed on the wire."""
+        if not self.peek_u8() & _PACKED_FLAG:
+            raise WireError(
+                f"array at offset {self._offset} is not bit-packed"
+            )
+        return self.get_array()
+
+    def _take_packed(
+        self, dtype: np.dtype, shape: Tuple[int, ...], count: int
+    ) -> np.ndarray:
+        if dtype not in _PACKABLE:
+            raise WireError(f"dtype {dtype} cannot be bit-packed")
+        bits = self.get_u8()
+        if not 1 <= bits <= dtype.itemsize * 8:
+            raise WireError(
+                f"packed bit width {bits} invalid for dtype {dtype}"
+            )
+        raw = self._take(packed_nbytes(count, bits))
+        if count == 0:
+            values = np.zeros(0, dtype=np.uint64)
+        else:
+            values = _unpack_bits(raw, bits, count)
+        array = np.ascontiguousarray(
+            values.astype(dtype, casting="unsafe", copy=False)
+        ).reshape(shape)
+        array.setflags(write=False)
+        return array
+
+    def _take_shm(
+        self, dtype: np.dtype, shape: Tuple[int, ...], count: int
+    ) -> np.ndarray:
+        name = self.get_str()
+        offset = self.get_u64()
+        if self._shm is None:
+            raise WireError(
+                f"frame references shared-memory segment {name!r} but "
+                f"this reader has no shm resolver"
+            )
+        buf = self._shm(name)
+        nbytes = count * dtype.itemsize
+        if offset + nbytes > len(buf):
+            raise WireError(
+                f"shm array [{offset}, {offset + nbytes}) overruns "
+                f"segment {name!r} of {len(buf)} bytes"
+            )
+        array = np.frombuffer(
+            buf, dtype=dtype, count=count, offset=offset
+        ).reshape(shape)
+        array.setflags(write=False)
+        self.last_shm_ref = ShmArrayRef(
+            name=name, offset=offset, shape=shape, dtype=dtype.str
+        )
+        return array
 
     @property
     def remaining(self) -> int:
         return len(self._view) - self._offset
+
+
+def put_shm_ref(w: "PayloadWriter", ref: ShmArrayRef) -> None:
+    """Encode an :class:`ShmArrayRef` as a plain record (not an array).
+
+    Used for fields that must stay references on decode — e.g. a round
+    request telling the worker *where to write* its aggregate.
+    """
+    w.put_u8(_dtype_code(np.dtype(ref.dtype)))
+    w.put_u8(len(ref.shape))
+    for dim in ref.shape:
+        w.put_u64(dim)
+    w.put_str(ref.name)
+    w.put_u64(ref.offset)
+
+
+def get_shm_ref(r: "PayloadReader") -> ShmArrayRef:
+    """Decode the record written by :func:`put_shm_ref`."""
+    code = r.get_u8()
+    dtype = _CODE_DTYPES.get(code)
+    if dtype is None:
+        raise WireError(f"unknown wire dtype code {code}")
+    ndim = r.get_u8()
+    shape = tuple(r.get_u64() for _ in range(ndim))
+    return ShmArrayRef(
+        name=r.get_str(), offset=r.get_u64(), shape=shape, dtype=dtype.str
+    )
 
 
 def frame_segments(
@@ -216,12 +500,16 @@ def encode_frame(msg_type: int, request_id: int, payload: PayloadWriter) -> byte
     return b"".join(frame_segments(msg_type, request_id, payload))
 
 
-def decode_frame(data: bytes) -> Tuple[int, int, PayloadReader]:
+def decode_frame(
+    data: bytes,
+    shm: Optional[Callable[[str], memoryview]] = None,
+) -> Tuple[int, int, PayloadReader]:
     """Split one frame into ``(msg_type, request_id, payload reader)``.
 
     Validates magic, version, and the length prefix; a frame whose
     declared payload length disagrees with the buffer is rejected rather
-    than silently mis-parsed.
+    than silently mis-parsed.  ``shm`` is forwarded to the reader so
+    same-host transports can resolve shared-memory array refs.
     """
     if len(data) < HEADER_SIZE:
         raise WireError(
@@ -244,4 +532,4 @@ def decode_frame(data: bytes) -> Tuple[int, int, PayloadReader]:
             f"frame length mismatch: header declares {length} payload "
             f"bytes, buffer carries {len(payload)}"
         )
-    return msg_type, request_id, PayloadReader(payload)
+    return msg_type, request_id, PayloadReader(payload, shm=shm)

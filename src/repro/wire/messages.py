@@ -57,13 +57,33 @@ from repro.protocols.base import (
     Transcript,
 )
 from repro.wire.format import (
+    _PACKED_FLAG,
     PayloadReader,
     PayloadWriter,
+    ShmArrayRef,
     decode_frame,
     frame_segments,
+    get_shm_ref,
+    put_shm_ref,
 )
 
 _PHASE_INDEX = {phase: i for i, phase in enumerate(PHASES)}
+
+# ----------------------------------------------------------------------
+# wire-format capabilities
+# ----------------------------------------------------------------------
+# Negotiated in-band: a coordinator requests capabilities in its
+# SessionSetup, the worker acks the subset it supports, and both sides
+# encode accordingly from then on.  The bits ride as *trailing-optional*
+# u32 fields (omitted when zero), so a peer built before capabilities
+# existed emits and accepts exactly the old frames — mixed-version
+# coordinator/worker pairs interoperate by falling back to raw.
+
+#: Peer understands bit-packed array payloads (``put_packed_array``).
+CAP_PACKED_ARRAYS = 0x1
+
+#: Every capability this build implements.
+SUPPORTED_CAPABILITIES = CAP_PACKED_ARRAYS
 
 
 def _put_id_set(w: PayloadWriter, ids) -> None:
@@ -106,6 +126,17 @@ class ShardRoundRequest:
     updates: np.ndarray  # (len(user_ids), shard_width) uint64, row i = user_ids[i]
     dropouts: Set[int] = field(default_factory=set)
     offline_dropouts: Set[int] = field(default_factory=set)
+    # Element encoding of ``updates`` on the wire.  ``packed`` bit-packs
+    # the matrix at its max's bit width (requires a CAP_PACKED_ARRAYS
+    # peer); ``updates_ref`` means the matrix is already staged in a
+    # shared-memory segment and only the reference is framed.  Decode
+    # sets ``packed`` from the received tag, so a worker can mirror the
+    # coordinator's encoding in its reply.
+    packed: bool = False
+    updates_ref: Optional[ShmArrayRef] = None
+    # Where the worker should place its aggregate (shm lane only); the
+    # trailing-optional field of the payload.
+    result_ref: Optional[ShmArrayRef] = None
 
     @classmethod
     def from_updates(
@@ -115,6 +146,7 @@ class ShardRoundRequest:
         updates: Dict[int, np.ndarray],
         dropouts: Set[int],
         offline_dropouts: Optional[Set[int]] = None,
+        packed: bool = False,
     ) -> "ShardRoundRequest":
         """Stack a per-user update dict into the wire's matrix layout."""
         user_ids = sorted(updates)
@@ -128,6 +160,7 @@ class ShardRoundRequest:
             updates=stacked,
             dropouts=set(dropouts),
             offline_dropouts=set(offline_dropouts or set()),
+            packed=packed,
         )
 
     def updates_dict(self) -> Dict[int, np.ndarray]:
@@ -148,6 +181,12 @@ class ShardRoundRequest:
                 f"{ids.size} user ids"
             )
         if ids.size and np.any(ids[:-1] >= ids[1:]):
+            if self.updates_ref is not None:
+                # The staged segment holds rows in the caller's order;
+                # re-permuting here would desynchronize it silently.
+                raise WireError(
+                    "shm-referenced updates require pre-sorted user ids"
+                )
             order = np.argsort(ids, kind="stable")
             ids = ids[order]
             if np.any(ids[:-1] >= ids[1:]):
@@ -156,28 +195,47 @@ class ShardRoundRequest:
         w.put_u32(self.shard_id)
         w.put_u64(self.round_id)
         w.put_array(ids)
-        w.put_array(np.ascontiguousarray(updates))
+        if self.updates_ref is not None:
+            ref = self.updates_ref
+            if tuple(ref.shape) != updates.shape:
+                raise WireError(
+                    f"shm ref shape {ref.shape} does not match updates "
+                    f"matrix {updates.shape}"
+                )
+            w.put_shm_array(ref)
+        elif self.packed:
+            w.put_packed_array(np.ascontiguousarray(updates))
+        else:
+            w.put_array(np.ascontiguousarray(updates))
         _put_id_set(w, self.dropouts)
         _put_id_set(w, self.offline_dropouts)
+        if self.result_ref is not None:
+            put_shm_ref(w, self.result_ref)
 
     @classmethod
     def _decode(cls, r: PayloadReader) -> "ShardRoundRequest":
         shard_id = r.get_u32()
         round_id = r.get_u64()
         user_ids = sorted(_get_id_set(r))
+        packed = bool(r.peek_u8() & _PACKED_FLAG)
         updates = r.get_array()
         if updates.ndim != 2 or updates.shape[0] != len(user_ids):
             raise WireError(
                 f"round request carries {updates.shape} update matrix for "
                 f"{len(user_ids)} users"
             )
+        dropouts = _get_id_set(r)
+        offline_dropouts = _get_id_set(r)
+        result_ref = get_shm_ref(r) if r.remaining else None
         return cls(
             shard_id=shard_id,
             round_id=round_id,
             user_ids=user_ids,
             updates=updates,
-            dropouts=_get_id_set(r),
-            offline_dropouts=_get_id_set(r),
+            dropouts=dropouts,
+            offline_dropouts=offline_dropouts,
+            packed=packed,
+            result_ref=result_ref,
         )
 
 
@@ -204,6 +262,12 @@ class ShardRoundResult:
     stalled: bool
     pool_level: int
     stats: SessionStats
+    # Mirrors of the request's element encoding: a worker answering a
+    # packed request packs its aggregate; one answering an shm request
+    # has already placed the aggregate at ``aggregate_ref`` and frames
+    # only the reference.
+    packed: bool = False
+    aggregate_ref: Optional[ShmArrayRef] = None
 
     @classmethod
     def from_result(
@@ -214,6 +278,8 @@ class ShardRoundResult:
         stalled: bool,
         pool_level: int,
         stats: SessionStats,
+        packed: bool = False,
+        aggregate_ref: Optional[ShmArrayRef] = None,
     ) -> "ShardRoundResult":
         table = np.asarray(
             [
@@ -243,6 +309,8 @@ class ShardRoundResult:
             stalled=stalled,
             pool_level=pool_level,
             stats=stats,
+            packed=packed,
+            aggregate_ref=aggregate_ref,
         )
 
     def to_result(self) -> AggregationResult:
@@ -271,7 +339,16 @@ class ShardRoundResult:
     def _encode(self, w: PayloadWriter) -> None:
         w.put_u32(self.shard_id)
         w.put_u64(self.round_id)
-        w.put_array(np.ascontiguousarray(self.aggregate, dtype=np.uint64))
+        if self.aggregate_ref is not None:
+            w.put_shm_array(self.aggregate_ref)
+        elif self.packed:
+            w.put_packed_array(
+                np.ascontiguousarray(self.aggregate, dtype=np.uint64)
+            )
+        else:
+            w.put_array(
+                np.ascontiguousarray(self.aggregate, dtype=np.uint64)
+            )
         w.put_array(np.asarray(self.survivors, dtype=np.uint32))
         w.put_array(np.ascontiguousarray(self.transcript_table, dtype=np.int64))
         for count in self.metrics_counts:
@@ -288,7 +365,12 @@ class ShardRoundResult:
     def _decode(cls, r: PayloadReader) -> "ShardRoundResult":
         shard_id = r.get_u32()
         round_id = r.get_u64()
+        packed = bool(r.peek_u8() & _PACKED_FLAG)
         aggregate = r.get_array()
+        # Restore the ref so the coordinator knows the aggregate aliases
+        # a reused segment region and must detach it before the next
+        # round overwrites it.
+        aggregate_ref = r.last_shm_ref
         survivors = [int(i) for i in r.get_array()]
         table = r.get_array()
         if table.ndim != 2 or (table.size and table.shape[1] != 5):
@@ -309,6 +391,8 @@ class ShardRoundResult:
             stalled=bool(r.get_u8()),
             pool_level=r.get_u32(),
             stats=_get_stats(r),
+            packed=packed,
+            aggregate_ref=aggregate_ref,
         )
 
 
@@ -480,17 +564,26 @@ class SessionSetup:
     TYPE = 8
 
     entries: List[Tuple[int, object]] = field(default_factory=list)
+    # Wire-format capabilities the coordinator wants to use on this
+    # connection (CAP_* bitmask).  Trailing-optional: omitted when zero,
+    # so frames from/to pre-capability peers are byte-identical to the
+    # old format and mixed versions interoperate on the raw encoding.
+    capabilities: int = 0
 
     def _encode(self, w: PayloadWriter) -> None:
         w.put_u32(len(self.entries))
         for slot, spec in sorted(self.entries, key=lambda e: e[0]):
             w.put_u32(slot)
             _put_spec(w, spec)
+        if self.capabilities:
+            w.put_u32(self.capabilities)
 
     @classmethod
     def _decode(cls, r: PayloadReader) -> "SessionSetup":
         count = r.get_u32()
-        return cls(entries=[(r.get_u32(), _get_spec(r)) for _ in range(count)])
+        entries = [(r.get_u32(), _get_spec(r)) for _ in range(count)]
+        capabilities = r.get_u32() if r.remaining else 0
+        return cls(entries=entries, capabilities=capabilities)
 
 
 @dataclass
@@ -500,15 +593,23 @@ class SetupAck:
     TYPE = 9
 
     slots: List[int] = field(default_factory=list)
+    # The subset of the setup's requested capabilities this worker
+    # supports — what the connection actually negotiated.  Same
+    # trailing-optional encoding (and rationale) as SessionSetup's.
+    capabilities: int = 0
 
     def _encode(self, w: PayloadWriter) -> None:
         w.put_array(np.fromiter(
             sorted(self.slots), dtype=np.uint32, count=len(self.slots)
         ))
+        if self.capabilities:
+            w.put_u32(self.capabilities)
 
     @classmethod
     def _decode(cls, r: PayloadReader) -> "SetupAck":
-        return cls(slots=[int(s) for s in r.get_array()])
+        slots = [int(s) for s in r.get_array()]
+        capabilities = r.get_u32() if r.remaining else 0
+        return cls(slots=slots, capabilities=capabilities)
 
 
 @dataclass
@@ -602,9 +703,14 @@ def encode_message(message, request_id: int = 0) -> bytes:
     return b"".join(encode_segments(message, request_id))
 
 
-def decode_message(frame: bytes):
-    """Decode one frame into ``(request_id, message)``."""
-    msg_type, request_id, reader = decode_frame(frame)
+def decode_message(frame: bytes, shm=None):
+    """Decode one frame into ``(request_id, message)``.
+
+    ``shm`` (a ``name -> memoryview`` resolver, e.g.
+    ``ShmRegistry.resolve``) enables shared-memory array refs; without
+    it such frames raise :class:`WireError` instead of mis-decoding.
+    """
+    msg_type, request_id, reader = decode_frame(frame, shm=shm)
     cls = WIRE_MESSAGES.get(msg_type)
     if cls is None:
         raise WireError(f"unknown wire message type {msg_type}")

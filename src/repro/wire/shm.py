@@ -1,0 +1,241 @@
+"""Named shared-memory segments for same-host vector payload handoff.
+
+The shm lane of the shard wire: instead of pushing an 8 MB update
+matrix through a pipe byte-by-byte, the coordinator stages it in a
+:class:`SegmentArena` region and sends a frame carrying only a
+``(name, offset, dtype, shape)`` reference
+(:class:`~repro.wire.format.ShmArrayRef`).  The worker resolves the
+name through its :class:`ShmRegistry` and maps the elements in place —
+the vector bytes never transit the pipe at all.
+
+Lifecycle is deliberately asymmetric:
+
+* the **coordinator** creates segments and is the only party that ever
+  ``unlink``\\ s them (on transport close, with a ``__del__`` backstop);
+* **workers** only attach, and only to names under :data:`SEGMENT_PREFIX`
+  — a closed namespace, so a malicious frame cannot make a worker map
+  arbitrary system segments — and detach on shutdown.
+
+A worker that dies mid-round therefore cannot leak ``/dev/shm`` entries:
+the file belongs to the coordinator, which unlinks it regardless.
+:func:`created_segments` exposes this process's not-yet-unlinked
+segments so shutdown paths (and the leak tests) can assert emptiness.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import threading
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import TransportError, WireError
+from repro.wire.format import ShmArrayRef
+
+#: Every segment this module creates (and every name a registry will
+#: agree to attach) starts with this prefix.
+SEGMENT_PREFIX = "repro-shm-"
+
+_created_lock = threading.Lock()
+_created: set = set()
+
+
+def created_segments() -> List[str]:
+    """Names this process created and has not yet unlinked."""
+    with _created_lock:
+        return sorted(_created)
+
+
+def _untrack(name: str) -> None:
+    """Drop a segment from this process's resource tracker.
+
+    Attaching registers the segment with the tracker as if we owned it
+    (bpo-38119), so a worker exiting would unlink a segment it merely
+    mapped — yanking it out from under the coordinator and every
+    sibling.  Ownership stays with the creator; attachers untrack.
+    """
+    try:
+        resource_tracker.unregister("/" + name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _detach_quietly(shm: shared_memory.SharedMemory) -> None:
+    """Best-effort detach that tolerates still-alive buffer exports.
+
+    Numpy arrays handed out over ``shm.buf`` may outlive the teardown
+    call (decoded messages, staged request views), in which case the
+    mmap cannot be closed yet.  Neuter the object so ``__del__`` does
+    not retry and let the mapping die with the process — unlinking,
+    the part that actually prevents a ``/dev/shm`` leak, never needs
+    the mapping closed.
+    """
+    try:
+        shm.close()
+    except BufferError:
+        shm._buf = None  # the stdlib offers no safe detach; reclaim
+        shm._mmap = None  # the mapping at process exit instead
+
+
+class SegmentArena:
+    """One coordinator-owned shared-memory segment.
+
+    The arena is a flat byte range; callers carve it into fixed regions
+    (one request + one response region per shard, in the transport's
+    case) and :meth:`place` arrays at chosen offsets, getting back the
+    :class:`ShmArrayRef` to send instead of the bytes.
+    """
+
+    def __init__(self, size: int, name: Optional[str] = None) -> None:
+        self.name = name or (
+            f"{SEGMENT_PREFIX}{os.getpid():x}-{secrets.token_hex(4)}"
+        )
+        if not self.name.startswith(SEGMENT_PREFIX):
+            raise TransportError(
+                f"shm segment name {self.name!r} outside the "
+                f"{SEGMENT_PREFIX!r} namespace"
+            )
+        self._shm = shared_memory.SharedMemory(
+            name=self.name, create=True, size=max(1, int(size))
+        )
+        with _created_lock:
+            _created.add(self.name)
+        self._closed = False
+
+    @property
+    def size(self) -> int:
+        return self._shm.size
+
+    @property
+    def buf(self) -> memoryview:
+        if self._closed:
+            raise TransportError(f"shm segment {self.name!r} already closed")
+        return self._shm.buf
+
+    def ndarray(
+        self, offset: int, shape, dtype=np.uint64
+    ) -> np.ndarray:
+        """A writable array view over ``shape`` elements at ``offset``."""
+        dtype = np.dtype(dtype)
+        count = int(np.prod(shape, dtype=np.int64)) if len(shape) else 1
+        end = offset + count * dtype.itemsize
+        if end > self.size:
+            raise TransportError(
+                f"shm region [{offset}, {end}) overruns segment "
+                f"{self.name!r} of {self.size} bytes"
+            )
+        return np.frombuffer(
+            self.buf, dtype=dtype, count=count, offset=offset
+        ).reshape(shape)
+
+    def place(self, offset: int, array: np.ndarray) -> ShmArrayRef:
+        """Copy ``array`` into the arena; return the wire reference."""
+        array = np.ascontiguousarray(array)
+        view = self.ndarray(offset, array.shape, array.dtype)
+        np.copyto(view, array)
+        return ShmArrayRef(
+            name=self.name,
+            offset=offset,
+            shape=tuple(array.shape),
+            dtype=array.dtype.str,
+        )
+
+    def close(self) -> None:
+        """Detach *and unlink* — the creator's teardown. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        _detach_quietly(self._shm)
+        # A forked worker's attach untracked the name from the *shared*
+        # resource tracker; re-register so unlink's unregister matches
+        # an entry (idempotent when nobody untracked).
+        try:
+            resource_tracker.register("/" + self.name, "shared_memory")
+        except Exception:
+            pass
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+        with _created_lock:
+            _created.discard(self.name)
+
+    def __del__(self) -> None:  # backstop; explicit close() is the API
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+class ShmRegistry:
+    """Attach-side cache of named segments, for frame decode.
+
+    Bound methods double as the ``shm`` resolver for
+    :func:`repro.wire.decode_message`: ``registry.resolve`` maps a
+    segment name to its buffer, attaching (and caching) on first use.
+    ``close()`` detaches everything — it never unlinks, because the
+    registry never owns.
+    """
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, shared_memory.SharedMemory] = {}
+        self._local: Dict[str, "SegmentArena"] = {}
+        self._lock = threading.Lock()
+
+    def add_local(self, arena: SegmentArena) -> None:
+        """Short-circuit resolution for a segment this process created
+        (no second attachment, no double resource-tracker entry)."""
+        with self._lock:
+            self._local[arena.name] = arena
+
+    def resolve(self, name: str) -> memoryview:
+        if not name.startswith(SEGMENT_PREFIX):
+            raise WireError(
+                f"refusing to attach shm segment {name!r}: outside the "
+                f"{SEGMENT_PREFIX!r} namespace"
+            )
+        with self._lock:
+            arena = self._local.get(name)
+            if arena is not None:
+                return arena.buf
+            segment = self._segments.get(name)
+            if segment is None:
+                try:
+                    segment = shared_memory.SharedMemory(name=name)
+                except FileNotFoundError:
+                    raise WireError(
+                        f"shm segment {name!r} does not exist (torn down "
+                        f"or never created)"
+                    ) from None
+                _untrack(name)
+                self._segments[name] = segment
+            return segment.buf
+
+    def ndarray(self, ref: ShmArrayRef) -> np.ndarray:
+        """A writable view over ``ref``'s region (for placing results)."""
+        buf = self.resolve(ref.name)
+        end = ref.offset + ref.nbytes
+        if end > len(buf):
+            raise WireError(
+                f"shm region [{ref.offset}, {end}) overruns segment "
+                f"{ref.name!r} of {len(buf)} bytes"
+            )
+        return np.frombuffer(
+            buf, dtype=np.dtype(ref.dtype), count=ref.count,
+            offset=ref.offset,
+        ).reshape(ref.shape)
+
+    def close(self) -> None:
+        """Detach every cached segment (attachments only; no unlinks)."""
+        with self._lock:
+            segments = list(self._segments.values())
+            self._segments.clear()
+            self._local.clear()
+        for segment in segments:
+            try:
+                _detach_quietly(segment)
+            except Exception:
+                pass

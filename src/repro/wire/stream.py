@@ -66,13 +66,44 @@ class FrameAssembler:
         """Absorb one chunk; return every frame it completed, in order."""
         if self._corrupt:
             raise WireError("frame stream already failed; reconnect")
-        self._buffer.extend(data)
         frames: List[bytes] = []
+        if not self._buffer:
+            data = self._take_direct(data, frames)
+        self._buffer.extend(data)
         while True:
             frame = self._try_take_frame()
             if frame is None:
                 return frames
             frames.append(frame)
+
+    def _take_direct(
+        self, data: Union[bytes, memoryview], frames: List[bytes]
+    ) -> Union[bytes, memoryview]:
+        """Slice complete, well-formed frames straight off ``data``.
+
+        Only runs while the buffer is empty, so a multi-megabyte round
+        frame arriving whole skips the bytearray staging copy.  Returns
+        the unconsumed tail; anything suspicious (torn frame, bad
+        prefix, oversized length) is left for the buffered path, which
+        raises the same eager errors it always has.
+        """
+        view = memoryview(data).cast("B")
+        offset = 0
+        while len(view) - offset >= HEADER_SIZE:
+            if (
+                bytes(view[offset : offset + 2]) != MAGIC
+                or view[offset + 2] != WIRE_VERSION
+            ):
+                break
+            (length,) = _U32.unpack_from(view, offset + _LEN_AT)
+            if length > self._max_payload:
+                break
+            end = offset + HEADER_SIZE + length
+            if end > len(view):
+                break
+            frames.append(bytes(view[offset:end]))
+            offset = end
+        return view[offset:]
 
     def _try_take_frame(self) -> Optional[bytes]:
         buf = self._buffer

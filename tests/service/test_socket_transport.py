@@ -32,6 +32,7 @@ from repro.service import (
     ShardedSession,
     SocketTransport,
     TransportKind,
+    WireFormat,
     build_transport,
 )
 
@@ -395,6 +396,13 @@ class TestConstructionAndConfig:
             ShardedSession(plan, transport=transport).run_round({}, set())
         transport.close()  # idempotent
 
+    def test_socket_transport_validates_wire_format(self, server):
+        _, specs = make_specs(shards=1)
+        with pytest.raises(ProtocolError, match="wire format"):
+            SocketTransport(
+                specs, connect=[server.address], wire_format="gzip", **FAST
+            )
+
     def test_naive_replay_shards_over_sockets(self, gf, server):
         plan, specs = make_specs(shards=2, protocol="naive")
         transport = SocketTransport(specs, connect=[server.address], **FAST)
@@ -411,5 +419,130 @@ class TestConstructionAndConfig:
                 updates, result.survivors
             )
             assert np.array_equal(result.aggregate, expected)
+        finally:
+            transport.close()
+
+
+# ----------------------------------------------------------------------
+# quantized + packed end-to-end parity
+# ----------------------------------------------------------------------
+def _quantized_lane(gf, kind, wire_format, connect=None, rounds=4,
+                    seed=21):
+    """Run the quantized round path through one transport lane.
+
+    Every lane uses identical rng streams, so quantization (which is
+    coordinator-side) produces identical field vectors — any divergence
+    in the returned aggregates is the wire's fault.
+    """
+    cfg = ServiceConfig(
+        num_cohorts=1, num_users=N, model_dim=DIM, num_shards=2,
+        pool_size=3, low_water=0, refill_mode=RefillMode.SYNC,
+        dropout_tolerance=2, privacy=2,
+        transport=kind, wire_format=wire_format,
+        connect=connect, seed=7,
+    )
+    outputs = []
+    with AggregationService(cfg, gf=gf) as svc:
+        rng = np.random.default_rng(seed)
+        for r in range(rounds):
+            real_updates = {
+                i: rng.standard_normal(DIM) * 0.25 for i in range(N)
+            }
+            dropouts = set(
+                rng.choice(N, size=int(rng.integers(0, 3)),
+                           replace=False).tolist()
+            )
+            real_agg, result = svc.run_quantized_round(
+                0, real_updates, dropouts, rng=rng
+            )
+            outputs.append(
+                (real_agg.tobytes(), result.aggregate.tobytes(),
+                 tuple(result.survivors))
+            )
+        snapshot = svc.metrics.snapshot()["transports"]
+    return outputs, snapshot
+
+
+LANES = [
+    pytest.param(TransportKind.INLINE, WireFormat.PACKED, id="inline-packed"),
+    pytest.param(TransportKind.PROCESS, WireFormat.RAW, id="process-raw"),
+    pytest.param(TransportKind.PROCESS, WireFormat.PACKED,
+                 id="process-packed"),
+    pytest.param(TransportKind.SOCKET, WireFormat.RAW, id="socket-raw"),
+    pytest.param(TransportKind.SOCKET, WireFormat.PACKED,
+                 id="socket-packed"),
+    pytest.param(TransportKind.SHM, WireFormat.RAW, id="shm"),
+]
+
+
+class TestQuantizedPackedParity:
+    """Tentpole acceptance: real model updates quantized into GF(q)
+    travel every transport lane — raw, bit-packed, or by shm reference —
+    and come back byte-identical to the inline baseline across mixed
+    dropout patterns."""
+
+    @pytest.mark.parametrize("kind,wire_format", LANES)
+    def test_lane_byte_identical_to_inline_raw(self, gf, server, kind,
+                                               wire_format):
+        connect = (server.address,) if kind is TransportKind.SOCKET else None
+        baseline, _ = _quantized_lane(gf, TransportKind.INLINE,
+                                      WireFormat.RAW)
+        lane, snapshot = _quantized_lane(gf, kind, wire_format,
+                                         connect=connect)
+        assert lane == baseline  # real aggregate, field aggregate, survivors
+        stats = snapshot[kind.value]
+        if kind is TransportKind.SHM:
+            # the vector volume rode shared memory, not the pipe
+            assert stats["shm_bytes"] > stats["bytes_sent"]
+        elif kind is not TransportKind.INLINE:
+            assert stats["bytes_sent"] > 0
+
+    def test_packed_lane_sends_fewer_bytes_than_raw(self, gf, server):
+        _, raw = _quantized_lane(gf, TransportKind.SOCKET, WireFormat.RAW,
+                                 connect=(server.address,))
+        _, packed = _quantized_lane(gf, TransportKind.SOCKET,
+                                    WireFormat.PACKED,
+                                    connect=(server.address,))
+        assert packed["socket"]["bytes_sent"] < raw["socket"]["bytes_sent"]
+        assert (packed["socket"]["bytes_received"]
+                < raw["socket"]["bytes_received"])
+
+
+class TestMixedVersionInterop:
+    """A packed-configured coordinator against a worker that does not
+    advertise the capability keeps speaking raw — and the frames it
+    sends are byte-identical to a raw-configured coordinator's."""
+
+    def test_old_worker_negotiates_down_to_raw(self, gf, server):
+        with ShardWorkerServer(capabilities=0) as old:
+            baseline, raw_stats = _quantized_lane(
+                gf, TransportKind.SOCKET, WireFormat.RAW,
+                connect=(server.address,),
+            )
+            lane, old_stats = _quantized_lane(
+                gf, TransportKind.SOCKET, WireFormat.PACKED,
+                connect=(old.address,),
+            )
+        assert lane == baseline
+        # The fallback is not merely correct but byte-identical: the
+        # same raw frames a raw-configured coordinator would send.
+        assert old_stats["socket"]["bytes_sent"] == raw_stats["socket"][
+            "bytes_sent"
+        ]
+        assert old_stats["socket"]["bytes_received"] == raw_stats["socket"][
+            "bytes_received"
+        ]
+
+    def test_new_worker_acknowledges_only_what_it_supports(self, gf,
+                                                           server):
+        _, specs = make_specs(shards=1)
+        transport = SocketTransport(
+            specs, connect=[server.address], wire_format="packed", **FAST
+        )
+        try:
+            from repro.wire import CAP_PACKED_ARRAYS
+
+            client = transport._clients[0]
+            assert client.supports(CAP_PACKED_ARRAYS)
         finally:
             transport.close()

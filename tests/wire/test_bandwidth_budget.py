@@ -1,0 +1,135 @@
+"""CI regression gate on the wire's byte budget.
+
+A fixed seeded reference round (N=16, d=4096, 31-bit field elements) is
+encoded both ways and measured against the committed baseline in
+``benchmarks/results/wire_bytes_baseline.json``.  A change that bloats
+the packed encoding by more than 5% fails here before it ships; the
+raw/packed ratio >= 1.8 pins the bandwidth claim itself.
+
+Regenerate the baseline (after a DELIBERATE format change) with::
+
+    PYTHONPATH=src python tests/wire/test_bandwidth_budget.py
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.field import FiniteField
+from repro.protocols.base import SessionStats
+from repro.wire import ShardRoundRequest, ShardRoundResult, encode_message
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir,
+    "benchmarks", "results", "wire_bytes_baseline.json",
+)
+
+#: The reference round's geometry — part of the baseline contract; a
+#: mismatch with the JSON means the baseline must be regenerated.
+REFERENCE = {"num_users": 16, "model_dim": 4096, "seed": 2026}
+
+#: How much the packed reference round may grow before CI fails.
+BUDGET_SLACK = 1.05
+
+
+def _reference_frames(packed: bool):
+    """The request+result frame pair of the seeded reference round."""
+    gf = FiniteField()
+    rng = np.random.default_rng(REFERENCE["seed"])
+    n, dim = REFERENCE["num_users"], REFERENCE["model_dim"]
+    updates = {i: gf.random(dim, rng) for i in range(n)}
+    dropouts = {3, 11}
+    request = ShardRoundRequest.from_updates(
+        0, 0, updates, dropouts, packed=packed
+    )
+    result = ShardRoundResult(
+        shard_id=0,
+        round_id=0,
+        aggregate=gf.random(dim, rng),
+        survivors=sorted(set(range(n)) - dropouts),
+        transcript_table=np.zeros((0, 5), dtype=np.int64),
+        metrics_counts=(1, 2, 3),
+        metrics_extra={},
+        stalled=False,
+        pool_level=3,
+        stats=SessionStats(),
+        packed=packed,
+    )
+    return encode_message(request, 1), encode_message(result, 2)
+
+
+def reference_sizes():
+    raw_req, raw_res = _reference_frames(packed=False)
+    packed_req, packed_res = _reference_frames(packed=True)
+    return {
+        "params": dict(REFERENCE),
+        "raw_round_bytes": len(raw_req) + len(raw_res),
+        "packed_round_bytes": len(packed_req) + len(packed_res),
+    }
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    if not os.path.exists(BASELINE_PATH):
+        pytest.fail(
+            f"missing wire-bytes baseline {BASELINE_PATH}; generate it "
+            f"with: python {__file__}"
+        )
+    with open(BASELINE_PATH) as fh:
+        return json.load(fh)
+
+
+def test_baseline_matches_reference_geometry(baseline):
+    assert baseline["params"] == REFERENCE, (
+        "baseline was generated for a different reference round; "
+        "regenerate it"
+    )
+
+
+def test_packed_round_within_committed_budget(baseline):
+    """The regression gate: the packed reference round may not exceed
+    the committed byte count by more than 5%."""
+    sizes = reference_sizes()
+    budget = baseline["packed_round_bytes"] * BUDGET_SLACK
+    assert sizes["packed_round_bytes"] <= budget, (
+        f"packed reference round grew to {sizes['packed_round_bytes']}B, "
+        f"over the {budget:.0f}B budget "
+        f"(baseline {baseline['packed_round_bytes']}B + 5%)"
+    )
+
+
+def test_raw_over_packed_ratio_holds(baseline):
+    """The bandwidth claim: >= 1.8x smaller packed, both freshly
+    measured and as committed."""
+    sizes = reference_sizes()
+    assert sizes["raw_round_bytes"] / sizes["packed_round_bytes"] >= 1.8
+    assert (
+        baseline["raw_round_bytes"] / baseline["packed_round_bytes"] >= 1.8
+    )
+
+
+def test_raw_encoding_is_stable_against_baseline(baseline):
+    """The raw lane is the interop fallback — its size is exact, not
+    budgeted: any drift means old-peer frames changed."""
+    sizes = reference_sizes()
+    assert sizes["raw_round_bytes"] == baseline["raw_round_bytes"]
+
+
+def main():
+    sizes = reference_sizes()
+    os.makedirs(os.path.dirname(BASELINE_PATH), exist_ok=True)
+    with open(BASELINE_PATH, "w") as fh:
+        json.dump(sizes, fh, indent=2)
+        fh.write("\n")
+    ratio = sizes["raw_round_bytes"] / sizes["packed_round_bytes"]
+    print(f"wrote {BASELINE_PATH}")
+    print(
+        f"raw={sizes['raw_round_bytes']}B "
+        f"packed={sizes['packed_round_bytes']}B ratio={ratio:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -120,6 +120,27 @@ class TestPayloadPrimitives:
         with pytest.raises(WireError, match="not wire-encodable"):
             w.put_array(np.zeros(3, dtype=np.complex128))
 
+    def test_big_endian_arrays_rejected_with_pointed_error(self):
+        """The wire is little-endian by definition; a big-endian array
+        must fail loudly (not silently emit BE bytes a LE peer would
+        misread — the latent bug this whitelist closes)."""
+        for dtype in (">u4", ">u8", ">i8", ">f8"):
+            w = PayloadWriter()
+            with pytest.raises(WireError, match="big-endian"):
+                w.put_array(np.zeros(3, dtype=dtype))
+        w = PayloadWriter()
+        with pytest.raises(WireError, match="big-endian"):
+            w.put_packed_array(np.zeros(3, dtype=">u8"))
+
+    def test_byteswapped_input_encodes_after_conversion(self):
+        """The error message's advice works: .astype to the LE layout
+        round-trips values exactly."""
+        be = np.array([1, 2**40, 2**63 - 1], dtype=">u8")
+        w = PayloadWriter()
+        w.put_array(be.astype("<u8"))
+        out = PayloadReader(memoryview(w.getvalue())).get_array()
+        assert np.array_equal(out, be)
+
     @settings(max_examples=30, deadline=None)
     @given(
         arr=st.lists(
