@@ -11,6 +11,7 @@ Usage (also via ``python -m repro``)::
     python -m repro shard-worker --listen 0.0.0.0:7000
     python -m repro service -n 16 -d 65536 --shards 4 --transport socket \
         --connect host-a:7000,host-b:7000 --refill background --rounds 20
+    python -m repro serve --listen 127.0.0.1:8080   # HTTP control plane
     python -m repro simulate --protocol secagg -n 200 -d 1206590 -p 0.3
     python -m repro gains -n 200 -p 0.1
     python -m repro breakdown -n 200
@@ -210,6 +211,26 @@ def cmd_service(args: argparse.Namespace) -> int:
     return 0
 
 
+def _install_signal_handlers(callback) -> None:
+    """Route SIGTERM/SIGINT to ``callback`` for a clean daemon shutdown.
+
+    Only possible from the main thread (the CLI's normal situation);
+    tests driving these commands from worker threads fall back to the
+    commands' KeyboardInterrupt / max-seconds paths.
+    """
+    import signal
+    import threading
+
+    if threading.current_thread() is not threading.main_thread():
+        return
+
+    def _handler(signum, frame):
+        callback()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, _handler)
+
+
 def cmd_shard_worker(args: argparse.Namespace) -> int:
     """Host shard sessions over TCP for --transport socket coordinators."""
     from repro.exceptions import TransportError
@@ -221,14 +242,89 @@ def cmd_shard_worker(args: argparse.Namespace) -> int:
     except TransportError as exc:
         raise SystemExit(str(exc))
     server = ShardWorkerServer(host, port).start()
+    # SIGTERM (and SIGINT) stop the listener and tear every hosted
+    # session down — the same clean path --max-seconds takes — instead
+    # of dying mid-frame with sessions pinned.  Installed before the
+    # listening line so a supervisor that signals on startup is safe.
+    _install_signal_handlers(server.stop)
     print(f"shard worker listening on {server.address} "
-          f"(ctrl-C to stop)", flush=True)
+          f"(SIGTERM/ctrl-C to stop)", flush=True)
     try:
         server.serve_forever(max_seconds=args.max_seconds)
     except KeyboardInterrupt:
         pass
     finally:
         server.stop()
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the long-lived HTTP/JSON control-plane daemon."""
+    import json
+    import threading
+
+    from repro.exceptions import ReproError, TransportError
+    from repro.service import AggregationService, RefillMode, ServiceConfig
+    from repro.service.api import ControlPlane, ControlPlaneServer
+    from repro.service.socket_worker import parse_address
+
+    try:
+        host, port = parse_address(args.listen)
+    except TransportError as exc:
+        raise SystemExit(str(exc))
+    # The daemon starts with zero cohorts; every cohort arrives at
+    # runtime through POST /cohorts with its own spec.  The base config
+    # only fixes service-wide policy (refill mode, poll cadence, seed).
+    config = ServiceConfig(
+        refill_mode=RefillMode(args.refill),
+        refill_poll_interval_s=args.refill_poll_interval,
+        seed=args.seed,
+    )
+    service = AggregationService(config, build_cohorts=False).start()
+    control = ControlPlane(service)
+    server = ControlPlaneServer(control, host, port)
+
+    def _graceful() -> None:
+        # Signal handlers must not block in the handler frame: drain on
+        # a worker thread, then release serve_until().
+        def _drain_and_stop() -> None:
+            try:
+                control.drain()
+            except ReproError:
+                pass
+            server.request_shutdown()
+
+        threading.Thread(target=_drain_and_stop, daemon=True).start()
+
+    _install_signal_handlers(_graceful)
+    if args.json:
+        print(json.dumps({
+            "event": "listening",
+            "address": server.address,
+            "refill": args.refill,
+        }), flush=True)
+    else:
+        print(f"repro serve listening on {server.address} "
+              f"(POST /drain or SIGTERM to stop)", flush=True)
+    try:
+        server.serve_until(max_seconds=args.max_seconds)
+    except KeyboardInterrupt:
+        try:
+            control.drain()
+        except ReproError:
+            pass
+        server.stop()
+    # drain() is idempotent: if serve_until / a signal already drained,
+    # this returns the cached summary; otherwise it performs the drain.
+    try:
+        summary = control.drain()
+    except ReproError:
+        summary = {"drained": False}
+    if args.json:
+        print(json.dumps({"event": "drained", **summary}), flush=True)
+    else:
+        print(f"drained: {summary.get('total_rounds', 0)} rounds served, "
+              f"{summary.get('total_stalls', 0)} stalls", flush=True)
     return 0
 
 
@@ -395,6 +491,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit after S seconds (default: serve until interrupted)",
     )
     p.set_defaults(func=cmd_shard_worker)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-running HTTP/JSON control plane over the aggregation "
+             "service: create cohorts, submit rounds, scrape Prometheus "
+             "metrics, and drain — all at runtime, no process restart",
+    )
+    p.add_argument(
+        "--listen", default="127.0.0.1:8080", metavar="HOST:PORT",
+        help="bind address (port 0 picks an ephemeral port, printed on "
+             "startup)",
+    )
+    p.add_argument(
+        "--refill", choices=["sync", "background"], default="background",
+        help="mask-pool refill policy for every cohort the daemon hosts "
+             "(default: background — the point of running a daemon)",
+    )
+    p.add_argument(
+        "--refill-poll-interval", type=float, default=0.001, metavar="S",
+        help="background refiller idle poll interval in seconds",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="base-config seed (cohort specs posted to "
+                        "/cohorts carry their own seed, default 0)")
+    p.add_argument(
+        "--max-seconds", type=float, default=None, metavar="S",
+        help="drain and exit after S seconds (default: serve until "
+             "POST /drain or SIGTERM)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable startup/drain lines (JSON per line)",
+    )
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("simulate", help="timing model for one round")
     p.add_argument("--protocol", default="lightsecagg",

@@ -36,6 +36,7 @@ Layering (see the repo README for the full picture)::
 """
 
 from repro.service.config import (
+    CohortSpec,
     RefillMode,
     ServiceConfig,
     TransportKind,
@@ -62,6 +63,7 @@ __all__ = [
     "AggregationService",
     "BackgroundRefiller",
     "Cohort",
+    "CohortSpec",
     "CohortMetrics",
     "CohortPhase",
     "CohortScheduler",

@@ -1,0 +1,442 @@
+"""Request/response models for the HTTP/JSON control plane.
+
+Dataclass models with *typed* validation: every field of an incoming
+JSON body is checked for presence, type, and range here — before any
+service machinery runs — and failures raise :class:`SchemaError`, which
+the server renders as a 400 JSON body naming the offending field.
+Library errors keep their own lanes (:class:`~repro.exceptions.
+ProtocolError` → 409, :class:`~repro.exceptions.TransportError` → 502)
+and are never smuggled to clients as tracebacks.
+
+Vector payloads cross the API as base64 text in one of two encodings:
+
+* ``u64`` — little-endian 8-byte words, one per field element.
+* ``packed`` — the wire layer's LSB-first bit-packing
+  (:func:`repro.wire.pack_bits`) at ``ceil(log2 q)`` bits per element,
+  the same diet the framed transports speak; for the default field that
+  is 32 bits per element, half the ``u64`` size before base64.
+
+Responses mirror the request's encoding, so a client that uploads
+packed vectors gets its aggregate back packed.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ReproError, WireError
+from repro.service.config import CohortSpec, TransportKind, WireFormat
+from repro.wire import pack_bits, packed_nbytes, unpack_bits
+
+#: Vector payload encodings the control plane accepts and emits.
+ENCODINGS = ("u64", "packed")
+
+
+class SchemaError(ReproError):
+    """A request body failed typed validation; rendered as HTTP 400."""
+
+    def __init__(self, field: str, message: str):
+        self.field = field
+        super().__init__(f"{field}: {message}")
+
+
+class NotFoundError(ReproError):
+    """The requested resource does not exist; rendered as HTTP 404."""
+
+
+def field_bits(q: int) -> int:
+    """Bit width of one element of GF(q) (what ``packed`` packs at)."""
+    return max(1, (int(q) - 1).bit_length())
+
+
+# ----------------------------------------------------------------------
+# typed field extraction
+# ----------------------------------------------------------------------
+_TYPE_NAMES = {
+    int: "an integer",
+    float: "a number",
+    str: "a string",
+    bool: "a boolean",
+    dict: "an object",
+    list: "an array",
+}
+
+
+def _typed(
+    body: Dict[str, Any],
+    name: str,
+    expected: type,
+    default: Any = None,
+    required: bool = False,
+):
+    """Fetch ``body[name]`` as ``expected`` or raise a field-typed error."""
+    if name not in body or body[name] is None:
+        if required:
+            raise SchemaError(name, "required field is missing")
+        return default
+    value = body[name]
+    # bool is an int subclass in Python; a JSON true is never a count.
+    if expected in (int, float) and isinstance(value, bool):
+        raise SchemaError(
+            name, f"expected {_TYPE_NAMES[expected]}, got a boolean"
+        )
+    if expected is float and isinstance(value, int):
+        return float(value)
+    if not isinstance(value, expected):
+        raise SchemaError(
+            name,
+            f"expected {_TYPE_NAMES.get(expected, expected.__name__)}, "
+            f"got {type(value).__name__}",
+        )
+    return value
+
+
+def _reject_unknown(body: Dict[str, Any], known: Tuple[str, ...],
+                    where: str) -> None:
+    unknown = sorted(set(body) - set(known))
+    if unknown:
+        raise SchemaError(
+            where,
+            f"unknown field(s) {unknown}; known fields: {sorted(known)}",
+        )
+
+
+# ----------------------------------------------------------------------
+# vectors
+# ----------------------------------------------------------------------
+def decode_vector(
+    text: str, encoding: str, q: int, dim: int, field: str
+) -> np.ndarray:
+    """Base64 text → validated uint64 field vector of length ``dim``."""
+    if not isinstance(text, str):
+        raise SchemaError(
+            field, f"expected a base64 string, got {type(text).__name__}"
+        )
+    try:
+        raw = base64.b64decode(text.encode("ascii"), validate=True)
+    except (binascii.Error, UnicodeEncodeError) as exc:
+        raise SchemaError(field, f"invalid base64: {exc}") from None
+    if encoding == "u64":
+        if len(raw) != dim * 8:
+            raise SchemaError(
+                field,
+                f"u64 vector is {len(raw)} bytes; dim={dim} needs "
+                f"exactly {dim * 8}",
+            )
+        vector = np.frombuffer(raw, dtype="<u8").astype(
+            np.uint64, copy=False
+        )
+    else:  # packed
+        bits = field_bits(q)
+        try:
+            vector = unpack_bits(raw, bits, dim)
+        except WireError as exc:
+            raise SchemaError(field, str(exc)) from None
+    if vector.size and int(vector.max()) >= q:
+        raise SchemaError(
+            field,
+            f"element {int(vector.argmax())} is {int(vector.max())}, "
+            f"outside GF({q})",
+        )
+    return vector
+
+
+def encode_vector(vector: np.ndarray, encoding: str, q: int) -> str:
+    """Field vector → base64 text in the requested encoding."""
+    arr = np.ascontiguousarray(np.asarray(vector), dtype="<u8")
+    if encoding == "u64":
+        raw = arr.tobytes()
+    else:  # packed
+        raw = pack_bits(arr, field_bits(q))
+    return base64.b64encode(raw).decode("ascii")
+
+
+def _parse_encoding(body: Dict[str, Any]) -> str:
+    encoding = _typed(body, "encoding", str, default="u64")
+    if encoding not in ENCODINGS:
+        raise SchemaError(
+            "encoding", f"must be one of {list(ENCODINGS)}, got {encoding!r}"
+        )
+    return encoding
+
+
+# ----------------------------------------------------------------------
+# POST /cohorts
+# ----------------------------------------------------------------------
+_COHORT_FIELDS = (
+    "protocol", "num_users", "model_dim", "num_shards", "pool_size",
+    "low_water", "privacy", "dropout_tolerance", "transport",
+    "wire_format", "num_workers", "connect", "seed",
+)
+
+
+@dataclass(frozen=True)
+class CohortCreateRequest:
+    """The JSON body of ``POST /cohorts``: one runtime cohort spec.
+
+    Field names and defaults mirror
+    :class:`~repro.service.config.CohortSpec`; enums travel as their
+    string values (``"transport": "socket"``).  :meth:`to_spec` runs the
+    config layer's full geometry validation, so a cohort that would be
+    rejected at static config build time is rejected here with the same
+    message, as a 400.
+    """
+
+    num_users: int = 8
+    model_dim: int = 256
+    num_shards: int = 1
+    pool_size: int = 4
+    low_water: int = 0
+    privacy: int = 1
+    dropout_tolerance: int = 1
+    protocol: str = "lightsecagg"
+    transport: str = "inline"
+    wire_format: str = "packed"
+    num_workers: Optional[int] = None
+    connect: Optional[Tuple[str, ...]] = None
+    seed: int = 0
+
+    @classmethod
+    def from_json(cls, body: Dict[str, Any]) -> "CohortCreateRequest":
+        _reject_unknown(body, _COHORT_FIELDS, "cohort spec")
+        connect = _typed(body, "connect", list)
+        if connect is not None:
+            for i, address in enumerate(connect):
+                if not isinstance(address, str):
+                    raise SchemaError(
+                        f"connect[{i}]",
+                        f"expected a host:port string, got "
+                        f"{type(address).__name__}",
+                    )
+            connect = tuple(connect)
+        defaults = cls()
+        return cls(
+            num_users=_typed(body, "num_users", int, defaults.num_users),
+            model_dim=_typed(body, "model_dim", int, defaults.model_dim),
+            num_shards=_typed(body, "num_shards", int, defaults.num_shards),
+            pool_size=_typed(body, "pool_size", int, defaults.pool_size),
+            low_water=_typed(body, "low_water", int, defaults.low_water),
+            privacy=_typed(body, "privacy", int, defaults.privacy),
+            dropout_tolerance=_typed(
+                body, "dropout_tolerance", int, defaults.dropout_tolerance
+            ),
+            protocol=_typed(body, "protocol", str, defaults.protocol),
+            transport=_typed(body, "transport", str, defaults.transport),
+            wire_format=_typed(
+                body, "wire_format", str, defaults.wire_format
+            ),
+            num_workers=_typed(body, "num_workers", int),
+            connect=connect,
+            seed=_typed(body, "seed", int, defaults.seed),
+        )
+
+    def to_spec(self) -> CohortSpec:
+        try:
+            transport = TransportKind(self.transport)
+        except ValueError:
+            raise SchemaError(
+                "transport",
+                f"must be one of "
+                f"{[k.value for k in TransportKind]}, got "
+                f"{self.transport!r}",
+            ) from None
+        try:
+            wire_format = WireFormat(self.wire_format)
+        except ValueError:
+            raise SchemaError(
+                "wire_format",
+                f"must be one of {[w.value for w in WireFormat]}, got "
+                f"{self.wire_format!r}",
+            ) from None
+        # CohortSpec's own __post_init__ performs the full geometry
+        # validation; its ReproError is the 400 body's message.
+        return CohortSpec(
+            num_users=self.num_users,
+            model_dim=self.model_dim,
+            num_shards=self.num_shards,
+            pool_size=self.pool_size,
+            low_water=self.low_water,
+            dropout_tolerance=self.dropout_tolerance,
+            privacy=self.privacy,
+            protocol=self.protocol,
+            transport=transport,
+            wire_format=wire_format,
+            num_workers=self.num_workers,
+            connect=self.connect,
+            seed=self.seed,
+        )
+
+
+# ----------------------------------------------------------------------
+# POST /cohorts/{id}/rounds
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SyntheticRoundSpec:
+    """Server-generated round inputs (bench/smoke traffic)."""
+
+    seed: int = 0
+    dropout_rate: float = 0.0
+
+    @classmethod
+    def from_json(cls, body: Dict[str, Any]) -> "SyntheticRoundSpec":
+        _reject_unknown(body, ("seed", "dropout_rate"), "synthetic")
+        rate = _typed(body, "dropout_rate", float, 0.0)
+        if not 0.0 <= rate < 1.0:
+            raise SchemaError(
+                "synthetic.dropout_rate",
+                f"must be in [0, 1), got {rate}",
+            )
+        return cls(seed=_typed(body, "seed", int, 0), dropout_rate=rate)
+
+
+@dataclass(frozen=True)
+class RoundRequest:
+    """The JSON body of ``POST /cohorts/{id}/rounds``.
+
+    Exactly one of ``updates`` (explicit per-user base64 vectors) or
+    ``synthetic`` (a server-side input generator spec) must be present.
+    ``dropouts`` lists user ids that dropped after upload; with
+    ``synthetic`` it is unioned with the sampled dropouts.
+    """
+
+    updates_b64: Optional[Dict[int, str]] = None
+    dropouts: Tuple[int, ...] = ()
+    synthetic: Optional[SyntheticRoundSpec] = None
+    encoding: str = "u64"
+
+    @classmethod
+    def from_json(cls, body: Dict[str, Any]) -> "RoundRequest":
+        _reject_unknown(
+            body, ("updates", "dropouts", "synthetic", "encoding"), "round"
+        )
+        updates = _typed(body, "updates", dict)
+        synthetic_body = _typed(body, "synthetic", dict)
+        if (updates is None) == (synthetic_body is None):
+            raise SchemaError(
+                "updates",
+                "exactly one of 'updates' and 'synthetic' is required",
+            )
+        encoding = _parse_encoding(body)
+        dropouts_list = _typed(body, "dropouts", list, [])
+        dropouts: List[int] = []
+        for i, uid in enumerate(dropouts_list):
+            if isinstance(uid, bool) or not isinstance(uid, int):
+                raise SchemaError(
+                    f"dropouts[{i}]",
+                    f"expected an integer user id, got "
+                    f"{type(uid).__name__}",
+                )
+            dropouts.append(uid)
+        updates_b64: Optional[Dict[int, str]] = None
+        if updates is not None:
+            if not updates:
+                raise SchemaError("updates", "needs at least one update")
+            updates_b64 = {}
+            for key, text in updates.items():
+                try:
+                    uid = int(key)
+                except (TypeError, ValueError):
+                    raise SchemaError(
+                        f"updates[{key!r}]",
+                        "keys must be integer user ids",
+                    ) from None
+                updates_b64[uid] = text
+        synthetic = (
+            SyntheticRoundSpec.from_json(synthetic_body)
+            if synthetic_body is not None
+            else None
+        )
+        return cls(
+            updates_b64=updates_b64,
+            dropouts=tuple(dropouts),
+            synthetic=synthetic,
+            encoding=encoding,
+        )
+
+    def materialize(self, spec: CohortSpec, gf):
+        """Produce ``(updates, dropouts, rng)`` for the cohort's round.
+
+        Decodes explicit vectors (validating user ids, dimension, and
+        field range against the cohort's spec) or draws synthetic inputs
+        exactly like :meth:`AggregationService.run_synthetic` — same rng
+        construction, same draw order — so a synthetic HTTP round is
+        bit-identical to the in-process synthetic path at equal seeds.
+        """
+        from repro.protocols.base import sample_dropouts
+
+        for uid in self.dropouts:
+            if not 0 <= uid < spec.num_users:
+                raise SchemaError(
+                    "dropouts",
+                    f"user id {uid} outside [0, {spec.num_users})",
+                )
+        if self.synthetic is not None:
+            rng = np.random.default_rng(self.synthetic.seed)
+            updates = {
+                i: gf.random(spec.model_dim, rng)
+                for i in range(spec.num_users)
+            }
+            dropouts = set(self.dropouts) | sample_dropouts(
+                spec.num_users, self.synthetic.dropout_rate, rng
+            )
+            return updates, dropouts, rng
+        assert self.updates_b64 is not None
+        updates = {}
+        for uid in sorted(self.updates_b64):
+            if not 0 <= uid < spec.num_users:
+                raise SchemaError(
+                    f"updates[{uid}]",
+                    f"user id outside [0, {spec.num_users})",
+                )
+            updates[uid] = decode_vector(
+                self.updates_b64[uid], self.encoding, gf.q,
+                spec.model_dim, f"updates[{uid}]",
+            )
+        return updates, set(self.dropouts), None
+
+
+@dataclass(frozen=True)
+class RoundResponse:
+    """The JSON body a completed round returns."""
+
+    cohort_id: int
+    round_index: int
+    survivors: List[int]
+    aggregate_b64: str
+    encoding: str
+    online_seconds: float
+    pool_level: Optional[int]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "cohort_id": self.cohort_id,
+            "round": self.round_index,
+            "survivors": list(self.survivors),
+            "aggregate": self.aggregate_b64,
+            "encoding": self.encoding,
+            "online_seconds": self.online_seconds,
+            "pool_level": self.pool_level,
+        }
+
+
+# ----------------------------------------------------------------------
+# POST /drain
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DrainRequest:
+    """The (optional) JSON body of ``POST /drain``."""
+
+    timeout_s: Optional[float] = None
+
+    @classmethod
+    def from_json(cls, body: Dict[str, Any]) -> "DrainRequest":
+        _reject_unknown(body, ("timeout_s",), "drain")
+        timeout = _typed(body, "timeout_s", float)
+        if timeout is not None and timeout <= 0:
+            raise SchemaError("timeout_s", f"must be > 0, got {timeout}")
+        return cls(timeout_s=timeout)

@@ -1,0 +1,392 @@
+"""The ``repro serve`` daemon: HTTP/JSON control plane over the service.
+
+Two layers, separable for tests:
+
+* :class:`ControlPlane` — the protocol-free core.  Wraps one
+  :class:`~repro.service.service.AggregationService` and adds what a
+  long-running daemon needs on top of the library: admission control
+  (rounds and cohort creation are refused while draining), per-cohort
+  in-flight round accounting (``DELETE`` waits for that cohort's rounds,
+  drain waits for all of them), and a single idempotent drain that stops
+  the whole service exactly once.
+* :class:`ControlPlaneServer` — a stdlib
+  :class:`~http.server.ThreadingHTTPServer` front end.  One thread per
+  request; round submissions to *different* cohorts run concurrently,
+  while two rounds racing the *same* cohort serialize at the cohort's
+  phase machine (the loser gets a 409).  ``POST /drain`` (and SIGTERM,
+  wired in the CLI) runs the drain, answers with the final summary, and
+  only then stops the listener — an in-flight round's response is
+  delivered before the process exits.
+
+The endpoint table lives in :mod:`repro.service.api.routes`; request
+and response models in :mod:`repro.service.api.schemas`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+from urllib.parse import urlsplit
+
+from repro.exceptions import ProtocolError
+from repro.service.api.schemas import (
+    NotFoundError,
+    RoundRequest,
+    RoundResponse,
+    encode_vector,
+)
+from repro.service.config import CohortSpec
+from repro.service.service import AggregationService
+
+
+class ControlPlane:
+    """Runtime cohort registry + admission control over one service."""
+
+    def __init__(self, service: AggregationService):
+        self.service = service
+        self._cond = threading.Condition()
+        self._inflight: Dict[int, int] = {}
+        self._inflight_total = 0
+        self._closing: set = set()
+        self._draining = False
+        self._drained = threading.Event()
+        self._drain_summary: Optional[Dict[str, Any]] = None
+        self._t0 = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        with self._cond:
+            return self._draining
+
+    def health(self) -> Dict[str, Any]:
+        with self._cond:
+            draining = self._draining
+            inflight = self._inflight_total
+        return {
+            "status": "draining" if draining else "ok",
+            "uptime_seconds": time.monotonic() - self._t0,
+            "cohorts": len(self.service.cohorts),
+            "rounds_in_flight": inflight,
+        }
+
+    def metrics_text(self) -> str:
+        return self.service.metrics.render_prometheus()
+
+    def _describe(self, cohort) -> Dict[str, Any]:
+        status = cohort.status()
+        spec = self.service.cohort_specs.get(cohort.cohort_id)
+        status["spec"] = spec.describe() if spec is not None else None
+        return status
+
+    def list_cohorts(self) -> Dict[str, Any]:
+        return {
+            "cohorts": [self._describe(c) for c in self.service.cohorts],
+            "draining": self.draining,
+        }
+
+    def cohort_status(self, cohort_id: int) -> Dict[str, Any]:
+        cohort = self.service.get_cohort(cohort_id)
+        if cohort is None:
+            raise NotFoundError(f"no cohort {cohort_id}")
+        return self._describe(cohort)
+
+    # ------------------------------------------------------------------
+    # cohort lifecycle
+    # ------------------------------------------------------------------
+    def create_cohort(self, spec: CohortSpec) -> Dict[str, Any]:
+        with self._cond:
+            if self._draining:
+                raise ProtocolError(
+                    "service is draining; not admitting new cohorts"
+                )
+        cohort = self.service.add_cohort(spec)
+        return self._describe(cohort)
+
+    def delete_cohort(
+        self, cohort_id: int, timeout_s: float = 30.0
+    ) -> Dict[str, Any]:
+        """Close one cohort after its in-flight rounds complete.
+
+        New rounds for the cohort are refused the moment the delete is
+        admitted; rounds already running finish and return their results
+        (the cohort close/round race contract), then the cohort leaves
+        the scheduler, the refiller, and its transport — neighbours
+        never notice.
+        """
+        deadline = time.monotonic() + timeout_s
+        with self._cond:
+            if self.service.get_cohort(cohort_id) is None:
+                raise NotFoundError(f"no cohort {cohort_id}")
+            if cohort_id in self._closing:
+                raise ProtocolError(
+                    f"cohort {cohort_id} is already closing"
+                )
+            self._closing.add(cohort_id)
+            try:
+                while self._inflight.get(cohort_id, 0) > 0:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise ProtocolError(
+                            f"cohort {cohort_id} still has rounds in "
+                            f"flight after {timeout_s:g}s"
+                        )
+                    self._cond.wait(remaining)
+            except ProtocolError:
+                self._closing.discard(cohort_id)
+                raise
+        try:
+            self.service.remove_cohort(cohort_id)
+        finally:
+            with self._cond:
+                self._closing.discard(cohort_id)
+                self._cond.notify_all()
+        return {"cohort_id": cohort_id, "closed": True}
+
+    # ------------------------------------------------------------------
+    # rounds
+    # ------------------------------------------------------------------
+    def run_round(
+        self, cohort_id: int, request: RoundRequest
+    ) -> RoundResponse:
+        with self._cond:
+            if self._draining:
+                raise ProtocolError(
+                    "service is draining; not admitting new rounds"
+                )
+            if cohort_id in self._closing:
+                raise ProtocolError(f"cohort {cohort_id} is closing")
+            cohort = self.service.get_cohort(cohort_id)
+            if cohort is None:
+                raise NotFoundError(f"no cohort {cohort_id}")
+            self._inflight[cohort_id] = (
+                self._inflight.get(cohort_id, 0) + 1
+            )
+            self._inflight_total += 1
+        try:
+            spec = self.service.cohort_specs[cohort_id]
+            gf = self.service.gf
+            updates, dropouts, rng = request.materialize(spec, gf)
+            t0 = time.perf_counter()
+            result = cohort.run_round(updates, dropouts, rng)
+            online = time.perf_counter() - t0
+            status = cohort.status()
+            return RoundResponse(
+                cohort_id=cohort_id,
+                round_index=cohort.rounds,
+                survivors=list(result.survivors),
+                aggregate_b64=encode_vector(
+                    result.aggregate, request.encoding, gf.q
+                ),
+                encoding=request.encoding,
+                online_seconds=online,
+                pool_level=status["pool_level"],
+            )
+        finally:
+            with self._cond:
+                self._inflight[cohort_id] -= 1
+                if self._inflight[cohort_id] == 0:
+                    del self._inflight[cohort_id]
+                self._inflight_total -= 1
+                self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # drain
+    # ------------------------------------------------------------------
+    def drain(self, timeout_s: Optional[float] = None) -> Dict[str, Any]:
+        """Stop admitting work, wait out in-flight rounds, stop the service.
+
+        Idempotent and thread-safe: the first caller performs the drain;
+        concurrent callers (a second POST, a SIGTERM racing a POST) block
+        until it completes and return the same summary.  Draining is
+        sticky — even if the in-flight wait times out, no new work is
+        admitted afterwards.
+        """
+        with self._cond:
+            first = not self._draining
+            self._draining = True
+            if first:
+                deadline = (
+                    None if timeout_s is None
+                    else time.monotonic() + timeout_s
+                )
+                while self._inflight_total > 0:
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise ProtocolError(
+                                f"{self._inflight_total} round(s) still "
+                                f"in flight after {timeout_s:g}s"
+                            )
+                    self._cond.wait(remaining)
+        if not first:
+            self._drained.wait()
+            with self._cond:
+                return dict(self._drain_summary or {})
+        # In-flight rounds are done and nothing new is admitted: stop
+        # the service (refiller joined first, then sessions, then
+        # transports — the library's clean-shutdown ordering).
+        self.service.stop()
+        snapshot = self.service.metrics.snapshot()
+        summary = {
+            "drained": True,
+            "uptime_seconds": time.monotonic() - self._t0,
+            "total_rounds": snapshot["total_rounds"],
+            "total_stalls": snapshot["total_stalls"],
+            "cohorts_closed": len(self.service.cohorts),
+        }
+        with self._cond:
+            self._drain_summary = summary
+        self._drained.set()
+        return dict(summary)
+
+
+# ----------------------------------------------------------------------
+# HTTP front end
+# ----------------------------------------------------------------------
+class _ControlHTTPServer(ThreadingHTTPServer):
+    # Handler threads are daemons: a wedged client connection must not
+    # block process exit after drain already stopped the service.
+    daemon_threads = True
+
+    def __init__(self, address, control: ControlPlane,
+                 outer: "ControlPlaneServer"):
+        self.control = control
+        self.outer = outer
+        super().__init__(address, _Handler)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # The daemon's access log is the caller's business (CI smoke tests
+    # parse stdout); keep the handler quiet.
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    def _read_body(self) -> Optional[Dict[str, Any]]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length > 0 else b""
+        if not raw:
+            return {}
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        return body if isinstance(body, dict) else None
+
+    def _handle(self) -> None:
+        from repro.service.api.routes import dispatch, error_response
+
+        body = self._read_body()
+        if body is None:
+            response = error_response(
+                400, "invalid-json",
+                "request body must be a JSON object",
+            )
+        else:
+            response = dispatch(
+                self.server.control,
+                self.command,
+                urlsplit(self.path).path,
+                body,
+            )
+        try:
+            self.send_response(response.status)
+            self.send_header("Content-Type", response.content_type)
+            self.send_header("Content-Length", str(len(response.body)))
+            if response.shutdown_after:
+                self.send_header("Connection", "close")
+                self.close_connection = True
+            self.end_headers()
+            self.wfile.write(response.body)
+            self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            return  # client went away mid-response
+        if response.shutdown_after:
+            # The drain summary is flushed to the client; now stop the
+            # listener so serve_until() unblocks and the process exits.
+            self.server.outer.request_shutdown()
+
+    do_GET = _handle
+    do_POST = _handle
+    do_DELETE = _handle
+
+
+class ControlPlaneServer:
+    """Lifecycle wrapper: listener thread, shutdown latch, max-seconds.
+
+    ``port=0`` binds an ephemeral port published via :attr:`address`
+    (the smoke-test idiom).  :meth:`serve_until` blocks the calling
+    thread until a drain completes (via ``POST /drain`` or
+    :meth:`request_shutdown`) or ``max_seconds`` elapses — in which case
+    it drains itself, so a bounded run still exits with transports
+    closed and zero leaked threads.
+    """
+
+    def __init__(
+        self,
+        control: ControlPlane,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.control = control
+        self._httpd = _ControlHTTPServer((host, port), control, self)
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+        self._done = threading.Event()
+        self._stopped = False
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def start(self) -> "ControlPlaneServer":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name=f"repro-serve-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def request_shutdown(self) -> None:
+        """Unblock :meth:`serve_until` (idempotent, any thread)."""
+        self._done.set()
+
+    def serve_until(self, max_seconds: Optional[float] = None) -> None:
+        self.start()
+        if not self._done.wait(timeout=max_seconds):
+            # Deadline elapsed with no drain request: drain ourselves so
+            # the bounded run still shuts down cleanly.
+            try:
+                self.control.drain()
+            except ProtocolError:
+                pass
+        self.stop()
+
+    def stop(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        self._done.set()
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ControlPlaneServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

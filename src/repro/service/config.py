@@ -79,6 +79,141 @@ class WireFormat(enum.Enum):
     PACKED = "packed"
 
 
+def _validate_cohort_fields(cfg) -> None:
+    """Shared validation for the per-cohort knobs.
+
+    Both :class:`ServiceConfig` (one uniform spec stamped across
+    ``num_cohorts``) and :class:`CohortSpec` (one runtime cohort created
+    through the control plane) carry the same geometry fields; validating
+    them here keeps the failure messages — and the guarantee that a bad
+    deployment fails at *config build time* — identical on both paths.
+    """
+    if cfg.num_users < 2:
+        raise ReproError(
+            f"need >= 2 users per cohort, got {cfg.num_users}"
+        )
+    if cfg.model_dim < 1:
+        raise ReproError(f"model_dim must be >= 1, got {cfg.model_dim}")
+    if cfg.num_shards < 1:
+        raise ReproError(f"need >= 1 shard, got {cfg.num_shards}")
+    if cfg.num_shards > cfg.model_dim:
+        raise ReproError(
+            f"cannot split model_dim={cfg.model_dim} into "
+            f"{cfg.num_shards} non-empty shards: num_shards must be "
+            f"in [1, model_dim]"
+        )
+    if cfg.pool_size < 1:
+        raise ReproError(f"pool_size must be >= 1, got {cfg.pool_size}")
+    if not 0 <= cfg.low_water < cfg.pool_size:
+        raise ReproError(
+            f"low_water must be in [0, pool_size), got {cfg.low_water}"
+        )
+    if cfg.protocol not in ("lightsecagg", "naive"):
+        raise ReproError(f"unknown service protocol {cfg.protocol!r}")
+    if cfg.protocol == "lightsecagg":
+        from repro.protocols.lightsecagg.params import LSAParams
+
+        try:
+            LSAParams.from_guarantees(
+                cfg.num_users,
+                privacy=cfg.privacy,
+                dropout_tolerance=cfg.dropout_tolerance,
+            )
+        except ParameterError as exc:
+            raise ReproError(
+                f"infeasible protocol geometry for N={cfg.num_users}, "
+                f"T={cfg.privacy}, D={cfg.dropout_tolerance}: {exc}"
+            ) from exc
+    if not isinstance(cfg.transport, TransportKind):
+        raise ReproError(
+            f"transport must be a TransportKind, got {cfg.transport!r}"
+        )
+    if not isinstance(cfg.wire_format, WireFormat):
+        raise ReproError(
+            f"wire_format must be a WireFormat, got {cfg.wire_format!r}"
+        )
+    if cfg.num_workers is not None:
+        if cfg.transport not in (
+            TransportKind.PROCESS, TransportKind.SHM
+        ):
+            raise ReproError(
+                "num_workers only applies to the process and shm "
+                "transports"
+            )
+        if cfg.num_workers < 1:
+            raise ReproError(
+                f"need >= 1 worker process, got {cfg.num_workers}"
+            )
+    if cfg.transport is TransportKind.SOCKET:
+        if not cfg.connect:
+            raise ReproError(
+                "the socket transport needs connect=('host:port', ...) "
+                "shard-worker addresses"
+            )
+        from repro.service.socket_worker import parse_address
+
+        for address in cfg.connect:
+            parse_address(address)  # raises on malformed host:port
+    elif cfg.connect is not None:
+        raise ReproError(
+            "connect addresses only apply to the socket transport"
+        )
+
+
+@dataclass(frozen=True)
+class CohortSpec:
+    """Everything needed to host *one* cohort, independent of the service.
+
+    The runtime unit of the control plane: ``POST /cohorts`` carries one
+    of these (as JSON), and :meth:`AggregationService.add_cohort` builds
+    a live cohort from it — its own protocol geometry, shard plan,
+    transport backend, and pool sizing — without touching any other
+    cohort.  A static :class:`ServiceConfig` deployment is the special
+    case of stamping :meth:`ServiceConfig.cohort_spec` ``num_cohorts``
+    times.
+
+    ``seed`` is the cohort's *base* seed; shard ``s`` of the cohort the
+    service assigns id ``c`` derives its stream from ``(seed, c, s)``,
+    so a cohort created at runtime with the same seed and the same
+    assigned id is bit-identical to its statically-configured twin.
+    """
+
+    num_users: int = 8
+    model_dim: int = 256
+    num_shards: int = 1
+    pool_size: int = 4
+    low_water: int = 0
+    dropout_tolerance: int = 1
+    privacy: int = 1
+    protocol: str = "lightsecagg"
+    transport: TransportKind = TransportKind.INLINE
+    wire_format: WireFormat = WireFormat.PACKED
+    num_workers: Optional[int] = None
+    connect: Optional[Tuple[str, ...]] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _validate_cohort_fields(self)
+
+    def describe(self) -> dict:
+        """JSON-serializable spec summary for status endpoints."""
+        return {
+            "protocol": self.protocol,
+            "num_users": self.num_users,
+            "model_dim": self.model_dim,
+            "num_shards": self.num_shards,
+            "pool_size": self.pool_size,
+            "low_water": self.low_water,
+            "privacy": self.privacy,
+            "dropout_tolerance": self.dropout_tolerance,
+            "transport": self.transport.value,
+            "wire_format": self.wire_format.value,
+            "num_workers": self.num_workers,
+            "connect": list(self.connect) if self.connect else None,
+            "seed": self.seed,
+        }
+
+
 @dataclass(frozen=True)
 class ServiceConfig:
     """Declarative description of one aggregation-service deployment.
@@ -160,73 +295,22 @@ class ServiceConfig:
         # created.
         if self.num_cohorts < 1:
             raise ReproError(f"need >= 1 cohort, got {self.num_cohorts}")
-        if self.num_users < 2:
-            raise ReproError(
-                f"need >= 2 users per cohort, got {self.num_users}"
-            )
-        if self.model_dim < 1:
-            raise ReproError(f"model_dim must be >= 1, got {self.model_dim}")
-        if self.num_shards < 1:
-            raise ReproError(f"need >= 1 shard, got {self.num_shards}")
-        if self.num_shards > self.model_dim:
-            raise ReproError(
-                f"cannot split model_dim={self.model_dim} into "
-                f"{self.num_shards} non-empty shards: num_shards must be "
-                f"in [1, model_dim]"
-            )
-        if self.pool_size < 1:
-            raise ReproError(f"pool_size must be >= 1, got {self.pool_size}")
-        if not 0 <= self.low_water < self.pool_size:
-            raise ReproError(
-                f"low_water must be in [0, pool_size), got {self.low_water}"
-            )
-        if self.protocol not in ("lightsecagg", "naive"):
-            raise ReproError(f"unknown service protocol {self.protocol!r}")
-        if self.protocol == "lightsecagg":
-            from repro.protocols.lightsecagg.params import LSAParams
+        _validate_cohort_fields(self)
 
-            try:
-                LSAParams.from_guarantees(
-                    self.num_users,
-                    privacy=self.privacy,
-                    dropout_tolerance=self.dropout_tolerance,
-                )
-            except ParameterError as exc:
-                raise ReproError(
-                    f"infeasible protocol geometry for N={self.num_users}, "
-                    f"T={self.privacy}, D={self.dropout_tolerance}: {exc}"
-                ) from exc
-        if not isinstance(self.transport, TransportKind):
-            raise ReproError(
-                f"transport must be a TransportKind, got {self.transport!r}"
-            )
-        if not isinstance(self.wire_format, WireFormat):
-            raise ReproError(
-                f"wire_format must be a WireFormat, got {self.wire_format!r}"
-            )
-        if self.num_workers is not None:
-            if self.transport not in (
-                TransportKind.PROCESS, TransportKind.SHM
-            ):
-                raise ReproError(
-                    "num_workers only applies to the process and shm "
-                    "transports"
-                )
-            if self.num_workers < 1:
-                raise ReproError(
-                    f"need >= 1 worker process, got {self.num_workers}"
-                )
-        if self.transport is TransportKind.SOCKET:
-            if not self.connect:
-                raise ReproError(
-                    "the socket transport needs connect=('host:port', ...) "
-                    "shard-worker addresses"
-                )
-            from repro.service.socket_worker import parse_address
-
-            for address in self.connect:
-                parse_address(address)  # raises on malformed host:port
-        elif self.connect is not None:
-            raise ReproError(
-                "connect addresses only apply to the socket transport"
-            )
+    def cohort_spec(self) -> CohortSpec:
+        """The per-cohort spec this config stamps across its cohorts."""
+        return CohortSpec(
+            num_users=self.num_users,
+            model_dim=self.model_dim,
+            num_shards=self.num_shards,
+            pool_size=self.pool_size,
+            low_water=self.low_water,
+            dropout_tolerance=self.dropout_tolerance,
+            privacy=self.privacy,
+            protocol=self.protocol,
+            transport=self.transport,
+            wire_format=self.wire_format,
+            num_workers=self.num_workers,
+            connect=self.connect,
+            seed=self.seed,
+        )

@@ -13,10 +13,33 @@ offline encode inline on the critical path.
 
 from __future__ import annotations
 
+import bisect
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
+
+#: Upper bucket bounds (seconds) of the online-round latency histogram,
+#: Prometheus-style cumulative.  Spans sub-millisecond inline rounds at
+#: toy dims through multi-second sharded rounds at paper-scale models;
+#: the implicit final bucket is +Inf.
+LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _latency_histogram() -> List[int]:
+    return [0] * (len(LATENCY_BUCKETS_S) + 1)  # trailing slot is +Inf
+
+
+def _fmt(value) -> str:
+    """Prometheus sample formatting: integral floats without the dot."""
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    return str(value)
 
 
 @dataclass
@@ -31,6 +54,14 @@ class CohortMetrics:
     # (monotonic time, pool level) sampled at every round start and after
     # every background refill — the benchmark's pool-depth-over-time series.
     pool_depth_series: List[Tuple[float, int]] = field(default_factory=list)
+    # Per-bucket observation counts aligned with LATENCY_BUCKETS_S (last
+    # slot is the +Inf overflow); non-cumulative, cumulated at render.
+    latency_buckets: List[int] = field(default_factory=_latency_histogram)
+
+    def observe_latency(self, seconds: float) -> None:
+        self.latency_buckets[
+            bisect.bisect_left(LATENCY_BUCKETS_S, seconds)
+        ] += 1
 
     @property
     def rounds_per_second(self) -> float:
@@ -104,6 +135,7 @@ class ServiceMetrics:
             m = self._cohort(cohort_id)
             m.rounds += 1
             m.online_seconds += online_seconds
+            m.observe_latency(online_seconds)
             if stalled:
                 m.stalls += 1
             if pool_level_before is not None:
@@ -175,6 +207,7 @@ class ServiceMetrics:
                     "background_refills": m.background_refills,
                     "background_rounds_refilled": m.background_rounds_refilled,
                     "pool_depth_series": list(m.pool_depth_series),
+                    "latency_buckets": list(m.latency_buckets),
                 }
             transports = {}
             for kind, t in sorted(self._transports.items()):
@@ -195,6 +228,151 @@ class ServiceMetrics:
                 "cohorts": cohorts,
                 "transports": transports,
             }
+
+    def render_prometheus(self) -> str:
+        """Prometheus text-format exposition of every series.
+
+        One consistent scrape: the whole render happens under the
+        metrics lock, so a round or refill recorded concurrently either
+        lands in every family it touches or in none.  Metric names,
+        types, and label keys are pinned by the golden-file test — treat
+        them as a public interface (dashboards bind to them).
+        """
+        with self._lock:
+            lines: List[str] = []
+
+            def family(name: str, kind: str, help_text: str) -> None:
+                lines.append(f"# HELP {name} {help_text}")
+                lines.append(f"# TYPE {name} {kind}")
+
+            def sample(name: str, labels: Dict[str, str], value) -> None:
+                if labels:
+                    body = ",".join(
+                        f'{k}="{v}"' for k, v in labels.items()
+                    )
+                    lines.append(f"{name}{{{body}}} {_fmt(value)}")
+                else:
+                    lines.append(f"{name} {_fmt(value)}")
+
+            family(
+                "repro_uptime_seconds", "gauge",
+                "Seconds since the service metrics sink was created.",
+            )
+            sample(
+                "repro_uptime_seconds", {}, time.monotonic() - self._t0
+            )
+
+            cohorts = sorted(self._cohorts.items())
+            family(
+                "repro_rounds_total", "counter",
+                "Completed online aggregation rounds per cohort.",
+            )
+            for cid, m in cohorts:
+                sample("repro_rounds_total", {"cohort": str(cid)}, m.rounds)
+            family(
+                "repro_stalls_total", "counter",
+                "Online rounds that found their offline pool empty.",
+            )
+            for cid, m in cohorts:
+                sample("repro_stalls_total", {"cohort": str(cid)}, m.stalls)
+            family(
+                "repro_online_seconds_total", "counter",
+                "Wall-clock seconds spent in the online round path.",
+            )
+            for cid, m in cohorts:
+                sample(
+                    "repro_online_seconds_total", {"cohort": str(cid)},
+                    m.online_seconds,
+                )
+            family(
+                "repro_round_latency_seconds", "histogram",
+                "Online round latency distribution per cohort.",
+            )
+            for cid, m in cohorts:
+                labels = {"cohort": str(cid)}
+                cumulative = 0
+                for bound, count in zip(
+                    LATENCY_BUCKETS_S, m.latency_buckets
+                ):
+                    cumulative += count
+                    sample(
+                        "repro_round_latency_seconds_bucket",
+                        {**labels, "le": _fmt(bound)},
+                        cumulative,
+                    )
+                cumulative += m.latency_buckets[-1]
+                sample(
+                    "repro_round_latency_seconds_bucket",
+                    {**labels, "le": "+Inf"},
+                    cumulative,
+                )
+                sample(
+                    "repro_round_latency_seconds_sum", labels,
+                    m.online_seconds,
+                )
+                sample(
+                    "repro_round_latency_seconds_count", labels, m.rounds
+                )
+            family(
+                "repro_pool_depth", "gauge",
+                "Most recently sampled offline pool depth per cohort.",
+            )
+            for cid, m in cohorts:
+                if m.pool_depth_series:
+                    sample(
+                        "repro_pool_depth", {"cohort": str(cid)},
+                        m.pool_depth_series[-1][1],
+                    )
+            family(
+                "repro_background_refills_total", "counter",
+                "Background pool top-ups per cohort.",
+            )
+            for cid, m in cohorts:
+                sample(
+                    "repro_background_refills_total", {"cohort": str(cid)},
+                    m.background_refills,
+                )
+            family(
+                "repro_background_rounds_refilled_total", "counter",
+                "Rounds of offline material delivered by background refills.",
+            )
+            for cid, m in cohorts:
+                sample(
+                    "repro_background_rounds_refilled_total",
+                    {"cohort": str(cid)},
+                    m.background_rounds_refilled,
+                )
+
+            transports = sorted(self._transports.items())
+            for name, kind, help_text, attr in (
+                ("repro_transport_rounds_total", "counter",
+                 "Logical rounds scatter/gathered per transport backend.",
+                 "rounds"),
+                ("repro_transport_round_seconds_total", "counter",
+                 "Wall-clock seconds in transport scatter/gather.",
+                 "round_seconds"),
+                ("repro_transport_bytes_sent_total", "counter",
+                 "Wire bytes sent per transport backend.",
+                 "bytes_sent"),
+                ("repro_transport_bytes_received_total", "counter",
+                 "Wire bytes received per transport backend.",
+                 "bytes_received"),
+                ("repro_transport_shm_bytes_total", "counter",
+                 "Vector payload bytes exchanged via shared memory.",
+                 "shm_bytes"),
+                ("repro_transport_shard_stalls_total", "counter",
+                 "Shard-level rounds that found an empty worker pool.",
+                 "shard_stalls"),
+                ("repro_transport_reconnects_total", "counter",
+                 "Connections re-established (with session re-pin).",
+                 "reconnects"),
+            ):
+                family(name, kind, help_text)
+                for tkind, t in transports:
+                    sample(
+                        name, {"transport": tkind}, getattr(t, attr)
+                    )
+            return "\n".join(lines) + "\n"
 
     @property
     def total_rounds(self) -> int:

@@ -84,6 +84,24 @@ class BackgroundRefiller:
             self._sessions.append((session, cohort_id, depth_fn))
             self._cond.notify_all()
 
+    def unregister(self, cohort_id: int) -> int:
+        """Stop watching every session registered under ``cohort_id``.
+
+        Returns the number of entries dropped.  The runtime-removal
+        counterpart of :meth:`register`: a cohort retired by the control
+        plane must not leave dead entries pinning its (soon closed)
+        sessions in the watch list.  A refill already in flight for one
+        of the dropped sessions runs to completion — the worker operates
+        on a snapshot — and lands harmlessly (closed sessions absorb the
+        attempt as a no-op error the worker tolerates).
+        """
+        with self._cond:
+            kept = [e for e in self._sessions if e[1] != cohort_id]
+            removed = len(self._sessions) - len(kept)
+            self._sessions = kept
+            self._cond.notify_all()
+        return removed
+
     def start(self) -> "BackgroundRefiller":
         """Start the worker thread (idempotent while one is running).
 

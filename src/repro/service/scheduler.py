@@ -15,6 +15,7 @@ training loops (quantized local updates), and tests (fixed oracles).
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
 import numpy as np
@@ -28,31 +29,89 @@ UpdateFn = Callable[[Cohort, int], tuple]
 
 
 class CohortScheduler:
-    """Drives many cohorts' rounds round-robin."""
+    """Drives many cohorts' rounds round-robin.
 
-    def __init__(self, cohorts: Sequence[Cohort]):
-        if not cohorts:
+    Membership is mutable at runtime — the control plane adds and
+    removes cohorts on a live scheduler from request threads — so the
+    cohort list is guarded by a lock and every sweep iterates over a
+    point-in-time snapshot.  A cohort closed (or removed) *while* a
+    sweep is mid-flight is simply skipped: the sweep observes the
+    terminal CLOSED phase through the cohort's own entry check and moves
+    on to its neighbours, so retiring one cohort never aborts rounds the
+    others have in progress.
+    """
+
+    def __init__(
+        self,
+        cohorts: Sequence[Cohort] = (),
+        allow_empty: bool = False,
+    ):
+        cohorts = list(cohorts)
+        if not cohorts and not allow_empty:
             raise ProtocolError("scheduler needs at least one cohort")
         ids = [c.cohort_id for c in cohorts]
         if len(set(ids)) != len(ids):
             raise ProtocolError(f"duplicate cohort ids: {ids}")
-        self.cohorts = list(cohorts)
+        self._lock = threading.RLock()
+        self.cohorts = cohorts
+
+    # ------------------------------------------------------------------
+    # runtime membership
+    # ------------------------------------------------------------------
+    def add(self, cohort: Cohort) -> Cohort:
+        """Admit one cohort; later sweeps include it."""
+        with self._lock:
+            if any(c.cohort_id == cohort.cohort_id for c in self.cohorts):
+                raise ProtocolError(
+                    f"duplicate cohort ids: "
+                    f"{[c.cohort_id for c in self.cohorts]} + "
+                    f"[{cohort.cohort_id}]"
+                )
+            self.cohorts.append(cohort)
+        return cohort
+
+    def remove(self, cohort_id: int) -> Cohort:
+        """Retire one cohort from scheduling (it is not closed here).
+
+        A sweep that already snapshotted the membership may still try
+        one final round against the cohort; once the owner closes it,
+        that attempt is skipped by the CLOSED check in
+        :meth:`run_sweep`.
+        """
+        with self._lock:
+            for index, cohort in enumerate(self.cohorts):
+                if cohort.cohort_id == cohort_id:
+                    del self.cohorts[index]
+                    return cohort
+        raise ProtocolError(f"scheduler has no cohort {cohort_id}")
 
     def live_cohorts(self) -> List[Cohort]:
-        return [c for c in self.cohorts if c.phase is not CohortPhase.CLOSED]
+        with self._lock:
+            cohorts = list(self.cohorts)
+        return [c for c in cohorts if c.phase is not CohortPhase.CLOSED]
 
     def run_sweep(
         self,
         update_fn: UpdateFn,
         rng: Optional[np.random.Generator] = None,
     ) -> Dict[int, AggregationResult]:
-        """One round for every live cohort; returns results by cohort id."""
+        """One round for every live cohort; returns results by cohort id.
+
+        Cohorts that reach CLOSED between the liveness snapshot and
+        their turn are skipped (a concurrent close/remove races the
+        sweep by design); every other error propagates unchanged.
+        """
         results: Dict[int, AggregationResult] = {}
         for cohort in self.live_cohorts():
             updates, dropouts = update_fn(cohort, cohort.rounds)
-            results[cohort.cohort_id] = cohort.run_round(
-                updates, set(dropouts or set()), rng
-            )
+            try:
+                results[cohort.cohort_id] = cohort.run_round(
+                    updates, set(dropouts or set()), rng
+                )
+            except ProtocolError:
+                if cohort.phase is CohortPhase.CLOSED:
+                    continue  # closed mid-sweep; neighbours unaffected
+                raise
         return results
 
     def run(
@@ -65,4 +124,6 @@ class CohortScheduler:
         return [self.run_sweep(update_fn, rng) for _ in range(rounds)]
 
     def status(self) -> List[Dict]:
-        return [c.status() for c in self.cohorts]
+        with self._lock:
+            cohorts = list(self.cohorts)
+        return [c.status() for c in cohorts]

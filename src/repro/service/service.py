@@ -22,16 +22,23 @@ this down against the one-shot oracle).
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.exceptions import ProtocolError
 from repro.field.arithmetic import FiniteField
 from repro.protocols.base import AggregationResult
 from repro.protocols.base import sample_dropouts
 from repro.quantization import ModelQuantizer
 from repro.service.cohort import Cohort
-from repro.service.config import RefillMode, ServiceConfig, TransportKind
+from repro.service.config import (
+    CohortSpec,
+    RefillMode,
+    ServiceConfig,
+    TransportKind,
+)
 from repro.service.metrics import ServiceMetrics
 from repro.service.refill import BackgroundRefiller
 from repro.service.scheduler import CohortScheduler
@@ -44,12 +51,22 @@ from repro.service.transport import (
 
 
 class AggregationService:
-    """Many concurrent FL cohorts over pooled, sharded, refilled sessions."""
+    """Many concurrent FL cohorts over pooled, sharded, refilled sessions.
+
+    Cohort membership is dynamic: the constructor stamps
+    ``config.num_cohorts`` copies of the config's uniform
+    :class:`~repro.service.config.CohortSpec` (``build_cohorts=False``
+    starts empty — the control-plane deployment), and
+    :meth:`add_cohort` / :meth:`remove_cohort` admit and retire cohorts
+    — each with its *own* spec, shard plan, and transport backend — on a
+    running service without touching their neighbours.
+    """
 
     def __init__(
         self,
         config: ServiceConfig,
         gf: Optional[FiniteField] = None,
+        build_cohorts: bool = True,
     ):
         self.config = config
         self.gf = gf if gf is not None else FiniteField()
@@ -60,18 +77,34 @@ class AggregationService:
                 poll_interval_s=config.refill_poll_interval_s,
                 metrics=self.metrics,
             )
-        self.plan = ShardPlan(config.model_dim, config.num_shards)
-        self._transports: List[ShardTransport] = []
-        self.cohorts: List[Cohort] = [
-            self._build_cohort(cid) for cid in range(config.num_cohorts)
-        ]
-        self.scheduler = CohortScheduler(self.cohorts)
+        self._cohort_lock = threading.RLock()
+        self._cohorts: Dict[int, Cohort] = {}
+        self._transports: Dict[int, ShardTransport] = {}
+        self.cohort_specs: Dict[int, CohortSpec] = {}
+        self._next_cohort_id = 0
+        self.scheduler = CohortScheduler(allow_empty=True)
         self._started = False
+        if build_cohorts:
+            spec = config.cohort_spec()
+            for _ in range(config.num_cohorts):
+                self.add_cohort(spec)
 
     # ------------------------------------------------------------------
     # assembly
     # ------------------------------------------------------------------
-    def _shard_specs(self, cohort_id: int) -> List[ShardSessionSpec]:
+    @property
+    def cohorts(self) -> List[Cohort]:
+        """Live cohorts in creation order (ids are allocation order)."""
+        with self._cohort_lock:
+            return list(self._cohorts.values())
+
+    def get_cohort(self, cohort_id: int) -> Optional[Cohort]:
+        with self._cohort_lock:
+            return self._cohorts.get(cohort_id)
+
+    def _shard_specs(
+        self, cohort_id: int, spec: CohortSpec, plan: ShardPlan
+    ) -> List[ShardSessionSpec]:
         """Declarative per-shard session specs for one cohort.
 
         The spec — not a live session — is the unit both transports build
@@ -80,41 +113,39 @@ class AggregationService:
         an identical one (same seed path, same rng streams, bit-identical
         pools).
         """
-        cfg = self.config
         return [
             ShardSessionSpec(
-                protocol=cfg.protocol,
-                num_users=cfg.num_users,
-                shard_dim=self.plan.widths[shard],
-                privacy=cfg.privacy,
-                dropout_tolerance=cfg.dropout_tolerance,
-                pool_size=cfg.pool_size,
-                low_water=cfg.low_water,
-                seed=(cfg.seed, cohort_id, shard),
+                protocol=spec.protocol,
+                num_users=spec.num_users,
+                shard_dim=plan.widths[shard],
+                privacy=spec.privacy,
+                dropout_tolerance=spec.dropout_tolerance,
+                pool_size=spec.pool_size,
+                low_water=spec.low_water,
+                seed=(spec.seed, cohort_id, shard),
                 field_modulus=self.gf.q,
             )
-            for shard in range(cfg.num_shards)
+            for shard in range(spec.num_shards)
         ]
 
-    def _build_cohort(self, cohort_id: int) -> Cohort:
-        cfg = self.config
+    def _build_cohort(self, cohort_id: int, spec: CohortSpec) -> Cohort:
+        plan = ShardPlan(spec.model_dim, spec.num_shards)
         transport = build_transport(
-            cfg.transport.value,
-            self._shard_specs(cohort_id),
+            spec.transport.value,
+            self._shard_specs(cohort_id, spec, plan),
             gf=self.gf,
-            num_workers=cfg.num_workers,
+            num_workers=spec.num_workers,
             metrics=self.metrics,
             cohort_id=cohort_id,
-            connect=cfg.connect,
-            wire_format=cfg.wire_format.value,
+            connect=spec.connect,
+            wire_format=spec.wire_format.value,
         )
-        self._transports.append(transport)
-        if cfg.transport is TransportKind.INLINE and cfg.num_shards == 1:
+        if spec.transport is TransportKind.INLINE and spec.num_shards == 1:
             # Unsharded inline deployments keep the bare session (no
             # coordinator indirection), exactly the pre-transport layout.
             session = transport.shard_handles[0]
         else:
-            session = ShardedSession(self.plan, transport=transport)
+            session = ShardedSession(plan, transport=transport)
         if self.refiller is not None:
             # Shard granularity: one shard can refill while another shard
             # of the same cohort is mid-round.  Metrics always sample the
@@ -127,9 +158,62 @@ class AggregationService:
                     cohort_id,
                     depth_fn=lambda logical=logical: logical.pool_level,
                 )
+        with self._cohort_lock:
+            self._transports[cohort_id] = transport
         return Cohort(
             cohort_id, session, metrics=self.metrics, refiller=self.refiller
         )
+
+    # ------------------------------------------------------------------
+    # runtime membership
+    # ------------------------------------------------------------------
+    def add_cohort(self, spec: Optional[CohortSpec] = None) -> Cohort:
+        """Create and admit one cohort at runtime; returns it live.
+
+        Thread-safe against concurrent adds/removes and against a
+        scheduler sweep in flight (the new cohort joins the next sweep).
+        On a started service the new cohort's pools are warmed inline
+        here — before it is admitted to the scheduler — so its first
+        round never stalls; before :meth:`start`, warming is deferred to
+        it, exactly like statically-configured cohorts.
+        """
+        spec = spec if spec is not None else self.config.cohort_spec()
+        with self._cohort_lock:
+            cohort_id = self._next_cohort_id
+            self._next_cohort_id += 1
+        cohort = self._build_cohort(cohort_id, spec)
+        if self._started and getattr(
+            cohort.session, "supports_pool", False
+        ):
+            cohort.session.refill()
+        with self._cohort_lock:
+            self._cohorts[cohort_id] = cohort
+            self.cohort_specs[cohort_id] = spec
+        self.scheduler.add(cohort)
+        return cohort
+
+    def remove_cohort(self, cohort_id: int) -> None:
+        """Close and retire one cohort without touching its neighbours.
+
+        The cohort leaves the scheduler and the refiller watch list
+        first, then its session closes (an in-flight round completes and
+        keeps its result, per the cohort's close/round race contract),
+        then its transport releases its backend — for process/socket
+        backends that is the worker Shutdown/Teardown handshake for this
+        cohort's shards only.
+        """
+        with self._cohort_lock:
+            cohort = self._cohorts.pop(cohort_id, None)
+            self.cohort_specs.pop(cohort_id, None)
+            transport = self._transports.pop(cohort_id, None)
+        if cohort is None:
+            raise ProtocolError(f"service has no cohort {cohort_id}")
+        self.scheduler.remove(cohort_id)
+        if self.refiller is not None:
+            self.refiller.unregister(cohort_id)
+        cohort.close()
+        if transport is not None:
+            transport.close()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -158,9 +242,12 @@ class AggregationService:
         """
         if self.refiller is not None:
             self.refiller.stop()
-        for cohort in self.cohorts:
+        with self._cohort_lock:
+            cohorts = list(self._cohorts.values())
+            transports = list(self._transports.values())
+        for cohort in cohorts:
             cohort.close()
-        for transport in self._transports:
+        for transport in transports:
             transport.close()
         self._started = False
 
@@ -181,7 +268,13 @@ class AggregationService:
         rng: Optional[np.random.Generator] = None,
     ) -> AggregationResult:
         """One round for one cohort with caller-supplied updates."""
-        return self.cohorts[cohort_id].run_round(updates, dropouts, rng)
+        return self._cohort(cohort_id).run_round(updates, dropouts, rng)
+
+    def _cohort(self, cohort_id: int) -> Cohort:
+        cohort = self.get_cohort(cohort_id)
+        if cohort is None:
+            raise ProtocolError(f"service has no cohort {cohort_id}")
+        return cohort
 
     def run_quantized_round(
         self,
@@ -226,7 +319,7 @@ class AggregationService:
             uid: quantizer.quantize(update, rng)
             for uid, update in sorted(real_updates.items())
         }
-        result = self.cohorts[cohort_id].run_round(
+        result = self._cohort(cohort_id).run_round(
             field_updates, dropouts, rng
         )
         return quantizer.dequantize(result.aggregate), result
@@ -250,14 +343,16 @@ class AggregationService:
         rng = rng if rng is not None else np.random.default_rng(
             self.config.seed
         )
-        cfg = self.config
 
         def update_fn(cohort: Cohort, _round_index: int) -> Tuple[Dict, Set]:
+            spec = self.cohort_specs.get(
+                cohort.cohort_id, self.config.cohort_spec()
+            )
             updates = {
-                i: self.gf.random(cfg.model_dim, rng)
-                for i in range(cfg.num_users)
+                i: self.gf.random(spec.model_dim, rng)
+                for i in range(spec.num_users)
             }
-            dropouts = sample_dropouts(cfg.num_users, dropout_rate, rng)
+            dropouts = sample_dropouts(spec.num_users, dropout_rate, rng)
             return updates, dropouts
 
         results = []
@@ -291,10 +386,12 @@ class AggregationService:
             "transport": {
                 "kind": cfg.transport.value,
                 "workers_alive": sum(
-                    getattr(t, "workers_alive", 0) for t in self._transports
+                    getattr(t, "workers_alive", 0)
+                    for t in self._transports.values()
                 ),
                 "workers_total": sum(
-                    getattr(t, "num_workers", 0) for t in self._transports
+                    getattr(t, "num_workers", 0)
+                    for t in self._transports.values()
                 ),
             },
             "started": self._started,

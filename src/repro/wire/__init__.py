@@ -30,7 +30,9 @@ from repro.wire.format import (
     decode_frame,
     encode_frame,
     frame_segments,
+    pack_bits,
     packed_nbytes,
+    unpack_bits,
 )
 from repro.wire.messages import (
     CAP_PACKED_ARRAYS,
@@ -70,7 +72,9 @@ __all__ = [
     "decode_frame",
     "encode_frame",
     "frame_segments",
+    "pack_bits",
     "packed_nbytes",
+    "unpack_bits",
     "CAP_PACKED_ARRAYS",
     "SUPPORTED_CAPABILITIES",
     "WIRE_MESSAGES",

@@ -159,6 +159,45 @@ def packed_nbytes(count: int, bits: int) -> int:
     return (count * bits + 7) // 8
 
 
+def pack_bits(values: np.ndarray, bits: int) -> bytes:
+    """Public bit-packing: 1-D unsigned values at ``bits`` per element.
+
+    The standalone form of the wire's packed-array payload lane, for
+    callers that carry the ``(bits, count)`` framing themselves — e.g.
+    the HTTP control plane's base64 vector encoding, where both sides
+    already know the field width and the model dimension.  Raises
+    :class:`WireError` when a value does not fit the declared width.
+    """
+    flat = np.ascontiguousarray(np.asarray(values), dtype="<u8").reshape(-1)
+    bits = int(bits)
+    if not 1 <= bits <= 64:
+        raise WireError(f"bit width must be in [1, 64], got {bits}")
+    if flat.size:
+        needed = max(1, int(flat.max()).bit_length())
+        if needed > bits:
+            raise WireError(
+                f"values need {needed} bits but the declared width is "
+                f"{bits}"
+            )
+    return _pack_bits(flat, bits).tobytes()
+
+
+def unpack_bits(data: bytes, bits: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: ``count`` uint64 values from bytes."""
+    bits, count = int(bits), int(count)
+    if not 1 <= bits <= 64:
+        raise WireError(f"bit width must be in [1, 64], got {bits}")
+    expected = packed_nbytes(count, bits)
+    if len(data) != expected:
+        raise WireError(
+            f"packed payload is {len(data)} bytes; {count} values at "
+            f"{bits} bits need exactly {expected}"
+        )
+    if count == 0:
+        return np.zeros(0, dtype=np.uint64)
+    return _unpack_bits(memoryview(data), bits, count)
+
+
 class PayloadWriter:
     """Accumulates payload primitives as a list of buffer segments.
 

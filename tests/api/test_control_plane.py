@@ -1,0 +1,394 @@
+"""In-process HTTP tests for the control plane (the PR's acceptance bar).
+
+* a cohort created via ``POST /cohorts`` completes a round
+  **bit-identical** to the same config driven through the synchronous
+  :class:`AggregationService` path — on inline AND socket transports;
+* ``POST /drain`` with a round in flight returns that round's result to
+  its caller, then the drain summary, and the server stops with zero
+  leaked threads;
+* every error lane answers with its status and a JSON body, never a
+  traceback.
+"""
+
+import base64
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.field import FiniteField
+from repro.service import (
+    AggregationService,
+    RefillMode,
+    ServiceConfig,
+    ShardWorkerServer,
+    TransportKind,
+)
+from repro.service.api import ControlPlane, ControlPlaneServer, encode_vector
+
+N, DIM = 6, 96
+
+
+@pytest.fixture(scope="module")
+def gf():
+    return FiniteField()
+
+
+def make_daemon(gf, **config_kwargs):
+    """An empty started daemon: service + control + HTTP listener."""
+    config = ServiceConfig(
+        refill_mode=RefillMode.BACKGROUND, **config_kwargs
+    )
+    service = AggregationService(config, gf=gf, build_cohorts=False).start()
+    control = ControlPlane(service)
+    server = ControlPlaneServer(control).start()
+    return service, control, server
+
+
+class Client:
+    """Tiny urllib JSON client pinned to one daemon."""
+
+    def __init__(self, address):
+        self.base = f"http://{address}"
+
+    def request(self, method, path, body=None, timeout=30):
+        data = None if body is None else json.dumps(body).encode()
+        req = urllib.request.Request(
+            self.base + path, data=data, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=timeout) as resp:
+                ctype = resp.headers.get("Content-Type", "")
+                raw = resp.read()
+                if ctype.startswith("application/json"):
+                    return resp.status, json.loads(raw)
+                return resp.status, raw.decode()
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+
+    def get(self, path):
+        return self.request("GET", path)
+
+    def post(self, path, body=None):
+        return self.request("POST", path, body or {})
+
+    def delete(self, path):
+        return self.request("DELETE", path)
+
+
+def spec_body(**overrides):
+    body = {"num_users": N, "model_dim": DIM, "pool_size": 3,
+            "low_water": 1}
+    body.update(overrides)
+    return body
+
+
+def reference_round(gf, updates, dropouts, *, seed=0, **spec_overrides):
+    """The same cohort driven through the synchronous library path."""
+    body = spec_body(**spec_overrides)
+    config = ServiceConfig(
+        num_cohorts=1,
+        num_users=body["num_users"],
+        model_dim=body["model_dim"],
+        pool_size=body["pool_size"],
+        low_water=body["low_water"],
+        num_shards=body.get("num_shards", 1),
+        transport=TransportKind(body.get("transport", "inline")),
+        connect=tuple(body["connect"]) if "connect" in body else None,
+        seed=seed,
+    )
+    svc = AggregationService(config, gf=gf).start()
+    try:
+        return svc.run_round(0, dict(updates), set(dropouts))
+    finally:
+        svc.stop()
+
+
+def drive_round_over_http(gf, client, updates, dropouts, encoding="packed"):
+    payload = {
+        "updates": {
+            str(uid): encode_vector(vec, encoding, gf.q)
+            for uid, vec in updates.items()
+        },
+        "dropouts": sorted(dropouts),
+        "encoding": encoding,
+    }
+    return client.post("/cohorts/0/rounds", payload)
+
+
+class TestBitIdentity:
+    """POST /cohorts + POST rounds == the synchronous library path."""
+
+    @pytest.mark.parametrize("encoding", ["u64", "packed"])
+    def test_inline_transport(self, gf, encoding):
+        rng = np.random.default_rng(5)
+        updates = {i: gf.random(DIM, rng) for i in range(N)}
+        dropouts = {1, 4}
+        expected = reference_round(gf, updates, dropouts)
+
+        service, control, server = make_daemon(gf)
+        try:
+            client = Client(server.address)
+            status, created = client.post("/cohorts", spec_body())
+            assert status == 201 and created["cohort_id"] == 0
+            status, round_body = drive_round_over_http(
+                gf, client, updates, dropouts, encoding
+            )
+            assert status == 200
+            assert round_body["encoding"] == encoding
+            assert round_body["survivors"] == sorted(expected.survivors)
+            from repro.service.api import decode_vector
+            aggregate = decode_vector(
+                round_body["aggregate"], encoding, gf.q, DIM, "aggregate"
+            )
+            assert np.array_equal(aggregate, expected.aggregate)
+        finally:
+            control.drain()
+            server.stop()
+
+    def test_socket_transport(self, gf):
+        rng = np.random.default_rng(6)
+        updates = {i: gf.random(DIM, rng) for i in range(N)}
+        dropouts = {0}
+        with ShardWorkerServer() as worker:
+            overrides = dict(
+                transport="socket", num_shards=2,
+                connect=[worker.address],
+            )
+            expected = reference_round(gf, updates, dropouts, **overrides)
+            service, control, server = make_daemon(gf)
+            try:
+                client = Client(server.address)
+                status, created = client.post(
+                    "/cohorts", spec_body(**overrides)
+                )
+                assert status == 201
+                assert created["spec"]["transport"] == "socket"
+                status, round_body = drive_round_over_http(
+                    gf, client, updates, dropouts
+                )
+                assert status == 200
+                from repro.service.api import decode_vector
+                aggregate = decode_vector(
+                    round_body["aggregate"], "packed", gf.q, DIM,
+                    "aggregate",
+                )
+                assert round_body["survivors"] == sorted(expected.survivors)
+                assert np.array_equal(aggregate, expected.aggregate)
+            finally:
+                control.drain()
+                server.stop()
+
+    def test_synthetic_round_matches_library_synthetic(self, gf):
+        """A synthetic HTTP round equals run_synthetic at equal seeds."""
+        config = ServiceConfig(
+            num_cohorts=1, num_users=N, model_dim=DIM, pool_size=3
+        )
+        svc = AggregationService(config, gf=gf).start()
+        try:
+            reference = svc.run_synthetic(
+                rounds=1, dropout_rate=0.3,
+                rng=np.random.default_rng(17),
+            )
+        finally:
+            svc.stop()
+
+        service, control, server = make_daemon(gf)
+        try:
+            client = Client(server.address)
+            client.post("/cohorts", spec_body())
+            status, body = client.post(
+                "/cohorts/0/rounds",
+                {"synthetic": {"seed": 17, "dropout_rate": 0.3},
+                 "encoding": "u64"},
+            )
+            assert status == 200
+            from repro.service.api import decode_vector
+            aggregate = decode_vector(
+                body["aggregate"], "u64", gf.q, DIM, "aggregate"
+            )
+            ref = reference[0][0]  # first sweep, cohort 0
+            assert body["survivors"] == sorted(ref.survivors)
+            assert np.array_equal(aggregate, ref.aggregate)
+        finally:
+            control.drain()
+            server.stop()
+
+
+class TestLifecycleAndErrors:
+    def test_error_lanes(self, gf):
+        service, control, server = make_daemon(gf)
+        try:
+            client = Client(server.address)
+            # 404: unknown route and unknown cohort
+            assert client.get("/nope")[0] == 404
+            status, body = client.get("/cohorts/7")
+            assert status == 404 and body["error"]["type"] == "not-found"
+            # 405: wrong method on a real route
+            status, body = client.delete("/cohorts")
+            assert status == 405
+            assert "GET" in body["error"]["message"]
+            # 400 validation with field attribution
+            status, body = client.post("/cohorts", {"num_users": "six"})
+            assert status == 400
+            assert body["error"]["type"] == "validation"
+            assert body["error"]["field"] == "num_users"
+            # 400 invalid-spec from the config layer
+            status, body = client.post("/cohorts", spec_body(num_users=1))
+            assert status == 400
+            assert body["error"]["type"] == "invalid-spec"
+            # 400 invalid JSON body
+            req = urllib.request.Request(
+                client.base + "/cohorts", data=b"not json", method="POST"
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(req, timeout=30)
+            assert excinfo.value.code == 400
+            # 409: round against a cohort that does not admit it
+            client.post("/cohorts", spec_body())
+            status, _ = client.post(
+                "/cohorts/0/rounds",
+                {"synthetic": {"seed": 0, "dropout_rate": 0.9}},
+            )
+            assert status == 409  # too many dropouts -> ProtocolError
+        finally:
+            control.drain()
+            server.stop()
+
+    def test_delete_cohort_leaves_neighbours_serving(self, gf):
+        service, control, server = make_daemon(gf)
+        try:
+            client = Client(server.address)
+            client.post("/cohorts", spec_body())
+            client.post("/cohorts", spec_body())
+            status, body = client.delete("/cohorts/0")
+            assert status == 200 and body == {"cohort_id": 0, "closed": True}
+            # deleted cohort is gone; neighbour still serves rounds
+            assert client.get("/cohorts/0")[0] == 404
+            status, _ = client.post(
+                "/cohorts/1/rounds", {"synthetic": {"seed": 1}}
+            )
+            assert status == 200
+            status, listing = client.get("/cohorts")
+            assert [c["cohort_id"] for c in listing["cohorts"]] == [1]
+            # a later create never recycles the retired id
+            status, created = client.post("/cohorts", spec_body())
+            assert created["cohort_id"] == 2
+        finally:
+            control.drain()
+            server.stop()
+
+    def test_healthz_and_metrics_content_type(self, gf):
+        service, control, server = make_daemon(gf)
+        try:
+            client = Client(server.address)
+            status, body = client.get("/healthz")
+            assert status == 200 and body["status"] == "ok"
+            req = urllib.request.Request(client.base + "/metrics")
+            with urllib.request.urlopen(req, timeout=30) as resp:
+                assert resp.status == 200
+                assert resp.headers["Content-Type"].startswith(
+                    "text/plain; version=0.0.4"
+                )
+                text = resp.read().decode()
+            assert "# TYPE repro_uptime_seconds gauge" in text
+        finally:
+            control.drain()
+            server.stop()
+
+
+class TestDrain:
+    def test_drain_with_round_in_flight(self, gf, monkeypatch):
+        """The acceptance scenario: a round is mid-flight when /drain
+        lands.  The round's caller still gets its 200 + aggregate, the
+        drain summary counts it, the process is left thread-clean."""
+        before = set(threading.enumerate())
+        service, control, server = make_daemon(gf)
+        client = Client(server.address)
+        client.post("/cohorts", spec_body())
+
+        release = threading.Event()
+        entered = threading.Event()
+        cohort = service.cohorts[0]
+        original = cohort.run_round
+
+        def slow_round(*args, **kwargs):
+            entered.set()
+            assert release.wait(timeout=30)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(cohort, "run_round", slow_round)
+
+        round_result = {}
+
+        def submit():
+            round_result["response"] = client.post(
+                "/cohorts/0/rounds", {"synthetic": {"seed": 2}}
+            )
+
+        t = threading.Thread(target=submit)
+        t.start()
+        assert entered.wait(timeout=30)
+
+        drain_result = {}
+
+        def drain():
+            drain_result["response"] = client.post("/drain")
+
+        td = threading.Thread(target=drain)
+        td.start()
+        # drain must wait for the in-flight round, not race past it
+        time.sleep(0.2)
+        assert not control._drained.is_set()
+        # ...and must already refuse new work
+        status, body = client.post(
+            "/cohorts/0/rounds", {"synthetic": {"seed": 3}}
+        )
+        assert status == 409 and "draining" in body["error"]["message"]
+        assert client.post("/cohorts", spec_body())[0] == 409
+
+        release.set()
+        t.join(timeout=30)
+        td.join(timeout=30)
+        status, body = round_result["response"]
+        assert status == 200 and body["round"] == 1
+        status, summary = drain_result["response"]
+        assert status == 200
+        assert summary["drained"] is True
+        assert summary["total_rounds"] == 1
+
+        # the drain stopped the listener; serve_until returns immediately
+        server.serve_until(max_seconds=5)
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            leaked = [
+                th for th in set(threading.enumerate()) - before
+                if th.is_alive()
+            ]
+            if not leaked:
+                break
+            time.sleep(0.05)
+        assert not leaked, f"leaked threads: {leaked}"
+
+    def test_drain_is_idempotent(self, gf):
+        service, control, server = make_daemon(gf)
+        try:
+            client = Client(server.address)
+            first = control.drain()
+            second = control.drain()
+            assert first == second
+            assert control.draining
+        finally:
+            server.stop()
+
+    def test_max_seconds_self_drains(self, gf):
+        service, control, server = make_daemon(gf)
+        t0 = time.monotonic()
+        server.serve_until(max_seconds=0.3)
+        assert time.monotonic() - t0 < 10
+        assert control.draining

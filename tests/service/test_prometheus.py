@@ -1,0 +1,178 @@
+"""Prometheus exposition: golden-file pinning + scrape thread safety.
+
+The metric names, types, label keys, and histogram bucket bounds in
+``render_prometheus`` are a public interface — dashboards and alert
+rules bind to them — so the full exposition of a deterministic recorded
+history is pinned byte-for-byte in ``golden/metrics.prom``.  If this
+test fails because you *meant* to change the exposition, regenerate
+with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/service/test_prometheus.py -k golden
+
+A second battery scrapes a live service from several threads while
+rounds run, checking every scrape is well-formed and counters are
+monotonic — the render-under-one-lock consistency contract.
+"""
+
+import os
+import re
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.field import FiniteField
+from repro.service import AggregationService, RefillMode, ServiceConfig
+from repro.service.metrics import LATENCY_BUCKETS_S, ServiceMetrics
+
+GOLDEN = Path(__file__).parent / "golden" / "metrics.prom"
+
+_UPTIME = re.compile(r"^(repro_uptime_seconds) .*$", re.MULTILINE)
+
+
+def normalize(text: str) -> str:
+    """Replace the one wall-clock-dependent sample with a placeholder."""
+    return _UPTIME.sub(r"\1 <UPTIME>", text)
+
+
+def deterministic_history() -> ServiceMetrics:
+    """A fixed recorded history exercising every metric family."""
+    metrics = ServiceMetrics()
+    # cohort 0: three clean rounds at known latencies (buckets 0.005,
+    # 0.025, and +Inf), pool sampled 4 -> 3 -> 2
+    metrics.record_round(0, 0.004, stalled=False, pool_level_before=4)
+    metrics.record_round(0, 0.020, stalled=False, pool_level_before=3)
+    metrics.record_round(0, 11.0, stalled=False, pool_level_before=2)
+    # cohort 1: one stalled round, one background refill of 2 rounds
+    metrics.record_round(1, 0.5, stalled=True, pool_level_before=0)
+    metrics.record_refill(1, rounds_added=2, pool_level_after=2)
+    # two transport backends, one with traffic + a reconnect
+    metrics.record_transport_round(
+        "inline", 0.25, bytes_sent=0, bytes_received=0
+    )
+    metrics.record_transport_round(
+        "socket", 1.5, bytes_sent=2048, bytes_received=4096,
+        stalled_shards=1, shm_bytes=0,
+    )
+    metrics.record_transport_reconnect("socket")
+    return metrics
+
+
+class TestGolden:
+    def test_exposition_matches_golden_file(self):
+        rendered = normalize(deterministic_history().render_prometheus())
+        if os.environ.get("REPRO_REGEN_GOLDEN"):
+            GOLDEN.parent.mkdir(exist_ok=True)
+            GOLDEN.write_text(rendered)
+        assert GOLDEN.exists(), (
+            f"{GOLDEN} missing; regenerate with REPRO_REGEN_GOLDEN=1"
+        )
+        assert rendered == GOLDEN.read_text()
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        text = deterministic_history().render_prometheus()
+        buckets = re.findall(
+            r'repro_round_latency_seconds_bucket\{cohort="0",le="([^"]+)"\} '
+            r"(\d+)",
+            text,
+        )
+        assert [b[0] for b in buckets][-1] == "+Inf"
+        counts = [int(b[1]) for b in buckets]
+        assert counts == sorted(counts)  # cumulative, never decreasing
+        assert counts[-1] == 3  # every observation lands somewhere
+        assert len(buckets) == len(LATENCY_BUCKETS_S) + 1
+        # _sum/_count close the family
+        assert 'repro_round_latency_seconds_count{cohort="0"} 3' in text
+
+    def test_every_family_has_help_and_type(self):
+        text = deterministic_history().render_prometheus()
+        sample_names = set()
+        for line in text.splitlines():
+            if line.startswith("#") or not line:
+                continue
+            name = line.split("{")[0].split(" ")[0]
+            sample_names.add(
+                re.sub(r"_(bucket|sum|count)$", "", name)
+                if name.startswith("repro_round_latency_seconds")
+                else name
+            )
+        for name in sample_names:
+            assert f"# HELP {name} " in text, name
+            assert f"# TYPE {name} " in text, name
+
+    def test_integral_floats_render_without_dot(self):
+        text = deterministic_history().render_prometheus()
+        # online_seconds for cohort 1 is exactly 0.5; transport socket
+        # round_seconds is exactly 1.5 — floats keep their dot.
+        assert 'repro_online_seconds_total{cohort="1"} 0.5' in text
+        # bytes are integers — no trailing .0 anywhere
+        assert 'repro_transport_bytes_sent_total{transport="socket"} 2048' \
+            in text
+        assert ".0\n" not in text.replace("version", "")
+
+
+SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9.+eE\-]+$|^\+Inf$"
+)
+
+
+class TestScrapeUnderLoad:
+    def test_concurrent_scrapes_are_consistent(self, gf=FiniteField()):
+        """Scrape /metrics-style renders from 3 threads while rounds run;
+        every scrape parses and every counter is monotonic."""
+        config = ServiceConfig(
+            num_cohorts=2, num_users=5, model_dim=32, pool_size=2,
+            low_water=1, refill_mode=RefillMode.BACKGROUND,
+        )
+        svc = AggregationService(config, gf=gf).start()
+        stop = threading.Event()
+        errors = []
+
+        def rounds():
+            rng = np.random.default_rng(0)
+            try:
+                for r in range(10):
+                    updates = {i: gf.random(32, rng) for i in range(5)}
+                    svc.run_round(r % 2, updates, set())
+            except Exception as exc:  # noqa: BLE001 — fail the test
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        last_rounds_total = [0.0, 0.0, 0.0]
+
+        def scrape(slot):
+            try:
+                while not stop.is_set():
+                    text = svc.metrics.render_prometheus()
+                    for line in text.splitlines():
+                        if line.startswith("#") or not line:
+                            continue
+                        name, _, value = line.rpartition(" ")
+                        assert name, f"malformed sample: {line!r}"
+                        float(value)  # parses as a number
+                    total = sum(
+                        float(line.rpartition(" ")[2])
+                        for line in text.splitlines()
+                        if line.startswith("repro_rounds_total{")
+                    )
+                    assert total >= last_rounds_total[slot]
+                    last_rounds_total[slot] = total
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=rounds)] + [
+            threading.Thread(target=scrape, args=(i,)) for i in range(3)
+        ]
+        try:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+        finally:
+            stop.set()
+            svc.stop()
+        assert errors == []
+        assert svc.metrics.total_rounds == 10

@@ -190,13 +190,22 @@ class TestSocketInlineBitIdentity:
 
 
 class TestWorkerLossAndRepin:
-    def test_lost_worker_mid_stream_raises_transport_error(self, gf,
+    def test_lost_worker_mid_stream_raises_transport_error(self, gf, server,
                                                            socket_session):
         session, transport = socket_session
         rng = np.random.default_rng(0)
         updates = {i: gf.random(DIM, rng) for i in range(N)}
         session.run_round(updates, {1})
-        transport._clients[0]._sock.close()  # the link dies under us
+        # Stop the worker BEFORE cutting the link: with the worker still
+        # up, the receiver thread can notice the dead socket and
+        # ensure_connected() can legitimately repair it before the next
+        # round (designed recovery, but a race against this assertion).
+        # With the worker gone every path — send on the dead fd, or a
+        # reconnect attempt — must surface as TransportError.
+        server.stop()
+        sock = transport._clients[0]._sock
+        if sock is not None:  # the receiver may already have torn it down
+            sock.close()  # the link dies under us
         with pytest.raises(TransportError):
             session.run_round(updates, {1})
 
