@@ -12,6 +12,7 @@ Usage (also via ``python -m repro``)::
     python -m repro service -n 16 -d 65536 --shards 4 --transport socket \
         --connect host-a:7000,host-b:7000 --refill background --rounds 20
     python -m repro serve --listen 127.0.0.1:8080   # HTTP control plane
+    python -m repro trace http://127.0.0.1:8080/cohorts/0/traces
     python -m repro simulate --protocol secagg -n 200 -d 1206590 -p 0.3
     python -m repro gains -n 200 -p 0.1
     python -m repro breakdown -n 200
@@ -281,6 +282,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     service = AggregationService(config, build_cohorts=False).start()
+    if args.trace_log:
+        service.tracer.set_event_log(args.trace_log)
     control = ControlPlane(service)
     server = ControlPlaneServer(control, host, port)
 
@@ -325,6 +328,50 @@ def cmd_serve(args: argparse.Namespace) -> int:
     else:
         print(f"drained: {summary.get('total_rounds', 0)} rounds served, "
               f"{summary.get('total_stalls', 0)} stalls", flush=True)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Render one captured round trace as an ASCII timing diagram."""
+    import json
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    from repro.obs import render_trace
+
+    def fetch(url: str) -> dict:
+        with urlopen(url) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+
+    source = args.source
+    try:
+        if source.startswith(("http://", "https://")):
+            data = fetch(source)
+            if "traces" in data:
+                # A GET /cohorts/{id}/traces listing: follow the newest
+                # summary to its full span tree.
+                summaries = data["traces"]
+                if not summaries:
+                    print("no traces retained for this cohort "
+                          "(tracing disabled, or no rounds run yet)")
+                    return 1
+                base = source.split("/cohorts/", 1)[0]
+                data = fetch(f"{base}/traces/{summaries[0]['trace_id']}")
+        else:
+            with open(source, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+    except URLError as exc:
+        raise SystemExit(f"cannot fetch {source}: {exc}")
+    except OSError as exc:
+        raise SystemExit(f"cannot read {source}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"{source} is not valid JSON: {exc}")
+    if "root" not in data:
+        raise SystemExit(
+            f"{source} does not look like a round trace "
+            "(expected the GET /traces/{id} shape with a 'root' span)"
+        )
+    print(render_trace(data, width=args.width))
     return 0
 
 
@@ -521,10 +568,32 @@ def build_parser() -> argparse.ArgumentParser:
              "POST /drain or SIGTERM)",
     )
     p.add_argument(
+        "--trace-log", default=None, metavar="PATH",
+        help="append one JSON line per closed trace span to PATH (the "
+             "structured event log; off by default)",
+    )
+    p.add_argument(
         "--json", action="store_true",
         help="emit machine-readable startup/drain lines (JSON per line)",
     )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "trace",
+        help="render a captured round trace as an ASCII timing diagram "
+             "(Fig-5 style): pass a JSON file, a GET /traces/{id} URL, "
+             "or a GET /cohorts/{id}/traces URL (renders the newest)",
+    )
+    p.add_argument(
+        "source", metavar="SOURCE",
+        help="trace JSON file path, or an http(s) URL of a running "
+             "`repro serve` daemon's trace endpoint",
+    )
+    p.add_argument(
+        "--width", type=int, default=56, metavar="COLS",
+        help="character cells spanning the round's duration (default 56)",
+    )
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("simulate", help="timing model for one round")
     p.add_argument("--protocol", default="lightsecagg",

@@ -1,0 +1,28 @@
+"""Observability: structured round tracing across processes.
+
+Pure-stdlib by design — ``repro.obs`` imports nothing from the rest of
+the package, so any layer (protocols, transports, service, CLI) can
+instrument itself with :func:`span` without import cycles.
+"""
+
+from repro.obs.render import render_trace
+from repro.obs.trace import (
+    PHASES,
+    RoundTrace,
+    Span,
+    Tracer,
+    current_trace,
+    phase_name,
+    span,
+)
+
+__all__ = [
+    "PHASES",
+    "RoundTrace",
+    "Span",
+    "Tracer",
+    "current_trace",
+    "phase_name",
+    "render_trace",
+    "span",
+]

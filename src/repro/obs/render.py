@@ -1,0 +1,77 @@
+"""Fig-5-style ASCII timing diagrams from captured round traces.
+
+Works from the trace's JSON form (the shape served by
+``GET /traces/{trace_id}``) so the ``repro trace`` CLI can render a
+trace fetched over HTTP or loaded from a file without reconstructing
+live objects.  Bars are positioned on a shared wall-clock axis spanning
+the root span, which is what makes cross-process stitching legible:
+a remote worker's ``shard_compute`` bar sits *inside* the coordinator's
+``shard_scatter``/``shard_gather`` window, tagged with the worker pid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = ["render_trace"]
+
+_BAR_CHAR = "#"
+_SHOWN_TAGS = ("pid", "host", "transport", "error")
+
+
+def _flatten(span: Dict[str, object], depth: int = 0):
+    yield depth, span
+    for child in span.get("children") or []:
+        yield from _flatten(child, depth + 1)
+
+
+def _tag_suffix(tags: Dict[str, str]) -> str:
+    parts = [f"{k}={tags[k]}" for k in _SHOWN_TAGS if k in tags]
+    return ("  " + " ".join(parts)) if parts else ""
+
+
+def render_trace(trace, width: int = 56) -> str:
+    """Render a trace (RoundTrace or its JSON dict) as an ASCII Gantt.
+
+    ``width`` is the number of character cells spanning the root span's
+    duration; every bar is clipped to that window and drawn with at
+    least one tick so sub-cell phases stay visible.
+    """
+    data = trace.to_json() if hasattr(trace, "to_json") else trace
+    root = data["root"]
+    t0 = float(root["start_unix"])
+    total = float(root["duration_seconds"])
+    width = max(8, int(width))
+    scale = (width / total) if total > 0 else 0.0
+
+    rows: List[Tuple[int, Dict[str, object]]] = list(_flatten(root))
+    label_width = max(
+        len("  " * depth + str(s["name"])) for depth, s in rows
+    )
+
+    slow = " [SLOW: %s]" % data.get("slow_phase") if data.get("slow") else ""
+    lines = [
+        "trace %d  cohort %d  round %d  total %.2f ms%s"
+        % (
+            int(data["trace_id"]),
+            int(data["cohort_id"]),
+            int(data["round_index"]),
+            total * 1e3,
+            slow,
+        )
+    ]
+    for depth, s in rows:
+        start = float(s["start_unix"])
+        duration = float(s["duration_seconds"])
+        lead = int(round((start - t0) * scale))
+        lead = min(max(lead, 0), width - 1)
+        ticks = max(1, int(round(duration * scale)))
+        ticks = min(ticks, width - lead)
+        label = ("  " * depth + str(s["name"])).ljust(label_width)
+        bar = (" " * lead + _BAR_CHAR * ticks).ljust(width)
+        tags = {str(k): str(v) for k, v in (s.get("tags") or {}).items()}
+        lines.append(
+            "  %s |%s| %9.2f ms%s"
+            % (label, bar, duration * 1e3, _tag_suffix(tags))
+        )
+    return "\n".join(lines)

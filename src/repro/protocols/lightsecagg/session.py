@@ -37,6 +37,7 @@ import numpy as np
 from repro.crypto.channels import SecureChannel
 from repro.exceptions import DropoutError, ProtocolError
 from repro.coding.mask_encoding import MaskEncoder
+from repro.obs import span
 from repro.protocols.base import (
     SERVER,
     AggregationResult,
@@ -133,7 +134,13 @@ class LightSecAggSession(ProtocolSession):
             if rounds <= 0:
                 return 0
             start = time.perf_counter()
-            masks, coded = precompute_offline_pool(self.encoder, rounds, self.rng)
+            # Traced only when a round trace is active on this thread
+            # (an inline refill-on-miss); background-refiller threads
+            # carry no trace and pay one thread-local read.
+            with span("mask_encode", rounds=str(rounds)):
+                masks, coded = precompute_offline_pool(
+                    self.encoder, rounds, self.rng
+                )
             batch_transcript = Transcript()
             coded = self._deliver_shares(coded, batch_transcript)
             material = [OfflineMaterial(masks[k], coded[k]) for k in range(rounds)]
@@ -167,7 +174,8 @@ class LightSecAggSession(ProtocolSession):
                 return self._pool.popleft()
             self.stats.pool_misses += 1
         while True:
-            self.refill()
+            with span("offline_refill", inline="miss"):
+                self.refill()
             with self._pool_lock:
                 if self._pool:
                     return self._pool.popleft()

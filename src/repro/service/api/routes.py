@@ -12,6 +12,8 @@ error class to its HTTP lane exactly once, here:
 ``GET  /cohorts/{id}``                200     one cohort's status
 ``DELETE /cohorts/{id}``              200     close it (neighbours untouched)
 ``POST /cohorts/{id}/rounds``         200     run one round, return aggregate
+``GET  /cohorts/{id}/traces``         200     recent round-trace summaries
+``GET  /traces/{trace_id}``           200     one full trace (span tree)
 ``POST /drain``                       200     graceful shutdown, then exit
 ====================================  ======  =================================
 
@@ -107,6 +109,18 @@ def _delete_cohort(control, match, body) -> Response:
     )
 
 
+def _cohort_traces(control, match, body) -> Response:
+    return json_response(
+        200, control.cohort_traces(int(match.group("cohort_id")))
+    )
+
+
+def _get_trace(control, match, body) -> Response:
+    return json_response(
+        200, control.get_trace(int(match.group("trace_id")))
+    )
+
+
 def _run_round(control, match, body) -> Response:
     request = RoundRequest.from_json(body)
     response = control.run_round(int(match.group("cohort_id")), request)
@@ -132,6 +146,9 @@ ROUTES: List[Tuple[str, "re.Pattern", Handler]] = [
     ("GET", re.compile(r"/cohorts/(?P<cohort_id>\d+)"), _cohort_status),
     ("DELETE", re.compile(r"/cohorts/(?P<cohort_id>\d+)"), _delete_cohort),
     ("POST", re.compile(r"/cohorts/(?P<cohort_id>\d+)/rounds"), _run_round),
+    ("GET", re.compile(r"/cohorts/(?P<cohort_id>\d+)/traces"),
+     _cohort_traces),
+    ("GET", re.compile(r"/traces/(?P<trace_id>\d+)"), _get_trace),
     ("POST", re.compile(r"/drain"), _drain),
 ]
 

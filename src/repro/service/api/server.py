@@ -96,6 +96,32 @@ class ControlPlane:
             raise NotFoundError(f"no cohort {cohort_id}")
         return self._describe(cohort)
 
+    def cohort_traces(
+        self, cohort_id: int, limit: int = 20
+    ) -> Dict[str, Any]:
+        """Recent round-trace summaries for one cohort, newest first."""
+        if self.service.get_cohort(cohort_id) is None:
+            raise NotFoundError(f"no cohort {cohort_id}")
+        return {
+            "cohort_id": cohort_id,
+            "tracing": self.service.tracer.enabled,
+            "traces": [
+                t.summary()
+                for t in self.service.traces(
+                    cohort_id=cohort_id, limit=limit
+                )
+            ],
+        }
+
+    def get_trace(self, trace_id: int) -> Dict[str, Any]:
+        """One full trace (the span tree) by id."""
+        trace = self.service.get_trace(trace_id)
+        if trace is None:
+            raise NotFoundError(
+                f"no trace {trace_id} (unknown or evicted from the ring)"
+            )
+        return trace.to_json()
+
     # ------------------------------------------------------------------
     # cohort lifecycle
     # ------------------------------------------------------------------

@@ -29,6 +29,7 @@ from typing import Dict, Optional, Set
 import numpy as np
 
 from repro.exceptions import ProtocolError
+from repro.obs import Tracer, span
 from repro.protocols.base import AggregationResult
 from repro.service.metrics import ServiceMetrics
 from repro.service.refill import BackgroundRefiller
@@ -56,6 +57,10 @@ class Cohort:
     refiller:
         Optional :class:`BackgroundRefiller`; the cohort nudges it after
         every round so top-ups start as soon as the pool drains.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`; every round then records a
+        :class:`~repro.obs.RoundTrace` spanning the whole phase machine,
+        with the transports contributing scatter/compute/gather spans.
     """
 
     def __init__(
@@ -64,11 +69,13 @@ class Cohort:
         session,
         metrics: Optional[ServiceMetrics] = None,
         refiller: Optional[BackgroundRefiller] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.cohort_id = int(cohort_id)
         self.session = session
         self.metrics = metrics
         self.refiller = refiller
+        self.tracer = tracer
         self.phase = CohortPhase.IDLE
         self.rounds = 0
         self.stalls = 0
@@ -143,21 +150,30 @@ class Cohort:
                     f"cohort {self.cohort_id} is closed; no further rounds"
                 ) from None
             raise
+        trace = None
+        if self.tracer is not None:
+            trace = self.tracer.start_round(self.cohort_id, self.rounds)
+            if trace is not None:
+                trace.root.tags["transport"] = getattr(
+                    getattr(self.session, "transport", None), "kind", "local"
+                )
         try:
             # COLLECTING: updates are already in hand in-process; a
             # transport would gather client uploads here.
-            self._advance(CohortPhase.COLLECTING, CohortPhase.AGGREGATING)
+            with span("collect", users=str(len(updates))):
+                self._advance(
+                    CohortPhase.COLLECTING, CohortPhase.AGGREGATING
+                )
             supports_pool = getattr(self.session, "supports_pool", False)
             level_before = self.session.pool_level if supports_pool else None
             stalled = bool(supports_pool and level_before == 0)
+            if trace is not None and stalled:
+                trace.root.tags["stalled"] = "1"
             t0 = time.perf_counter()
             result = self.session.run_round(
                 updates, dropouts, rng, **phase_kwargs
             )
             online = time.perf_counter() - t0
-            self.rounds += 1
-            if stalled:
-                self.stalls += 1
             if self.metrics is not None:
                 self.metrics.record_round(
                     self.cohort_id, online, stalled, level_before
@@ -169,15 +185,42 @@ class Cohort:
             # the result and leave the cohort CLOSED rather than blowing
             # up the success path on an AGGREGATING -> IDLE transition
             # the close made invalid.
-            self._advance(CohortPhase.AGGREGATING, CohortPhase.IDLE)
+            self._complete_round(stalled)
+            if self.tracer is not None:
+                self.tracer.finish(trace)
             return result
-        except Exception:
+        except Exception as exc:
+            if self.tracer is not None:
+                self.tracer.finish(trace, error=exc)
             # A failed round (e.g. survivors below U) leaves the cohort
             # ready for the next round, matching session semantics.
             with self._phase_lock:
                 if self.phase is not CohortPhase.CLOSED:
                     self.phase = CohortPhase.IDLE
             raise
+
+    def _complete_round(self, stalled: bool) -> None:
+        """Commit the round counters and the AGGREGATING -> IDLE advance
+        as one atomic step.
+
+        Incrementing outside the lock (the pre-fix behaviour) let a
+        concurrent :meth:`status` scrape observe a torn pair — the round
+        already counted while the phase still said ``aggregating``, or
+        vice versa.  CLOSED stays terminal exactly like :meth:`_advance`.
+        """
+        with self._phase_lock:
+            self.rounds += 1
+            if stalled:
+                self.stalls += 1
+            if self.phase is CohortPhase.CLOSED:
+                return
+            if self.phase is not CohortPhase.AGGREGATING:
+                raise ProtocolError(
+                    f"cohort {self.cohort_id}: invalid transition "
+                    f"{self.phase.value} -> idle (expected to be in "
+                    f"aggregating)"
+                )
+            self.phase = CohortPhase.IDLE
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -186,13 +229,22 @@ class Cohort:
             self.phase = CohortPhase.CLOSED
 
     def status(self) -> Dict:
-        """Snapshotable cohort state for coordinators and the CLI."""
+        """Snapshotable cohort state for coordinators and the CLI.
+
+        Phase and round counters are read under the cohort lock so a
+        scrape racing :meth:`run_round` sees a consistent pair; the pool
+        numbers come from the session's own locked snapshot surface.
+        """
         supports_pool = getattr(self.session, "supports_pool", False)
+        with self._phase_lock:
+            phase = self.phase.value
+            rounds = self.rounds
+            stalls = self.stalls
         return {
             "cohort_id": self.cohort_id,
-            "phase": self.phase.value,
-            "rounds": self.rounds,
-            "stalls": self.stalls,
+            "phase": phase,
+            "rounds": rounds,
+            "stalls": stalls,
             "pool_level": self.session.pool_level if supports_pool else None,
             "pool_size": self.session.pool_size if supports_pool else None,
         }

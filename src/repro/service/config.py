@@ -267,6 +267,18 @@ class ServiceConfig:
     seed:
         Base seed; cohort ``c`` shard ``s`` derives an independent
         deterministic stream from it.
+    tracing:
+        Record a :class:`~repro.obs.RoundTrace` for every round — phase
+        spans across the coordinator, transports, and shard workers,
+        stitched into one timeline per round.  ``False`` disables the
+        whole pipeline (spans become no-ops and the tracing capability
+        is not requested on socket connections, keeping wire frames
+        byte-identical to pre-tracing peers).
+    trace_capacity:
+        Completed traces retained in the in-memory ring buffer.
+    trace_slow_factor:
+        A round is flagged slow when its critical-path phase exceeds
+        this multiple of that phase's trailing median.
     """
 
     num_cohorts: int = 1
@@ -285,6 +297,9 @@ class ServiceConfig:
     num_workers: Optional[int] = None
     connect: Optional[Tuple[str, ...]] = None
     seed: int = 0
+    tracing: bool = True
+    trace_capacity: int = 256
+    trace_slow_factor: float = 5.0
 
     def __post_init__(self) -> None:
         # Everything a bad pair could break late — shard geometry inside
@@ -295,6 +310,14 @@ class ServiceConfig:
         # created.
         if self.num_cohorts < 1:
             raise ReproError(f"need >= 1 cohort, got {self.num_cohorts}")
+        if self.trace_capacity < 1:
+            raise ReproError(
+                f"trace_capacity must be >= 1, got {self.trace_capacity}"
+            )
+        if self.trace_slow_factor <= 0:
+            raise ReproError(
+                f"trace_slow_factor must be > 0, got {self.trace_slow_factor}"
+            )
         _validate_cohort_fields(self)
 
     def cohort_spec(self) -> CohortSpec:

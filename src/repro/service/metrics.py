@@ -51,6 +51,10 @@ class CohortMetrics:
     online_seconds: float = 0.0
     background_refills: int = 0
     background_rounds_refilled: int = 0
+    # Wall-clock (unix) time the cohort last completed a round; 0 until
+    # the first round.  Exported as a gauge so dashboards can alert on
+    # cohorts that have gone quiet.
+    last_round_unix: float = 0.0
     # (monotonic time, pool level) sampled at every round start and after
     # every background refill — the benchmark's pool-depth-over-time series.
     pool_depth_series: List[Tuple[float, int]] = field(default_factory=list)
@@ -68,6 +72,27 @@ class CohortMetrics:
         if self.online_seconds <= 0:
             return 0.0
         return self.rounds / self.online_seconds
+
+
+@dataclass
+class PhaseMetrics:
+    """Latency histogram for one trace phase (internal, lock-guarded).
+
+    Fed by the :class:`~repro.obs.Tracer` from each finished round's
+    top-level spans, keyed by base phase name (``shard_compute[3]``
+    reports as ``shard_compute``).
+    """
+
+    count: int = 0
+    seconds: float = 0.0
+    latency_buckets: List[int] = field(default_factory=_latency_histogram)
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.seconds += seconds
+        self.latency_buckets[
+            bisect.bisect_left(LATENCY_BUCKETS_S, seconds)
+        ] += 1
 
 
 @dataclass
@@ -115,6 +140,7 @@ class ServiceMetrics:
         self._lock = threading.Lock()
         self._cohorts: Dict[int, CohortMetrics] = {}
         self._transports: Dict[str, TransportMetrics] = {}
+        self._phases: Dict[str, PhaseMetrics] = {}
         self._t0 = time.monotonic()
 
     # ------------------------------------------------------------------
@@ -136,6 +162,7 @@ class ServiceMetrics:
             m.rounds += 1
             m.online_seconds += online_seconds
             m.observe_latency(online_seconds)
+            m.last_round_unix = time.time()
             if stalled:
                 m.stalls += 1
             if pool_level_before is not None:
@@ -174,6 +201,11 @@ class ServiceMetrics:
             t.shard_stalls += stalled_shards
             t.shm_bytes += shm_bytes
 
+    def record_phase(self, phase: str, seconds: float) -> None:
+        """Record one top-level trace span into its phase histogram."""
+        with self._lock:
+            self._phases.setdefault(phase, PhaseMetrics()).observe(seconds)
+
     def record_transport_reconnect(self, kind: str) -> None:
         """Record one reconnect (+ session re-pin) of a networked backend."""
         with self._lock:
@@ -208,6 +240,7 @@ class ServiceMetrics:
                     "background_rounds_refilled": m.background_rounds_refilled,
                     "pool_depth_series": list(m.pool_depth_series),
                     "latency_buckets": list(m.latency_buckets),
+                    "last_round_unix": m.last_round_unix,
                 }
             transports = {}
             for kind, t in sorted(self._transports.items()):
@@ -221,12 +254,20 @@ class ServiceMetrics:
                     "shard_stalls": t.shard_stalls,
                     "reconnects": t.reconnects,
                 }
+            phases = {}
+            for name, p in sorted(self._phases.items()):
+                phases[name] = {
+                    "count": p.count,
+                    "seconds": p.seconds,
+                    "latency_buckets": list(p.latency_buckets),
+                }
             return {
                 "uptime_seconds": time.monotonic() - self._t0,
                 "total_rounds": sum(m.rounds for m in self._cohorts.values()),
                 "total_stalls": sum(m.stalls for m in self._cohorts.values()),
                 "cohorts": cohorts,
                 "transports": transports,
+                "phases": phases,
             }
 
     def render_prometheus(self) -> str:
@@ -284,34 +325,54 @@ class ServiceMetrics:
                     "repro_online_seconds_total", {"cohort": str(cid)},
                     m.online_seconds,
                 )
+            def histogram(
+                name: str,
+                labels: Dict[str, str],
+                buckets: List[int],
+                seconds_sum: float,
+                count: int,
+            ) -> None:
+                cumulative = 0
+                for bound, n in zip(LATENCY_BUCKETS_S, buckets):
+                    cumulative += n
+                    sample(
+                        f"{name}_bucket",
+                        {**labels, "le": _fmt(bound)},
+                        cumulative,
+                    )
+                cumulative += buckets[-1]
+                sample(
+                    f"{name}_bucket", {**labels, "le": "+Inf"}, cumulative
+                )
+                sample(f"{name}_sum", labels, seconds_sum)
+                sample(f"{name}_count", labels, count)
+
             family(
                 "repro_round_latency_seconds", "histogram",
                 "Online round latency distribution per cohort.",
             )
             for cid, m in cohorts:
-                labels = {"cohort": str(cid)}
-                cumulative = 0
-                for bound, count in zip(
-                    LATENCY_BUCKETS_S, m.latency_buckets
-                ):
-                    cumulative += count
-                    sample(
-                        "repro_round_latency_seconds_bucket",
-                        {**labels, "le": _fmt(bound)},
-                        cumulative,
-                    )
-                cumulative += m.latency_buckets[-1]
-                sample(
-                    "repro_round_latency_seconds_bucket",
-                    {**labels, "le": "+Inf"},
-                    cumulative,
+                histogram(
+                    "repro_round_latency_seconds", {"cohort": str(cid)},
+                    m.latency_buckets, m.online_seconds, m.rounds,
                 )
-                sample(
-                    "repro_round_latency_seconds_sum", labels,
-                    m.online_seconds,
+            family(
+                "repro_phase_latency_seconds", "histogram",
+                "Per-phase latency from round traces (top-level spans).",
+            )
+            for pname, p in sorted(self._phases.items()):
+                histogram(
+                    "repro_phase_latency_seconds", {"phase": pname},
+                    p.latency_buckets, p.seconds, p.count,
                 )
+            family(
+                "repro_last_round_unix_seconds", "gauge",
+                "Unix time each cohort last completed a round.",
+            )
+            for cid, m in cohorts:
                 sample(
-                    "repro_round_latency_seconds_count", labels, m.rounds
+                    "repro_last_round_unix_seconds", {"cohort": str(cid)},
+                    m.last_round_unix,
                 )
             family(
                 "repro_pool_depth", "gauge",

@@ -31,6 +31,7 @@ from repro.exceptions import ProtocolError
 from repro.field.arithmetic import FiniteField
 from repro.protocols.base import AggregationResult
 from repro.protocols.base import sample_dropouts
+from repro.obs import RoundTrace, Tracer
 from repro.quantization import ModelQuantizer
 from repro.service.cohort import Cohort
 from repro.service.config import (
@@ -71,6 +72,12 @@ class AggregationService:
         self.config = config
         self.gf = gf if gf is not None else FiniteField()
         self.metrics = ServiceMetrics()
+        self.tracer = Tracer(
+            enabled=config.tracing,
+            capacity=config.trace_capacity,
+            slow_factor=config.trace_slow_factor,
+            metrics=self.metrics,
+        )
         self.refiller: Optional[BackgroundRefiller] = None
         if config.refill_mode is RefillMode.BACKGROUND:
             self.refiller = BackgroundRefiller(
@@ -139,6 +146,7 @@ class AggregationService:
             cohort_id=cohort_id,
             connect=spec.connect,
             wire_format=spec.wire_format.value,
+            tracing=self.tracer.enabled,
         )
         if spec.transport is TransportKind.INLINE and spec.num_shards == 1:
             # Unsharded inline deployments keep the bare session (no
@@ -161,7 +169,11 @@ class AggregationService:
         with self._cohort_lock:
             self._transports[cohort_id] = transport
         return Cohort(
-            cohort_id, session, metrics=self.metrics, refiller=self.refiller
+            cohort_id,
+            session,
+            metrics=self.metrics,
+            refiller=self.refiller,
+            tracer=self.tracer,
         )
 
     # ------------------------------------------------------------------
@@ -249,6 +261,7 @@ class AggregationService:
             cohort.close()
         for transport in transports:
             transport.close()
+        self.tracer.close()
         self._started = False
 
     def __enter__(self) -> "AggregationService":
@@ -365,6 +378,16 @@ class AggregationService:
     # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
+    def traces(
+        self, cohort_id: Optional[int] = None, limit: int = 20
+    ) -> List[RoundTrace]:
+        """Recently completed round traces, most recent first."""
+        return self.tracer.recent(cohort_id=cohort_id, limit=limit)
+
+    def get_trace(self, trace_id: int) -> Optional[RoundTrace]:
+        """One retained trace by id, or None if unknown/evicted."""
+        return self.tracer.get(trace_id)
+
     def status(self) -> Dict:
         """JSON-serializable service snapshot (config, cohorts, metrics)."""
         cfg = self.config
@@ -395,6 +418,11 @@ class AggregationService:
                 ),
             },
             "started": self._started,
+            "tracing": {
+                "enabled": self.tracer.enabled,
+                "retained": self.tracer.retained,
+                "slow_rounds": self.tracer.slow_rounds,
+            },
             "refiller": None
             if self.refiller is None
             else {

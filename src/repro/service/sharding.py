@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Set
 import numpy as np
 
 from repro.exceptions import ProtocolError
+from repro.obs import span
 from repro.protocols.base import (
     AggregationResult,
     RoundMetrics,
@@ -252,17 +253,20 @@ class ShardedSession:
                     f"shard {s} diverged on survivors: {res.survivors} "
                     f"vs {survivors}"
                 )
-        aggregate = self.plan.gather([r.aggregate for r in shard_results])
+        with span("reconstruct", shards=str(self.plan.num_shards)):
+            aggregate = self.plan.gather(
+                [r.aggregate for r in shard_results]
+            )
 
-        transcript = Transcript()
-        metrics = RoundMetrics()
-        for res in shard_results:
-            transcript.messages.extend(res.transcript.messages)
-            metrics.server_decode_ops += res.metrics.server_decode_ops
-            metrics.server_prg_elements += res.metrics.server_prg_elements
-            metrics.user_encode_ops += res.metrics.user_encode_ops
-            for key, val in res.metrics.extra.items():
-                metrics.extra[key] = metrics.extra.get(key, 0.0) + val
+            transcript = Transcript()
+            metrics = RoundMetrics()
+            for res in shard_results:
+                transcript.messages.extend(res.transcript.messages)
+                metrics.server_decode_ops += res.metrics.server_decode_ops
+                metrics.server_prg_elements += res.metrics.server_prg_elements
+                metrics.user_encode_ops += res.metrics.user_encode_ops
+                for key, val in res.metrics.extra.items():
+                    metrics.extra[key] = metrics.extra.get(key, 0.0) + val
 
         self.stats.rounds += 1
         self._merge_shard_stats()

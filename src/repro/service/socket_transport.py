@@ -44,15 +44,18 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ProtocolError, TransportError, WireError
 from repro.field.arithmetic import FiniteField
+from repro.obs import current_trace, span
 from repro.protocols.base import SessionStats
 from repro.service.socket_worker import parse_address
 from repro.service.transport import (
     ProcessShardHandle,
     ShardSessionSpec,
     ShardTransport,
+    _absorb_worker_span,
 )
 from repro.wire import (
     CAP_PACKED_ARRAYS,
+    CAP_ROUND_TRACING,
     ErrorFrame,
     FrameAssembler,
     Ping,
@@ -510,6 +513,7 @@ class SocketTransport(ShardTransport):
         setup_timeout_s: float = 60.0,
         share_connections: bool = True,
         wire_format: str = "raw",
+        tracing: bool = True,
     ):
         if not specs:
             raise ProtocolError("transport needs at least one shard spec")
@@ -524,6 +528,7 @@ class SocketTransport(ShardTransport):
                 f"'packed'"
             )
         self.wire_format = wire_format
+        self.tracing = bool(tracing)
         self.specs = list(specs)
         self.addresses = [parse_address(a) for a in connect]
         self.request_timeout_s = request_timeout_s
@@ -587,6 +592,8 @@ class SocketTransport(ShardTransport):
                     client._slot_specs.update(entries)
                 if self.wire_format == "packed":
                     client.request_capability(CAP_PACKED_ARRAYS)
+                if self.tracing:
+                    client.request_capability(CAP_ROUND_TRACING)
                 client.ensure_connected()  # a pooled client may be broken
                 with client._cv:
                     requested = client.requested_caps
@@ -649,6 +656,14 @@ class SocketTransport(ShardTransport):
             CAP_PACKED_ARRAYS
         ):
             message.packed = False
+        # Same downgrade for tracing: a worker that never acked
+        # CAP_ROUND_TRACING gets the pre-tracing frame (trace_id omitted
+        # when zero), completes the round normally, and simply reports no
+        # worker-side span — mixed versions interoperate.
+        if getattr(message, "trace_id", 0) and not client.supports(
+            CAP_ROUND_TRACING
+        ):
+            message.trace_id = 0
         request_id = client.next_id()
         nbytes = client.send(message, request_id)
         return request_id, nbytes
@@ -705,18 +720,22 @@ class SocketTransport(ShardTransport):
             )
         t0 = time.perf_counter()
         round_id = next(self._round_ids)
+        trace = current_trace() if self.tracing else None
         pending: List[Tuple[int, int]] = []
         bytes_sent = 0
         try:
-            for shard_id, updates in enumerate(per_shard_updates):
-                request = ShardRoundRequest.from_updates(
-                    self._slot_of[shard_id], round_id, updates, dropouts,
-                    offline_dropouts,
-                    packed=self.wire_format == "packed",
-                )
-                request_id, nbytes = self._request(shard_id, request)
-                bytes_sent += nbytes
-                pending.append((shard_id, request_id))
+            with span("shard_scatter", transport=self.kind):
+                for shard_id, updates in enumerate(per_shard_updates):
+                    request = ShardRoundRequest.from_updates(
+                        self._slot_of[shard_id], round_id, updates, dropouts,
+                        offline_dropouts,
+                        packed=self.wire_format == "packed",
+                    )
+                    if trace is not None:
+                        request.trace_id = trace.trace_id
+                    request_id, nbytes = self._request(shard_id, request)
+                    bytes_sent += nbytes
+                    pending.append((shard_id, request_id))
         except BaseException:
             # An aborted scatter (one connection down) must not strand
             # the requests already sent to healthy workers: abandon them
@@ -730,24 +749,28 @@ class SocketTransport(ShardTransport):
         error_frame: Optional[ErrorFrame] = None
         stalled_shards = 0
         bytes_received = 0
-        for shard_id, request_id in pending:
-            try:
-                message, nbytes = self._await(shard_id, request_id)
-            except TransportError as exc:
-                if first_error is None:
-                    first_error = exc
-                results.append(None)
-                continue
-            bytes_received += nbytes
-            if isinstance(message, ErrorFrame):
-                if error_frame is None:
-                    error_frame = message
-                results.append(None)
-                continue
-            handle = self._handles[shard_id]
-            handle._absorb(message.pool_level, message.stats)
-            stalled_shards += int(message.stalled)
-            results.append(message.to_result())
+        with span("shard_gather", transport=self.kind):
+            for shard_id, request_id in pending:
+                try:
+                    message, nbytes = self._await(shard_id, request_id)
+                except TransportError as exc:
+                    if first_error is None:
+                        first_error = exc
+                    results.append(None)
+                    continue
+                bytes_received += nbytes
+                if isinstance(message, ErrorFrame):
+                    if error_frame is None:
+                        error_frame = message
+                    results.append(None)
+                    continue
+                handle = self._handles[shard_id]
+                handle._absorb(message.pool_level, message.stats)
+                stalled_shards += int(message.stalled)
+                _absorb_worker_span(
+                    trace, shard_id, message.worker_span, self.kind
+                )
+                results.append(message.to_result())
         if self._metrics is not None:
             self._metrics.record_transport_round(
                 self.kind,

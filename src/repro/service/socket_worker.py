@@ -40,15 +40,18 @@ sessions from the specs.
 
 from __future__ import annotations
 
+import os
 import queue
 import socket
 import threading
+import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.exceptions import TransportError, WireError
 from repro.field.arithmetic import FiniteField
 from repro.wire import (
     SUPPORTED_CAPABILITIES,
+    WorkerSpan,
     ErrorFrame,
     FrameAssembler,
     Ping,
@@ -66,6 +69,9 @@ from repro.wire import (
     recv_frames,
     send_segments,
 )
+
+
+_HOSTNAME = socket.gethostname()
 
 
 def parse_address(text: str) -> Tuple[str, int]:
@@ -188,8 +194,11 @@ class _Connection:
             # Session builds can take seconds at large pool geometries;
             # running them (like rounds) on the serving thread keeps this
             # recv thread free to echo heartbeats, so a slow re-pin is
-            # never mistaken for a dead connection.
-            self._round_queue.put((request_id, message))
+            # never mistaken for a dead connection.  The enqueue stamp is
+            # where a traced round's queue-wait clock starts: the dwell
+            # between arrival here and the round thread picking it up is
+            # real cross-shard head-of-line blocking.
+            self._round_queue.put((request_id, message, time.time()))
             return False
         self._send(
             ErrorFrame.from_exception(
@@ -231,7 +240,7 @@ class _Connection:
             item = self._round_queue.get()
             if item is None:
                 return
-            request_id, message = item
+            request_id, message, enqueued_at = item
             try:
                 if isinstance(message, SessionSetup):
                     slots = [
@@ -266,6 +275,7 @@ class _Connection:
                 stalled = bool(
                     state["supports_pool"] and state["pool_level"] == 0
                 )
+                compute_start = time.time() if message.trace_id else 0.0
                 result = session.run_round(
                     message.updates_dict(),
                     set(message.dropouts),
@@ -276,6 +286,18 @@ class _Connection:
                         else {}
                     ),
                 )
+                worker_span = None
+                if message.trace_id:
+                    worker_span = WorkerSpan(
+                        trace_id=message.trace_id,
+                        pid=os.getpid(),
+                        host=_HOSTNAME,
+                        queue_wait_seconds=max(
+                            0.0, compute_start - enqueued_at
+                        ),
+                        compute_start_unix=compute_start,
+                        compute_seconds=time.time() - compute_start,
+                    )
                 after = session.state_snapshot()
                 self._send(
                     ShardRoundResult.from_result(
@@ -288,6 +310,7 @@ class _Connection:
                         # mirror the request's encoding: packed replies
                         # only to peers that sent packed requests
                         packed=message.packed,
+                        worker_span=worker_span,
                     ),
                     request_id,
                 )

@@ -49,7 +49,9 @@ from __future__ import annotations
 import abc
 import itertools
 import multiprocessing
+import os
 import queue
+import socket as _socket
 import threading
 import time
 from dataclasses import dataclass
@@ -60,6 +62,7 @@ import numpy as np
 from repro.exceptions import ProtocolError, TransportError, WireError
 from repro.field.arithmetic import FiniteField
 from repro.field.prime import DEFAULT_PRIME
+from repro.obs import Span, current_trace, span
 from repro.protocols.base import AggregationResult, SessionStats
 from repro.wire import (
     ErrorFrame,
@@ -72,9 +75,12 @@ from repro.wire import (
     ShmRegistry,
     SnapshotRequest,
     Shutdown,
+    WorkerSpan,
     decode_message,
     encode_message,
 )
+
+_HOSTNAME = _socket.gethostname()
 
 TRANSPORT_KINDS = ("inline", "process", "socket", "shm")
 
@@ -82,6 +88,35 @@ TRANSPORT_KINDS = ("inline", "process", "socket", "shm")
 #: little-endian words, ``packed`` bit-packs at the data's width (peers
 #: that never advertised CAP_PACKED_ARRAYS still get raw frames).
 WIRE_FORMATS = ("raw", "packed")
+
+
+def _absorb_worker_span(trace, shard_id: int, ws, kind: str) -> None:
+    """Stitch a worker-reported timing block into the coordinator's trace.
+
+    The worker's ``WorkerSpan`` becomes a ``shard_compute[i]`` span tagged
+    with the *remote* pid/host (the proof the work ran off-process), with
+    its pipe/queue dwell as a ``queue_wait`` child leading into compute.
+    Worker and coordinator clocks are the same host clock for process/shm
+    workers and close enough for sockets — good enough for phase bars.
+    """
+    if trace is None or ws is None:
+        return
+    compute = Span(
+        f"shard_compute[{shard_id}]",
+        start=ws.compute_start_unix,
+        end=ws.compute_start_unix + ws.compute_seconds,
+        tags={"pid": str(ws.pid), "host": ws.host, "transport": kind},
+    )
+    if ws.queue_wait_seconds > 0:
+        compute.children.append(
+            Span(
+                "queue_wait",
+                start=ws.compute_start_unix - ws.queue_wait_seconds,
+                end=ws.compute_start_unix,
+                tags={"pid": str(ws.pid), "host": ws.host},
+            )
+        )
+    trace.add_span(compute)
 
 
 @dataclass(frozen=True)
@@ -214,10 +249,23 @@ class InlineTransport(ShardTransport):
     def run_all(self, per_shard_updates, dropouts, rng=None, **phase_kwargs):
         t0 = time.perf_counter()
         misses_before = sum(s.stats.pool_misses for s in self._sessions)
-        results = [
-            session.run_round(updates, set(dropouts), rng, **phase_kwargs)
-            for session, updates in zip(self._sessions, per_shard_updates)
-        ]
+        results = []
+        for shard_id, (session, updates) in enumerate(
+            zip(self._sessions, per_shard_updates)
+        ):
+            # Inline shards compute on this thread: the span nests any
+            # offline_refill/mask_encode the session opens underneath it.
+            with span(
+                f"shard_compute[{shard_id}]",
+                pid=str(os.getpid()),
+                host=_HOSTNAME,
+                transport=self.kind,
+            ):
+                results.append(
+                    session.run_round(
+                        updates, set(dropouts), rng, **phase_kwargs
+                    )
+                )
         if self._metrics is not None:
             # A shard whose round ran an inline refill is a stalled shard,
             # the same quantity the process backend reports per round.
@@ -338,6 +386,7 @@ def _worker_serve(conn, specs: Dict[int, ShardSessionSpec]) -> None:
                     stalled = bool(
                         state["supports_pool"] and state["pool_level"] == 0
                     )
+                    compute_start = time.time() if message.trace_id else 0.0
                     result = session.run_round(
                         message.updates_dict(),
                         set(message.dropouts),
@@ -348,6 +397,18 @@ def _worker_serve(conn, specs: Dict[int, ShardSessionSpec]) -> None:
                             else {}
                         ),
                     )
+                    worker_span = None
+                    if message.trace_id:
+                        # Rounds are served straight off the pipe on this
+                        # thread, so there is no measurable queue dwell.
+                        worker_span = WorkerSpan(
+                            trace_id=message.trace_id,
+                            pid=os.getpid(),
+                            host=_HOSTNAME,
+                            queue_wait_seconds=0.0,
+                            compute_start_unix=compute_start,
+                            compute_seconds=time.time() - compute_start,
+                        )
                     # Post-round state via state_snapshot(): reading the
                     # level and stats piecemeal would race this worker's
                     # own refill thread and could ship a torn pair.
@@ -372,6 +433,7 @@ def _worker_serve(conn, specs: Dict[int, ShardSessionSpec]) -> None:
                             stats=after["stats"],
                             packed=message.packed,
                             aggregate_ref=aggregate_ref,
+                            worker_span=worker_span,
                         ),
                         request_id,
                     )
@@ -747,45 +809,55 @@ class ProcessPoolTransport(ShardTransport):
             )
         t0 = time.perf_counter()
         round_id = next(self._round_ids)
+        trace = current_trace()
         pending = []
         bytes_sent = 0
         shm_bytes = 0
-        for shard_id, updates in enumerate(per_shard_updates):
-            if self.payload_mode == "shm":
-                request, staged = self._stage_shm_request(
-                    shard_id, round_id, updates, dropouts, offline_dropouts
-                )
-                shm_bytes += staged
-            else:
-                request = ShardRoundRequest.from_updates(
-                    shard_id, round_id, updates, dropouts, offline_dropouts,
-                    packed=self.wire_format == "packed",
-                )
-            request_id, nbytes = self._request(shard_id, request)
-            bytes_sent += nbytes
-            pending.append((shard_id, request_id))
+        with span("shard_scatter", transport=self.kind):
+            for shard_id, updates in enumerate(per_shard_updates):
+                if self.payload_mode == "shm":
+                    request, staged = self._stage_shm_request(
+                        shard_id, round_id, updates, dropouts,
+                        offline_dropouts,
+                    )
+                    shm_bytes += staged
+                else:
+                    request = ShardRoundRequest.from_updates(
+                        shard_id, round_id, updates, dropouts,
+                        offline_dropouts,
+                        packed=self.wire_format == "packed",
+                    )
+                if trace is not None:
+                    request.trace_id = trace.trace_id
+                request_id, nbytes = self._request(shard_id, request)
+                bytes_sent += nbytes
+                pending.append((shard_id, request_id))
 
         results: List[Optional[AggregationResult]] = []
         error: Optional[ErrorFrame] = None
         stalled_shards = 0
         bytes_received = 0
-        for shard_id, request_id in pending:
-            message, nbytes = self._await(shard_id, request_id)
-            bytes_received += nbytes
-            if isinstance(message, ErrorFrame):
-                error = error if error is not None else message
-                results.append(None)
-                continue
-            handle = self._handles[shard_id]
-            handle._absorb(message.pool_level, message.stats)
-            stalled_shards += int(message.stalled)
-            result = message.to_result()
-            if message.aggregate_ref is not None:
-                # The aggregate aliases this shard's response region,
-                # which the next round will overwrite — detach it.
-                shm_bytes += result.aggregate.nbytes
-                result.aggregate = np.array(result.aggregate)
-            results.append(result)
+        with span("shard_gather", transport=self.kind):
+            for shard_id, request_id in pending:
+                message, nbytes = self._await(shard_id, request_id)
+                bytes_received += nbytes
+                if isinstance(message, ErrorFrame):
+                    error = error if error is not None else message
+                    results.append(None)
+                    continue
+                handle = self._handles[shard_id]
+                handle._absorb(message.pool_level, message.stats)
+                stalled_shards += int(message.stalled)
+                _absorb_worker_span(
+                    trace, shard_id, message.worker_span, self.kind
+                )
+                result = message.to_result()
+                if message.aggregate_ref is not None:
+                    # The aggregate aliases this shard's response region,
+                    # which the next round will overwrite — detach it.
+                    shm_bytes += result.aggregate.nbytes
+                    result.aggregate = np.array(result.aggregate)
+                results.append(result)
         if self._metrics is not None:
             # Per-request accounting: only this round's own frames count,
             # not concurrent background-refill traffic on the same pipes.
@@ -910,6 +982,7 @@ def build_transport(
     cohort_id: int = 0,
     connect: Optional[Sequence[str]] = None,
     wire_format: str = "raw",
+    tracing: bool = True,
 ) -> ShardTransport:
     """Construct the configured transport backend from shard specs.
 
@@ -918,7 +991,11 @@ def build_transport(
     it, like ``num_workers`` outside ``process``/``shm``.
     ``wire_format="packed"`` bit-packs vector payloads where the peer
     supports it (``inline`` has no wire and ignores it; ``shm`` passes
-    vectors by reference, which supersedes packing).
+    vectors by reference, which supersedes packing).  ``tracing=False``
+    keeps the socket backend from even *requesting* CAP_ROUND_TRACING,
+    so its frames stay byte-identical to the pre-tracing format; the
+    local backends need no flag (they only propagate a trace_id when a
+    trace is active on the calling thread).
     """
     if kind == "inline":
         return InlineTransport.from_specs(
@@ -942,7 +1019,7 @@ def build_transport(
 
         return SocketTransport(
             specs, connect=connect or (), metrics=metrics,
-            cohort_id=cohort_id, wire_format=wire_format,
+            cohort_id=cohort_id, wire_format=wire_format, tracing=tracing,
         )
     raise ProtocolError(
         f"unknown transport {kind!r}; expected one of {TRANSPORT_KINDS}"

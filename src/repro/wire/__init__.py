@@ -36,8 +36,10 @@ from repro.wire.format import (
 )
 from repro.wire.messages import (
     CAP_PACKED_ARRAYS,
+    CAP_ROUND_TRACING,
     SUPPORTED_CAPABILITIES,
     WIRE_MESSAGES,
+    WorkerSpan,
     ErrorFrame,
     Ping,
     PoolSnapshot,
@@ -76,8 +78,10 @@ __all__ = [
     "packed_nbytes",
     "unpack_bits",
     "CAP_PACKED_ARRAYS",
+    "CAP_ROUND_TRACING",
     "SUPPORTED_CAPABILITIES",
     "WIRE_MESSAGES",
+    "WorkerSpan",
     "ErrorFrame",
     "Ping",
     "PoolSnapshot",

@@ -82,8 +82,15 @@ _PHASE_INDEX = {phase: i for i, phase in enumerate(PHASES)}
 #: Peer understands bit-packed array payloads (``put_packed_array``).
 CAP_PACKED_ARRAYS = 0x1
 
+#: Peer understands round tracing: it accepts a trailing ``trace_id``
+#: on :class:`ShardRoundRequest` and reports a :class:`WorkerSpan`
+#: (compute + queue-wait timings, pid/host tags) back on its
+#: :class:`ShardRoundResult` so the coordinator can stitch one
+#: cross-process timeline per round.
+CAP_ROUND_TRACING = 0x2
+
 #: Every capability this build implements.
-SUPPORTED_CAPABILITIES = CAP_PACKED_ARRAYS
+SUPPORTED_CAPABILITIES = CAP_PACKED_ARRAYS | CAP_ROUND_TRACING
 
 
 def _put_id_set(w: PayloadWriter, ids) -> None:
@@ -115,6 +122,47 @@ def _get_stats(r: PayloadReader) -> SessionStats:
 
 
 @dataclass
+class WorkerSpan:
+    """A worker's own timing report for one traced shard round.
+
+    Rides as the trailing-optional tail of :class:`ShardRoundResult`
+    (emitted only when the request carried a nonzero ``trace_id``, so
+    untraced frames stay byte-identical to the pre-tracing format).
+    ``queue_wait_seconds`` is the request's dwell between arrival and
+    the start of compute; ``pid``/``host`` identify the process that
+    actually ran the round — the coordinator turns this into a
+    ``shard_compute[i]`` span tagged with the remote identity.
+    """
+
+    trace_id: int
+    pid: int
+    host: str
+    queue_wait_seconds: float
+    compute_start_unix: float
+    compute_seconds: float
+
+
+def _put_worker_span(w: PayloadWriter, ws: WorkerSpan) -> None:
+    w.put_u64(ws.trace_id)
+    w.put_u64(ws.pid)
+    w.put_str(ws.host)
+    w.put_f64(ws.queue_wait_seconds)
+    w.put_f64(ws.compute_start_unix)
+    w.put_f64(ws.compute_seconds)
+
+
+def _get_worker_span(r: PayloadReader) -> WorkerSpan:
+    return WorkerSpan(
+        trace_id=r.get_u64(),
+        pid=r.get_u64(),
+        host=r.get_str(),
+        queue_wait_seconds=r.get_f64(),
+        compute_start_unix=r.get_f64(),
+        compute_seconds=r.get_f64(),
+    )
+
+
+@dataclass
 class ShardRoundRequest:
     """One online round for one shard: scattered updates + dropout sets."""
 
@@ -134,9 +182,14 @@ class ShardRoundRequest:
     # coordinator's encoding in its reply.
     packed: bool = False
     updates_ref: Optional[ShmArrayRef] = None
-    # Where the worker should place its aggregate (shm lane only); the
+    # Where the worker should place its aggregate (shm lane only); a
     # trailing-optional field of the payload.
     result_ref: Optional[ShmArrayRef] = None
+    # Round-trace correlation id (CAP_ROUND_TRACING peers only).
+    # Trailing-optional and omitted when zero, so untraced frames stay
+    # byte-identical to the pre-tracing wire format.  A worker that
+    # receives a nonzero trace_id reports a WorkerSpan on its result.
+    trace_id: int = 0
 
     @classmethod
     def from_updates(
@@ -211,6 +264,8 @@ class ShardRoundRequest:
         _put_id_set(w, self.offline_dropouts)
         if self.result_ref is not None:
             put_shm_ref(w, self.result_ref)
+        if self.trace_id:
+            w.put_u64(self.trace_id)
 
     @classmethod
     def _decode(cls, r: PayloadReader) -> "ShardRoundRequest":
@@ -226,7 +281,18 @@ class ShardRoundRequest:
             )
         dropouts = _get_id_set(r)
         offline_dropouts = _get_id_set(r)
-        result_ref = get_shm_ref(r) if r.remaining else None
+        # Two optional tails share the frame end: a shm result ref and a
+        # trace id.  An encoded shm ref is never 8 bytes (dtype + ndim +
+        # dims + named segment + offset is always longer), so exactly 8
+        # remaining bytes can only be a bare trace_id.
+        result_ref = None
+        trace_id = 0
+        if r.remaining == 8:
+            trace_id = r.get_u64()
+        elif r.remaining:
+            result_ref = get_shm_ref(r)
+            if r.remaining:
+                trace_id = r.get_u64()
         return cls(
             shard_id=shard_id,
             round_id=round_id,
@@ -236,6 +302,7 @@ class ShardRoundRequest:
             offline_dropouts=offline_dropouts,
             packed=packed,
             result_ref=result_ref,
+            trace_id=trace_id,
         )
 
 
@@ -268,6 +335,9 @@ class ShardRoundResult:
     # only the reference.
     packed: bool = False
     aggregate_ref: Optional[ShmArrayRef] = None
+    # The worker's own timing report, present only when the request
+    # carried a nonzero trace_id (trailing-optional on the wire).
+    worker_span: Optional[WorkerSpan] = None
 
     @classmethod
     def from_result(
@@ -280,6 +350,7 @@ class ShardRoundResult:
         stats: SessionStats,
         packed: bool = False,
         aggregate_ref: Optional[ShmArrayRef] = None,
+        worker_span: Optional[WorkerSpan] = None,
     ) -> "ShardRoundResult":
         table = np.asarray(
             [
@@ -311,6 +382,7 @@ class ShardRoundResult:
             stats=stats,
             packed=packed,
             aggregate_ref=aggregate_ref,
+            worker_span=worker_span,
         )
 
     def to_result(self) -> AggregationResult:
@@ -360,6 +432,8 @@ class ShardRoundResult:
         w.put_u8(int(self.stalled))
         w.put_u32(self.pool_level)
         _put_stats(w, self.stats)
+        if self.worker_span is not None:
+            _put_worker_span(w, self.worker_span)
 
     @classmethod
     def _decode(cls, r: PayloadReader) -> "ShardRoundResult":
@@ -393,6 +467,7 @@ class ShardRoundResult:
             stats=_get_stats(r),
             packed=packed,
             aggregate_ref=aggregate_ref,
+            worker_span=_get_worker_span(r) if r.remaining else None,
         )
 
 

@@ -26,6 +26,10 @@ pytestmark = pytest.mark.timeout(180)
 REPO_SRC = os.path.join(
     os.path.dirname(os.path.dirname(os.path.dirname(__file__))), "src"
 )
+TRACE_SCHEMA = os.path.join(
+    os.path.dirname(os.path.dirname(__file__)),
+    "obs", "golden", "trace.schema.json",
+)
 
 
 def spawn(*args):
@@ -84,8 +88,9 @@ def call(base, method, path, body=None, timeout=60):
 
 
 @pytest.mark.parametrize("transport", ["inline", "process"])
-def test_serve_end_to_end(transport):
-    """Create a cohort, run rounds, scrape metrics, drain — exit 0."""
+def test_serve_end_to_end(transport, validate_json_schema):
+    """Create a cohort, run rounds, scrape metrics + a round trace,
+    drain — exit 0."""
     proc, base = serve_daemon()
     try:
         spec = {"num_users": 5, "model_dim": 64, "pool_size": 2,
@@ -110,6 +115,22 @@ def test_serve_end_to_end(transport):
             # inline cohorts run the bare session (no transport wrapper)
             assert 'repro_transport_rounds_total{transport="process"} 2' \
                 in text
+        # observability: the rounds left traces, and the served span
+        # tree honours the committed schema (the published contract)
+        status, listing = call(base, "GET", f"/cohorts/{cid}/traces")
+        assert status == 200 and listing["tracing"] is True
+        assert len(listing["traces"]) == 2
+        status, trace = call(
+            base, "GET", f"/traces/{listing['traces'][0]['trace_id']}"
+        )
+        assert status == 200
+        with open(TRACE_SCHEMA, encoding="utf-8") as fh:
+            validate_json_schema(trace, json.load(fh))
+        assert trace["root"]["name"] == "round"
+        if transport == "process":
+            # sharded lane: worker-reported compute spans were stitched in
+            names = [s["name"] for s in trace["root"]["children"]]
+            assert any(n.startswith("shard_compute[") for n in names)
         status, health = call(base, "GET", "/healthz")
         assert health["status"] == "ok" and health["cohorts"] == 1
         status, summary = call(base, "POST", "/drain")
@@ -123,6 +144,33 @@ def test_serve_end_to_end(transport):
     out, err = wait_exit(proc)
     final = json.loads(out.strip().splitlines()[-1])
     assert final["event"] == "drained" and final["total_rounds"] == 2
+
+
+def test_serve_trace_log_writes_span_events(tmp_path):
+    """--trace-log appends one JSON line per span close, flushed by the
+    time drain answers."""
+    log = tmp_path / "events.jsonl"
+    proc = spawn("serve", "--listen", "127.0.0.1:0", "--json",
+                 "--trace-log", str(log))
+    line = proc.stdout.readline()
+    base = f"http://{json.loads(line)['address']}"
+    try:
+        call(base, "POST", "/cohorts",
+             {"num_users": 4, "model_dim": 32, "pool_size": 2})
+        call(base, "POST", "/cohorts/0/rounds", {"synthetic": {"seed": 0}})
+        call(base, "POST", "/drain")
+    except BaseException:
+        proc.kill()
+        proc.communicate()
+        raise
+    wait_exit(proc)
+    events = [json.loads(l) for l in log.read_text().splitlines()]
+    assert events, "no span events logged"
+    assert all(e["event"] == "span" for e in events)
+    roots = [e for e in events if e["span"] == "round"]
+    assert len(roots) == 1
+    assert roots[0]["cohort_id"] == 0 and roots[0]["round_index"] == 0
+    assert "slow" in roots[0]
 
 
 def test_serve_sigterm_drains_and_exits_zero():

@@ -100,3 +100,71 @@ def rng() -> np.random.Generator:
 def gf_any(request) -> FiniteField:
     """Parametrized over representative field sizes."""
     return FiniteField(request.param)
+
+
+def validate_json_schema(instance, schema, root=None, path="$"):
+    """Minimal JSON-Schema (draft-07 subset) validator.
+
+    CI installs only numpy/pytest/hypothesis, so the trace-schema tests
+    cannot depend on the ``jsonschema`` package.  This covers exactly the
+    keywords ``tests/obs/golden/trace.schema.json`` uses: ``type``
+    (including union types and ``null``), ``required``, ``properties``,
+    ``additionalProperties`` (boolean or schema), ``items``, ``$ref``
+    into ``#/definitions``, ``minimum``, and ``minLength``.  Raises
+    ``AssertionError`` naming the offending path.
+    """
+    root = root if root is not None else schema
+    ref = schema.get("$ref")
+    if ref is not None:
+        assert ref.startswith("#/"), f"{path}: unsupported $ref {ref!r}"
+        target = root
+        for part in ref[2:].split("/"):
+            target = target[part]
+        return validate_json_schema(instance, target, root, path)
+    expected = schema.get("type")
+    if expected is not None:
+        kinds = expected if isinstance(expected, list) else [expected]
+        checks = {
+            "null": lambda v: v is None,
+            "boolean": lambda v: isinstance(v, bool),
+            "integer": lambda v: isinstance(v, int)
+            and not isinstance(v, bool),
+            "number": lambda v: isinstance(v, (int, float))
+            and not isinstance(v, bool),
+            "string": lambda v: isinstance(v, str),
+            "object": lambda v: isinstance(v, dict),
+            "array": lambda v: isinstance(v, list),
+        }
+        assert any(checks[k](instance) for k in kinds), (
+            f"{path}: expected {expected}, got {type(instance).__name__} "
+            f"({instance!r})"
+        )
+    if isinstance(instance, (int, float)) and not isinstance(instance, bool):
+        if "minimum" in schema:
+            assert instance >= schema["minimum"], (
+                f"{path}: {instance} < minimum {schema['minimum']}"
+            )
+    if isinstance(instance, str) and "minLength" in schema:
+        assert len(instance) >= schema["minLength"], (
+            f"{path}: length {len(instance)} < {schema['minLength']}"
+        )
+    if isinstance(instance, dict):
+        for name in schema.get("required", ()):
+            assert name in instance, f"{path}: missing required {name!r}"
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties", True)
+        for key, value in instance.items():
+            if key in props:
+                validate_json_schema(value, props[key], root, f"{path}.{key}")
+            elif extra is False:
+                raise AssertionError(f"{path}: unexpected property {key!r}")
+            elif isinstance(extra, dict):
+                validate_json_schema(value, extra, root, f"{path}.{key}")
+    if isinstance(instance, list) and "items" in schema:
+        for i, item in enumerate(instance):
+            validate_json_schema(item, schema["items"], root, f"{path}[{i}]")
+
+
+@pytest.fixture(name="validate_json_schema")
+def validate_json_schema_fixture():
+    return validate_json_schema

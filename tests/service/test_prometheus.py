@@ -30,11 +30,15 @@ from repro.service.metrics import LATENCY_BUCKETS_S, ServiceMetrics
 GOLDEN = Path(__file__).parent / "golden" / "metrics.prom"
 
 _UPTIME = re.compile(r"^(repro_uptime_seconds) .*$", re.MULTILINE)
+_LAST_ROUND = re.compile(
+    r"^(repro_last_round_unix_seconds\{[^}]*\}) .*$", re.MULTILINE
+)
 
 
 def normalize(text: str) -> str:
-    """Replace the one wall-clock-dependent sample with a placeholder."""
-    return _UPTIME.sub(r"\1 <UPTIME>", text)
+    """Replace the wall-clock-dependent samples with placeholders."""
+    text = _UPTIME.sub(r"\1 <UPTIME>", text)
+    return _LAST_ROUND.sub(r"\1 <UNIX_TIME>", text)
 
 
 def deterministic_history() -> ServiceMetrics:
@@ -57,6 +61,12 @@ def deterministic_history() -> ServiceMetrics:
         stalled_shards=1, shm_bytes=0,
     )
     metrics.record_transport_reconnect("socket")
+    # trace phases: collect is fast, shard_compute spreads two buckets,
+    # reconstruct lands sub-millisecond
+    metrics.record_phase("collect", 0.0008)
+    metrics.record_phase("shard_compute", 0.02)
+    metrics.record_phase("shard_compute", 0.3)
+    metrics.record_phase("reconstruct", 0.004)
     return metrics
 
 
@@ -95,7 +105,7 @@ class TestGolden:
             name = line.split("{")[0].split(" ")[0]
             sample_names.add(
                 re.sub(r"_(bucket|sum|count)$", "", name)
-                if name.startswith("repro_round_latency_seconds")
+                if "latency_seconds" in name
                 else name
             )
         for name in sample_names:

@@ -449,6 +449,11 @@ def _quantized_lane(gf, kind, wire_format, connect=None, rounds=4,
         dropout_tolerance=2, privacy=2,
         transport=kind, wire_format=wire_format,
         connect=connect, seed=7,
+        # Byte accounting below compares lanes against each other; keep
+        # the 8-byte trace_id tail out of it so the numbers measure the
+        # element encoding alone (tracing's own wire claims are pinned
+        # in tests/obs/test_trace_wire.py).
+        tracing=False,
     )
     outputs = []
     with AggregationService(cfg, gf=gf) as svc:
