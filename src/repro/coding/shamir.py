@@ -65,17 +65,24 @@ class ShamirSecretSharing:
         )
         width = secret_arr.shape[0]
         coeffs = self.gf.random((self.threshold, width), rng)  # c_1..c_t
-        q64 = np.uint64(self.gf.q)
-        shares: Dict[int, ShamirShare] = {}
-        for x in self.points.tolist():
-            x64 = np.uint64(x)
-            value = secret_arr.copy()
-            power = np.uint64(1)
-            for row in range(self.threshold):
-                power = np.mod(power * x64, q64)
-                value = np.mod(value + np.mod(coeffs[row] * power, q64), q64)
-            shares[int(x)] = ShamirShare(x=int(x), y=value)
-        return shares
+        gf = self.gf
+        # All n evaluations at once: powers[j, row] = x_j ** (row + 1), so
+        # f(x_j) = secret + powers[j] @ coeffs.  One field matmul replaces
+        # the per-point Horner loop (n * t small vector ops) and rides the
+        # blocked lazy-reduction kernel.
+        values = np.broadcast_to(secret_arr, (self.num_shares, width))
+        if self.threshold:
+            powers = np.empty((self.num_shares, self.threshold), dtype=np.uint64)
+            col = gf.array(self.points)
+            powers[:, 0] = col
+            for row in range(1, self.threshold):
+                col = gf.mul(col, self.points)
+                powers[:, row] = col
+            values = gf.add(values, gf.matmul(powers, coeffs))
+        return {
+            int(x): ShamirShare(x=int(x), y=values[j].copy())
+            for j, x in enumerate(self.points.tolist())
+        }
 
     def reconstruct(self, shares: Sequence[ShamirShare]) -> np.ndarray:
         """Recover the secret from any ``threshold + 1`` shares.

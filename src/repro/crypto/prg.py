@@ -28,18 +28,21 @@ from repro.field.arithmetic import FiniteField
 BACKENDS = ("pcg64", "sha256")
 
 
-def _expand_pcg64(seed: int, length: int, q: int) -> np.ndarray:
+def _expand_pcg64(seed: int, length: int, gf: FiniteField) -> np.ndarray:
     rng = np.random.Generator(np.random.PCG64(seed))
-    return rng.integers(0, q, size=length, dtype=np.uint64)
+    return rng.integers(0, gf.q, size=length, dtype=np.uint64)
 
 
-def _expand_sha256(seed: int, length: int, q: int) -> np.ndarray:
+def _expand_sha256(seed: int, length: int, gf: FiniteField) -> np.ndarray:
     """SHA-256 counter-mode expansion with rejection sampling.
 
     Each 32-byte digest yields four uint64 words; words are rejected when
     they fall in the biased tail ``[limit, 2**64)`` where
     ``limit = 2**64 - 2**64 % q``, making the output exactly uniform mod q.
+    The final full-range uint64 reduction runs through the field's
+    selected reduction kernel (division-free for the default modulus).
     """
+    q = gf.q
     limit = (1 << 64) - ((1 << 64) % q)
     seed_bytes = seed.to_bytes(32, "little", signed=False)
     out = np.empty(length, dtype=np.uint64)
@@ -58,12 +61,12 @@ def _expand_sha256(seed: int, length: int, q: int) -> np.ndarray:
         words = np.frombuffer(bytes(buf), dtype="<u8")
         accepted = words[words < np.uint64(limit)]
         take = min(need, accepted.size)
-        out[filled : filled + take] = np.mod(accepted[:take], np.uint64(q))
+        gf.reducer.reduce(accepted[:take], out=out[filled : filled + take])
         filled += take
     return out
 
 
-_EXPANDERS: Dict[str, Callable[[int, int, int], np.ndarray]] = {
+_EXPANDERS: Dict[str, Callable[[int, int, FiniteField], np.ndarray]] = {
     "pcg64": _expand_pcg64,
     "sha256": _expand_sha256,
 }
@@ -97,7 +100,7 @@ class PRG:
         if seed < 0:
             # Map arbitrary ints (e.g. signed hashes) into the seed domain.
             seed = seed % (1 << 256)
-        return self._expand(seed, length, self.gf.q)
+        return self._expand(seed, length, self.gf)
 
     def __repr__(self) -> str:
         return f"PRG(q={self.gf.q}, backend={self.backend!r})"

@@ -10,6 +10,16 @@ from repro.field.prime import (
     previous_prime,
     validate_modulus,
 )
+from repro.field.reduce import (
+    REDUCER_ENV,
+    BarrettReducer,
+    MersenneReducer,
+    NumpyModReducer,
+    Reducer,
+    available_reducer_kinds,
+    mersenne_exponent,
+    select_reducer,
+)
 from repro.field.linalg import det, inv, is_invertible, is_mds, rank, solve
 from repro.field.vandermonde import (
     distinct_points,
@@ -20,6 +30,14 @@ from repro.field.vandermonde import (
 
 __all__ = [
     "FiniteField",
+    "Reducer",
+    "MersenneReducer",
+    "BarrettReducer",
+    "NumpyModReducer",
+    "REDUCER_ENV",
+    "available_reducer_kinds",
+    "mersenne_exponent",
+    "select_reducer",
     "DEFAULT_PRIME",
     "PAPER_PRIME",
     "MAX_UINT64_SAFE_MODULUS",

@@ -9,6 +9,15 @@ All binary operations are elementwise-vectorized.  Because the modulus is
 validated to be below ``2**32`` (:func:`repro.field.prime.validate_modulus`),
 the product of two reduced residues fits exactly in uint64, so
 ``(a * b) % q`` in uint64 never overflows.
+
+Reduction itself is delegated to a :class:`repro.field.reduce.Reducer`
+strategy chosen at construction (Mersenne shift-fold for ``q = 2**k - 1``,
+Barrett for general ``q``, or the ``np.mod`` oracle) — see
+:mod:`repro.field.reduce` and the ``REPRO_FIELD_REDUCER`` env override.
+With a division-free reducer selected, :meth:`FiniteField.matmul` runs a
+16-bit limb-split kernel over float64 BLAS with fold-based lazy
+accumulation; with the oracle it runs the historical lazy-``np.mod``
+rank-1 kernel, preserved byte-for-byte as the A/B baseline.
 """
 
 from __future__ import annotations
@@ -19,8 +28,15 @@ import numpy as np
 
 from repro.exceptions import FieldError
 from repro.field.prime import DEFAULT_PRIME, validate_modulus
+from repro.field.reduce import Reducer, select_reducer
 
 ArrayLike = Union[int, Iterable[int], np.ndarray]
+
+_U64_MAX = (1 << 64) - 1
+#: Largest integer float64 accumulates exactly (2**53).
+_F64_EXACT = 1 << 53
+_SHIFT16 = np.uint64(16)
+_MASK16 = np.uint64(0xFFFF)
 
 
 class FiniteField:
@@ -31,6 +47,11 @@ class FiniteField:
     q:
         A prime modulus below ``2**32``.  Defaults to the Mersenne prime
         ``2**31 - 1``.
+    reducer:
+        Reduction-kernel selection: ``"auto"`` (default; Mersenne when the
+        modulus allows, Barrett otherwise), ``"mersenne"``, ``"barrett"``,
+        or ``"numpy_mod"``.  ``None`` consults the ``REPRO_FIELD_REDUCER``
+        environment variable before falling back to ``"auto"``.
 
     Examples
     --------
@@ -41,11 +62,12 @@ class FiniteField:
     1073741824
     """
 
-    __slots__ = ("q", "_q64")
+    __slots__ = ("q", "_q64", "reducer")
 
-    def __init__(self, q: int = DEFAULT_PRIME):
+    def __init__(self, q: int = DEFAULT_PRIME, reducer: Optional[str] = None):
         self.q: int = validate_modulus(q)
         self._q64 = np.uint64(self.q)
+        self.reducer: Reducer = select_reducer(self.q, reducer)
 
     # ------------------------------------------------------------------
     # construction / conversion
@@ -58,7 +80,8 @@ class FiniteField:
         """
         arr = np.asarray(values)
         if arr.dtype == np.uint64:
-            return np.mod(arr, self._q64)
+            # reduce() always allocates a fresh buffer (np.mod semantics).
+            return self.reducer.reduce(arr)
         if not np.issubdtype(arr.dtype, np.integer):
             raise FieldError(
                 f"field elements must be integers, got dtype {arr.dtype}"
@@ -104,42 +127,49 @@ class FiniteField:
         """Elementwise ``a + b (mod q)``."""
         a = self.array(a)
         b = self.array(b)
-        return np.mod(a + b, self._q64)
+        return self.reducer.reduce_semi(a + b)
 
     def sub(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
         """Elementwise ``a - b (mod q)``."""
         a = self.array(a)
         b = self.array(b)
-        return np.mod(a + (self._q64 - b), self._q64)
+        return self.reducer.reduce_semi(a + (self._q64 - b))
 
     def neg(self, a: ArrayLike) -> np.ndarray:
         """Elementwise additive inverse ``-a (mod q)``."""
         a = self.array(a)
-        return np.mod(self._q64 - a, self._q64)
+        return self.reducer.reduce_semi(self._q64 - a)
 
     def mul(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
         """Elementwise ``a * b (mod q)``; exact because q < 2**32."""
         a = self.array(a)
         b = self.array(b)
-        return np.mod(a * b, self._q64)
+        return self.reducer.reduce(a * b)
 
     def pow(self, a: ArrayLike, e: int) -> np.ndarray:
         """Elementwise ``a ** e (mod q)`` by binary exponentiation.
 
-        Negative exponents are supported via Fermat inversion, and require
-        every base to be nonzero.
+        Negative exponents are supported via Fermat's little theorem
+        (``a**(q-1) == 1`` for nonzero ``a``): the exponent is mapped to
+        its representative in ``[0, q-1)`` and a *single* binary
+        exponentiation runs — not an inversion pass (31 squarings for the
+        default modulus) followed by a second exponentiation.  Negative
+        exponents require every base to be nonzero.
         """
         a = self.array(a)
         if e < 0:
-            a = self.inv(a)
-            e = -e
+            if a.size and np.any(a == 0):
+                raise FieldError("zero has no multiplicative inverse")
+            e = e % (self.q - 1)
+        red = self.reducer
         result = np.ones_like(a)
         base = a.copy()
         while e:
             if e & 1:
-                result = np.mod(result * base, self._q64)
-            base = np.mod(base * base, self._q64)
+                result = red.reduce(result * base)
             e >>= 1
+            if e:
+                base = red.reduce(base * base)
         return result
 
     def inv(self, a: ArrayLike) -> np.ndarray:
@@ -168,7 +198,7 @@ class FiniteField:
         # uint64 without overflow.  numpy sums of that length are infeasible
         # in memory anyway, so a single np.sum is always exact here.
         total = np.sum(a, axis=axis, dtype=np.uint64)
-        return np.mod(total, self._q64)
+        return self.reducer.reduce(total)
 
     def dot(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
         """Inner product of two 1-D field arrays."""
@@ -187,15 +217,26 @@ class FiniteField:
     # compute-bound instead of memory-bound.
     MATMUL_BLOCK_ELEMS = 1 << 18
 
-    def matmul(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
-        """Matrix product over GF(q), blocked over the width axis.
+    # Width-block budget for the limb-split float64 kernel: the f64
+    # operand block (k rows) plus two f64 product blocks (m rows each)
+    # are bounded by ~3 * this many elements.  Bigger blocks amortize
+    # the per-block conversion and BLAS call overhead; this setting
+    # measured fastest at the refill shape on the dev container.
+    MATMUL_F64_BLOCK_ELEMS = 1 << 21
 
-        Products are reduced elementwise before accumulation; the
-        accumulation itself is exact in uint64 as argued in :meth:`sum`.
-        For typical coded-computing shapes (tall-skinny times small square)
-        a rank-1 accumulation over reduced products is both exact and
-        fast, and blocking the width axis keeps it cache-resident at the
-        large widths a batched offline refill produces.
+    def matmul(self, a: ArrayLike, b: ArrayLike) -> np.ndarray:
+        """Matrix product over GF(q).
+
+        With a division-free reducer (the default), products run through
+        a 16-bit limb-split kernel: each operand column block is lifted
+        to float64, two BLAS GEMMs compute the exact high/low limb
+        contractions (every partial sum stays below ``2**53``, so the
+        float arithmetic is exact and bit-reproducible), and the limbs
+        are recombined in uint64 with fold-based lazy accumulation — no
+        integer division anywhere.  With the ``numpy_mod`` oracle
+        reducer the historical width-blocked lazy-``np.mod`` rank-1
+        kernel runs instead, preserved as the A/B baseline.  Both paths
+        return identical canonical residues.
         """
         a = self.array(a)
         b = self.array(b)
@@ -204,14 +245,91 @@ class FiniteField:
         m, k = a.shape
         n = b.shape[1]
         out = np.empty((m, n), dtype=np.uint64)
+        if self.reducer.division_free:
+            self._matmul_limbsplit(a, b, out)
+            return out
         width_block = max(1, self.MATMUL_BLOCK_ELEMS // max(m, 1))
         for col in range(0, n, width_block):
             self._matmul_block(a, b[:, col : col + width_block],
                                out[:, col : col + width_block])
         return out
 
+    def _matmul_limbsplit(self, a: np.ndarray, b: np.ndarray, out: np.ndarray) -> None:
+        """Exact 16-bit limb-split GEMM over float64, reduced division-free.
+
+        ``a`` is split as ``a = a_hi * 2**16 + a_lo``; for a contraction
+        chunk of ``s`` terms the float64 products satisfy
+        ``s * max(a_limb) * (q-1) <= 2**53``, so both GEMMs are exact
+        integer arithmetic in float64.  Chunk results are recombined as
+        ``(reduce(c_hi) << 16) + c_lo`` (< 2**54) and lazily accumulated
+        in uint64, with one reducer *fold* between chunks to stay clear
+        of overflow — the fold-based accumulator that replaces the old
+        per-term-division branch for moduli near ``2**32``.
+        """
+        red = self.reducer
+        m, k = a.shape
+        n = b.shape[1]
+        qm1 = self.q - 1
+        hi_max = qm1 >> 16
+        lo_max = min(qm1, 0xFFFF)
+        # Largest exact contraction chunk per limb (at least 32 for any
+        # q < 2**32; one chunk covers typical coded-computing shapes).
+        step = k or 1
+        if lo_max:
+            step = min(step, _F64_EXACT // (lo_max * qm1))
+        if hi_max:
+            step = min(step, _F64_EXACT // (hi_max * qm1))
+        step = max(1, step)
+        a_lo = (a & _MASK16).astype(np.float64)
+        a_hi = (a >> _SHIFT16).astype(np.float64) if hi_max else None
+        # Recombining the high limb needs it congruent, not canonical: a
+        # cheap fold is enough whenever the fold-bounded value, shifted
+        # 16 bits and stacked on the low limb plus a folded accumulator,
+        # provably stays in uint64.  Both bounds are exact Python-int
+        # arithmetic; when the cheap fold cannot be proven safe (large
+        # 2**32 mod q), fall back to a full reduction of the high limb.
+        c_lo_max = step * lo_max * qm1
+        hi_fold_max = red.fold_bound(step * hi_max * qm1) if hi_max else 0
+        hi_fold_ok = (
+            hi_max and red.fold_max + (hi_fold_max << 16) + c_lo_max <= _U64_MAX
+        )
+        hi_red_max = hi_fold_max if hi_fold_ok else qm1
+        chunk_max = (hi_red_max << 16) + c_lo_max
+        fold_ok = red.fold_max + chunk_max <= _U64_MAX
+        # Exact bound on the finished accumulator, so the final
+        # reduction can run the cheapest chain its magnitude admits.
+        if k > step:
+            acc_max = (red.fold_max if fold_ok else qm1) + chunk_max
+        else:
+            acc_max = chunk_max
+        width_block = max(1, self.MATMUL_F64_BLOCK_ELEMS // max(m + k, 1))
+        for col in range(0, n, width_block):
+            w = min(width_block, n - col)
+            bf = b[:, col : col + w].astype(np.float64)
+            acc: Optional[np.ndarray] = None
+            for start in range(0, k, step):
+                stop = min(start + step, k)
+                c_lo = a_lo[:, start:stop] @ bf[start:stop]
+                term = c_lo.astype(np.uint64)
+                if a_hi is not None:
+                    c_hi = a_hi[:, start:stop] @ bf[start:stop]
+                    hi_red = (red.fold if hi_fold_ok else red.reduce)(
+                        c_hi.astype(np.uint64)
+                    )
+                    hi_red <<= _SHIFT16
+                    term += hi_red
+                if acc is None:
+                    acc = term
+                else:
+                    (red.fold if fold_ok else red.reduce)(acc, out=acc)
+                    acc += term
+            if acc is None:  # k == 0: empty contraction sums to zero
+                out[:, col : col + w] = 0
+            else:
+                red.reduce_bounded(acc, acc_max, out=out[:, col : col + w])
+
     def _matmul_block(self, a: np.ndarray, b: np.ndarray, out: np.ndarray) -> None:
-        """One width block of :meth:`matmul`, written into ``out``."""
+        """One width block of the baseline (``numpy_mod``) matmul kernel."""
         k = a.shape[1]
         out[:] = 0
         if k <= 256:
@@ -225,7 +343,7 @@ class FiniteField:
             # and for the default q = 2**31 - 1 this cuts it 4x.  The
             # outer accumulator then holds one reduced (< q) term per
             # batch, at most 256 of them, far from overflow.
-            batch = ((1 << 64) - 1) // ((self.q - 1) ** 2)
+            batch = _U64_MAX // ((self.q - 1) ** 2)
             if batch < 2:
                 for kk in range(k):
                     out += np.mod(a[:, kk, None] * b[None, kk, :], self._q64)
@@ -269,10 +387,12 @@ class FiniteField:
     # dunder conveniences
     # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:
+        # Reducers are bit-identical by contract, so fields compare (and
+        # hash) on the modulus alone.
         return isinstance(other, FiniteField) and other.q == self.q
 
     def __hash__(self) -> int:
         return hash(("FiniteField", self.q))
 
     def __repr__(self) -> str:
-        return f"FiniteField(q={self.q})"
+        return f"FiniteField(q={self.q}, reducer={self.reducer.kind})"

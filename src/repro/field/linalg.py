@@ -26,6 +26,7 @@ def _eliminate(gf: FiniteField, aug: np.ndarray, ncols: int) -> Tuple[np.ndarray
     leading ``ncols x ncols`` block when the matrix is square and full rank
     (zero otherwise).
     """
+    red = gf.reducer
     q64 = np.uint64(gf.q)
     a = aug.copy()
     nrows = a.shape[0]
@@ -41,20 +42,18 @@ def _eliminate(gf: FiniteField, aug: np.ndarray, ncols: int) -> Tuple[np.ndarray
         src = pivot_row + int(nonzero[0])
         if src != pivot_row:
             a[[pivot_row, src]] = a[[src, pivot_row]]
-            det = np.mod(q64 - det, q64)  # row swap flips the sign
+            det = red.reduce_semi(q64 - det)  # row swap flips the sign
         pivot = a[pivot_row, col]
-        det = np.mod(det * pivot, q64)
+        det = red.reduce(det * pivot)
         inv_pivot = gf.inv(pivot)
-        a[pivot_row] = np.mod(a[pivot_row] * inv_pivot, q64)
+        a[pivot_row] = red.reduce(a[pivot_row] * inv_pivot)
         # Zero out the column in all other rows in one vectorized pass.
         factors = a[:, col].copy()
         factors[pivot_row] = np.uint64(0)
         rows_to_fix = np.nonzero(factors)[0]
         if rows_to_fix.size:
-            update = np.mod(
-                factors[rows_to_fix, None] * a[pivot_row][None, :], q64
-            )
-            a[rows_to_fix] = np.mod(a[rows_to_fix] + (q64 - update), q64)
+            update = red.reduce(factors[rows_to_fix, None] * a[pivot_row][None, :])
+            a[rows_to_fix] = red.reduce_semi(a[rows_to_fix] + (q64 - update))
         pivot_row += 1
     rank = pivot_row
     if rank < min(nrows, ncols) or nrows != ncols:

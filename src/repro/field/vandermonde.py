@@ -48,6 +48,46 @@ def vandermonde(gf: FiniteField, points: Sequence[int], nrows: int) -> np.ndarra
     return np.stack(rows, axis=0)
 
 
+def _row_products(gf: FiniteField, mat: np.ndarray) -> np.ndarray:
+    """Reduced product along axis 1 of a 2-D field array, by pairwise tree.
+
+    Halving the column axis each round turns the naive O(c) sequence of
+    per-column multiplies into O(log c) whole-array reducer ops; the
+    result is the canonical residue either way.
+    """
+    prod = mat
+    while prod.shape[1] > 1:
+        half = prod.shape[1] // 2
+        tail = prod[:, 2 * half :]  # zero or one leftover column
+        prod = gf.mul(prod[:, : 2 * half : 2], prod[:, 1 : 2 * half : 2])
+        if tail.shape[1]:
+            prod = np.concatenate([prod, tail], axis=1)
+    if prod.shape[1] == 0:
+        return np.ones(prod.shape[0], dtype=np.uint64)
+    return prod[:, 0]
+
+
+def _exclusive_products(gf: FiniteField, mat: np.ndarray) -> np.ndarray:
+    """``out[:, k] = prod_{l != k} mat[:, l]`` (reduced), zero-safe.
+
+    Prefix/suffix scans replace the O(c**2) per-column Python loops with
+    O(c) whole-column reducer ops; unlike the divide-by-total trick this
+    stays exact when a column contains zeros (an eval point that
+    coincides with a sample point).
+    """
+    r, c = mat.shape
+    if c == 0:
+        return np.empty((r, 0), dtype=np.uint64)
+    prefix = np.empty((r, c), dtype=np.uint64)
+    suffix = np.empty((r, c), dtype=np.uint64)
+    prefix[:, 0] = 1
+    suffix[:, c - 1] = 1
+    for k in range(1, c):
+        prefix[:, k] = gf.mul(prefix[:, k - 1], mat[:, k - 1])
+        suffix[:, c - 1 - k] = gf.mul(suffix[:, c - k], mat[:, c - k])
+    return gf.mul(prefix, suffix)
+
+
 def lagrange_coeffs(
     gf: FiniteField, sample_points: Sequence[int], eval_points: Sequence[int]
 ) -> np.ndarray:
@@ -66,24 +106,13 @@ def lagrange_coeffs(
     if len(set(s.tolist())) != s.size:
         raise FieldError("sample points must be distinct")
     u = s.size
-    q64 = np.uint64(gf.q)
     # diffs[k, l] = s_k - s_l ; denominators d_k = prod_{l != k} (s_k - s_l)
-    diffs = np.mod(s[:, None] + (q64 - s[None, :]), q64)
+    diffs = gf.sub(s[:, None], s[None, :])
     np.fill_diagonal(diffs, np.uint64(1))
-    denom = np.ones(u, dtype=np.uint64)
-    for l in range(u):
-        denom = np.mod(denom * diffs[:, l], q64)
-    inv_denom = gf.inv(denom)
+    inv_denom = gf.inv(_row_products(gf, diffs))
     # numerators: num[m, k] = prod_{l != k} (e_m - s_l)
-    ediffs = np.mod(e[:, None] + (q64 - s[None, :]), q64)  # (m, l)
-    coeffs = np.empty((e.size, u), dtype=np.uint64)
-    for k in range(u):
-        cols = np.concatenate([ediffs[:, :k], ediffs[:, k + 1:]], axis=1)
-        num = np.ones(e.size, dtype=np.uint64)
-        for l in range(cols.shape[1]):
-            num = np.mod(num * cols[:, l], q64)
-        coeffs[:, k] = np.mod(num * inv_denom[k], q64)
-    return coeffs
+    ediffs = gf.sub(e[:, None], s[None, :])  # (m, l)
+    return gf.mul(_exclusive_products(gf, ediffs), inv_denom[None, :])
 
 
 def interpolate(

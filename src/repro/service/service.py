@@ -406,6 +406,10 @@ class AggregationService:
                 "num_workers": cfg.num_workers,
                 "connect": list(cfg.connect) if cfg.connect else None,
             },
+            "field": {
+                "modulus": self.gf.q,
+                "reducer": self.gf.reducer.kind,
+            },
             "transport": {
                 "kind": cfg.transport.value,
                 "workers_alive": sum(

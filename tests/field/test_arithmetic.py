@@ -156,12 +156,16 @@ class TestReductions:
         b = gf_any.random((17, 64), rng)
         want = gf_any.matmul(a, b)
         old_block = type(gf_any).MATMUL_BLOCK_ELEMS
+        old_f64_block = type(gf_any).MATMUL_F64_BLOCK_ELEMS
         try:
-            # Force many tiny blocks (width 1 per block at m=5).
+            # Force many tiny blocks (width 1 per block at m=5) on both
+            # the legacy and the limb-split kernels.
             type(gf_any).MATMUL_BLOCK_ELEMS = 5
+            type(gf_any).MATMUL_F64_BLOCK_ELEMS = 5
             got = gf_any.matmul(a, b)
         finally:
             type(gf_any).MATMUL_BLOCK_ELEMS = old_block
+            type(gf_any).MATMUL_F64_BLOCK_ELEMS = old_f64_block
         assert np.array_equal(got, want)
 
     def test_matmul_lazy_reduction_spans_batches(self, gf_any, rng):
