@@ -11,7 +11,13 @@ from repro.asyncfl.incompatibility import (
     attempt_async_pairwise_aggregation,
     residue_matrix,
 )
-from repro.asyncfl.secure_aggregator import AsyncDelivery, AsyncSecureAggregator
+from repro.asyncfl.pooled import BufferedShardSession
+from repro.asyncfl.secure_aggregator import (
+    AsyncDelivery,
+    AsyncSecureAggregator,
+    PreparedDelivery,
+    prepare_deliveries,
+)
 from repro.asyncfl.staleness import (
     QuantizedStaleness,
     constant_staleness,
@@ -36,6 +42,9 @@ __all__ = [
     "BufferedUpdate",
     "AsyncDelivery",
     "AsyncSecureAggregator",
+    "PreparedDelivery",
+    "prepare_deliveries",
+    "BufferedShardSession",
     "constant_staleness",
     "polynomial_staleness",
     "hinge_staleness",

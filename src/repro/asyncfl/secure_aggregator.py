@@ -47,6 +47,63 @@ class AsyncDelivery:
     update: np.ndarray
 
 
+@dataclass(frozen=True)
+class PreparedDelivery:
+    """One delivery after the user-side randomized steps.
+
+    ``weight`` is the quantized staleness weight ``s_cg(tau)``;
+    ``quantized`` is the field embedding of the update, or ``None`` when
+    the weight quantized to zero (the update contributes nothing and its
+    quantization draw is skipped, so the rng stream stays aligned between
+    any two consumers preparing the same deliveries).
+    """
+
+    user_id: int
+    staleness: int
+    weight: int
+    quantized: Optional[np.ndarray]
+
+
+def prepare_deliveries(
+    deliveries: Sequence[AsyncDelivery],
+    model_dim: int,
+    quantizer: ModelQuantizer,
+    staleness: QuantizedStaleness,
+    rng: np.random.Generator,
+) -> List[PreparedDelivery]:
+    """Run the user-side randomized pipeline for a buffer of deliveries.
+
+    Per delivery, in buffer order: validate the update's shape, draw the
+    staleness weight, and (for nonzero weights) stochastically quantize
+    the update into the field.  These are *all* the rng draws the
+    protocol makes that affect the aggregate value — masks cancel exactly
+    — so two callers that prepare the same deliveries with identically
+    seeded rngs obtain bit-identical ``(weight, quantized)`` pairs.  That
+    is the hook the service's buffered-async engine uses to stay
+    bit-identical to :meth:`AsyncSecureAggregator.aggregate` while
+    serving masks from a precomputed pool.
+    """
+    prepared: List[PreparedDelivery] = []
+    for delivery in deliveries:
+        if delivery.update.shape != (model_dim,):
+            raise ProtocolError(
+                f"update shape {delivery.update.shape} != ({model_dim},)"
+            )
+        w = staleness.weight(delivery.staleness, rng)
+        quantized = (
+            quantizer.quantize(delivery.update, rng) if w != 0 else None
+        )
+        prepared.append(
+            PreparedDelivery(
+                user_id=delivery.user_id,
+                staleness=delivery.staleness,
+                weight=w,
+                quantized=quantized,
+            )
+        )
+    return prepared
+
+
 class AsyncSecureAggregator:
     """Secure weighted aggregation of a buffer of stale updates."""
 
@@ -101,34 +158,31 @@ class AsyncSecureAggregator:
                 f"U={self.params.target_survivors}"
             )
 
-        # --- user side: quantize, mask (each mask carries its timestamp;
+        # --- user side: quantize and weight every delivery first (all the
+        # value-affecting rng draws, shared with the service engine via
+        # prepare_deliveries), then mask (each mask carries its timestamp;
         # simulated here by drawing the mask at aggregation time, which is
-        # distributionally identical), and upload.
-        weights: List[int] = []
-        masked_sum = self.gf.zeros(self.model_dim)
-        share_matrix: Dict[int, List[np.ndarray]] = {j: [] for j in range(n)}
-        for delivery in deliveries:
-            if delivery.update.shape != (self.model_dim,):
-                raise ProtocolError(
-                    f"update shape {delivery.update.shape} != ({self.model_dim},)"
-                )
-            w = self.staleness.weight(delivery.staleness, rng)
-            weights.append(w)
-            if w == 0:
-                continue
-            quantized = self.quantizer.quantize(delivery.update, rng)
-            mask = self.encoder.generate_mask(rng)
-            shares = self.encoder.encode(mask, rng)  # (N, share_dim)
-            masked = self.gf.add(quantized, mask)
-            # Server applies the public integer weight to the masked update.
-            masked_sum = self.gf.add(masked_sum, self.gf.mul(masked, w))
-            # Each holder will apply the same weight to its share.
-            for j in range(n):
-                share_matrix[j].append(self.gf.mul(shares[j], w))
-
-        total_weight = sum(weights)
+        # distributionally identical) and upload.
+        prepared = prepare_deliveries(
+            deliveries, self.model_dim, self.quantizer, self.staleness, rng
+        )
+        total_weight = sum(p.weight for p in prepared)
         if total_weight == 0:
             raise ProtocolError("all staleness weights quantized to zero")
+
+        masked_sum = self.gf.zeros(self.model_dim)
+        share_matrix: Dict[int, List[np.ndarray]] = {j: [] for j in range(n)}
+        for p in prepared:
+            if p.weight == 0:
+                continue
+            mask = self.encoder.generate_mask(rng)
+            shares = self.encoder.encode(mask, rng)  # (N, share_dim)
+            masked = self.gf.add(p.quantized, mask)
+            # Server applies the public integer weight to the masked update.
+            masked_sum = self.gf.add(masked_sum, self.gf.mul(masked, p.weight))
+            # Each holder will apply the same weight to its share.
+            for j in range(n):
+                share_matrix[j].append(self.gf.mul(shares[j], p.weight))
 
         # --- recovery: any U responders send their weighted aggregated
         # shares; one-shot decode of the weighted aggregate mask.

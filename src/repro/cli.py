@@ -206,9 +206,17 @@ def cmd_service(args: argparse.Namespace) -> int:
         ref = snapshot["refiller"]
         print(f"  background refills: {ref['refills']} "
               f"({ref['rounds_refilled']} rounds of material)")
+    statuses = {c["cohort_id"]: c for c in snapshot.get("cohorts", [])}
     for cid, m in metrics["cohorts"].items():
-        print(f"  cohort {cid}: {m['rounds']} rounds, {m['stalls']} stalls, "
-              f"{m['rounds_per_second']:.1f} rounds/s online")
+        line = (f"  cohort {cid}: {m['rounds']} rounds, {m['stalls']} stalls, "
+                f"{m['rounds_per_second']:.1f} rounds/s online")
+        status = statuses.get(int(cid), {})
+        if status.get("kind", "sync") != "sync":
+            line += (f" [{status['kind']}: buffer "
+                     f"{status.get('buffer_fill', 0)}/"
+                     f"{status.get('buffer_capacity', 0)}, "
+                     f"{status.get('drains', 0)} drains]")
+        print(line)
     return 0
 
 

@@ -28,8 +28,11 @@ from repro.service.api.schemas import (
     RoundRequest,
     RoundResponse,
     SchemaError,
+    SubmitUpdateRequest,
     SyntheticRoundSpec,
+    decode_real_vector,
     decode_vector,
+    encode_real_vector,
     encode_vector,
     field_bits,
 )
@@ -47,9 +50,12 @@ __all__ = [
     "RoundRequest",
     "RoundResponse",
     "SchemaError",
+    "SubmitUpdateRequest",
     "SyntheticRoundSpec",
+    "decode_real_vector",
     "decode_vector",
     "dispatch",
+    "encode_real_vector",
     "encode_vector",
     "field_bits",
 ]

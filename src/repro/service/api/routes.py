@@ -12,6 +12,11 @@ error class to its HTTP lane exactly once, here:
 ``GET  /cohorts/{id}``                200     one cohort's status
 ``DELETE /cohorts/{id}``              200     close it (neighbours untouched)
 ``POST /cohorts/{id}/rounds``         200     run one round, return aggregate
+``POST /cohorts/{id}/rounds``         202     with ``"mode": "async"``: a handle
+``GET  /cohorts/{id}/rounds/{h}``     200     poll an async round handle
+``POST /cohorts/{id}/updates``        200     buffered submission (may drain)
+``POST /cohorts/{id}/members``        201     join a buffered cohort (re-key)
+``DELETE /cohorts/{id}/members/{u}``  200     leave a buffered cohort (re-key)
 ``GET  /cohorts/{id}/traces``         200     recent round-trace summaries
 ``GET  /traces/{trace_id}``           200     one full trace (span tree)
 ``POST /drain``                       200     graceful shutdown, then exit
@@ -40,6 +45,7 @@ from repro.service.api.schemas import (
     NotFoundError,
     RoundRequest,
     SchemaError,
+    SubmitUpdateRequest,
 )
 
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -123,8 +129,44 @@ def _get_trace(control, match, body) -> Response:
 
 def _run_round(control, match, body) -> Response:
     request = RoundRequest.from_json(body)
-    response = control.run_round(int(match.group("cohort_id")), request)
+    cohort_id = int(match.group("cohort_id"))
+    if request.mode == "async":
+        return json_response(
+            202, control.start_async_round(cohort_id, request)
+        )
+    response = control.run_round(cohort_id, request)
     return json_response(200, response.to_json())
+
+
+def _get_round_handle(control, match, body) -> Response:
+    return json_response(
+        200,
+        control.get_round_handle(
+            int(match.group("cohort_id")), int(match.group("handle"))
+        ),
+    )
+
+
+def _submit_update(control, match, body) -> Response:
+    request = SubmitUpdateRequest.from_json(body)
+    return json_response(
+        200, control.submit_update(int(match.group("cohort_id")), request)
+    )
+
+
+def _join_member(control, match, body) -> Response:
+    return json_response(
+        201, control.join_member(int(match.group("cohort_id")))
+    )
+
+
+def _leave_member(control, match, body) -> Response:
+    return json_response(
+        200,
+        control.leave_member(
+            int(match.group("cohort_id")), int(match.group("user_id"))
+        ),
+    )
 
 
 def _drain(control, match, body) -> Response:
@@ -146,6 +188,16 @@ ROUTES: List[Tuple[str, "re.Pattern", Handler]] = [
     ("GET", re.compile(r"/cohorts/(?P<cohort_id>\d+)"), _cohort_status),
     ("DELETE", re.compile(r"/cohorts/(?P<cohort_id>\d+)"), _delete_cohort),
     ("POST", re.compile(r"/cohorts/(?P<cohort_id>\d+)/rounds"), _run_round),
+    ("GET",
+     re.compile(r"/cohorts/(?P<cohort_id>\d+)/rounds/(?P<handle>\d+)"),
+     _get_round_handle),
+    ("POST", re.compile(r"/cohorts/(?P<cohort_id>\d+)/updates"),
+     _submit_update),
+    ("POST", re.compile(r"/cohorts/(?P<cohort_id>\d+)/members"),
+     _join_member),
+    ("DELETE",
+     re.compile(r"/cohorts/(?P<cohort_id>\d+)/members/(?P<user_id>\d+)"),
+     _leave_member),
     ("GET", re.compile(r"/cohorts/(?P<cohort_id>\d+)/traces"),
      _cohort_traces),
     ("GET", re.compile(r"/traces/(?P<trace_id>\d+)"), _get_trace),

@@ -156,6 +156,39 @@ def encode_vector(vector: np.ndarray, encoding: str, q: int) -> str:
     return base64.b64encode(raw).decode("ascii")
 
 
+def decode_real_vector(text: str, dim: int, field: str) -> np.ndarray:
+    """Base64 little-endian float64 → validated real vector of ``dim``.
+
+    Buffered-async submissions are *real-valued* local updates (the
+    server quantizes them into the field at drain time), so they ride
+    the ``f64`` encoding instead of the field encodings above.
+    """
+    if not isinstance(text, str):
+        raise SchemaError(
+            field, f"expected a base64 string, got {type(text).__name__}"
+        )
+    try:
+        raw = base64.b64decode(text.encode("ascii"), validate=True)
+    except (binascii.Error, UnicodeEncodeError) as exc:
+        raise SchemaError(field, f"invalid base64: {exc}") from None
+    if len(raw) != dim * 8:
+        raise SchemaError(
+            field,
+            f"f64 vector is {len(raw)} bytes; dim={dim} needs exactly "
+            f"{dim * 8}",
+        )
+    vector = np.frombuffer(raw, dtype="<f8").astype(np.float64, copy=True)
+    if not np.all(np.isfinite(vector)):
+        raise SchemaError(field, "vector contains non-finite elements")
+    return vector
+
+
+def encode_real_vector(vector: np.ndarray) -> str:
+    """Real vector → base64 little-endian float64 text."""
+    arr = np.ascontiguousarray(np.asarray(vector), dtype="<f8")
+    return base64.b64encode(arr.tobytes()).decode("ascii")
+
+
 def _parse_encoding(body: Dict[str, Any]) -> str:
     encoding = _typed(body, "encoding", str, default="u64")
     if encoding not in ENCODINGS:
@@ -172,6 +205,8 @@ _COHORT_FIELDS = (
     "protocol", "num_users", "model_dim", "num_shards", "pool_size",
     "low_water", "privacy", "dropout_tolerance", "transport",
     "wire_format", "num_workers", "connect", "seed",
+    "kind", "buffer_size", "staleness_fn", "staleness_alpha",
+    "staleness_levels", "quant_levels", "quant_clip",
 )
 
 
@@ -200,6 +235,13 @@ class CohortCreateRequest:
     num_workers: Optional[int] = None
     connect: Optional[Tuple[str, ...]] = None
     seed: int = 0
+    kind: str = "sync"
+    buffer_size: Optional[int] = None
+    staleness_fn: str = "constant"
+    staleness_alpha: float = 1.0
+    staleness_levels: int = 1 << 6
+    quant_levels: int = 1 << 16
+    quant_clip: Optional[float] = None
 
     @classmethod
     def from_json(cls, body: Dict[str, Any]) -> "CohortCreateRequest":
@@ -233,6 +275,21 @@ class CohortCreateRequest:
             num_workers=_typed(body, "num_workers", int),
             connect=connect,
             seed=_typed(body, "seed", int, defaults.seed),
+            kind=_typed(body, "kind", str, defaults.kind),
+            buffer_size=_typed(body, "buffer_size", int),
+            staleness_fn=_typed(
+                body, "staleness_fn", str, defaults.staleness_fn
+            ),
+            staleness_alpha=_typed(
+                body, "staleness_alpha", float, defaults.staleness_alpha
+            ),
+            staleness_levels=_typed(
+                body, "staleness_levels", int, defaults.staleness_levels
+            ),
+            quant_levels=_typed(
+                body, "quant_levels", int, defaults.quant_levels
+            ),
+            quant_clip=_typed(body, "quant_clip", float),
         )
 
     def to_spec(self) -> CohortSpec:
@@ -269,7 +326,79 @@ class CohortCreateRequest:
             num_workers=self.num_workers,
             connect=self.connect,
             seed=self.seed,
+            kind=self.kind,
+            buffer_size=self.buffer_size,
+            staleness_fn=self.staleness_fn,
+            staleness_alpha=self.staleness_alpha,
+            staleness_levels=self.staleness_levels,
+            quant_levels=self.quant_levels,
+            quant_clip=self.quant_clip,
         )
+
+
+# ----------------------------------------------------------------------
+# POST /cohorts/{id}/updates  (buffered cohorts)
+# ----------------------------------------------------------------------
+_SUBMIT_FIELDS = (
+    "user_id", "update", "download_round", "dropouts", "encoding",
+)
+
+
+@dataclass(frozen=True)
+class SubmitUpdateRequest:
+    """The JSON body of ``POST /cohorts/{id}/updates``.
+
+    One buffered-async submission: a member's real-valued local update
+    (base64 little-endian float64, encoding ``f64``), the round it
+    downloaded the model at (``download_round``, defaulting to the
+    current round), and optionally member ids it observed unreachable
+    (excluded from the recovery phase of the drain this submission
+    lands in).
+    """
+
+    user_id: int
+    update_b64: str
+    download_round: Optional[int] = None
+    dropouts: Tuple[int, ...] = ()
+
+    @classmethod
+    def from_json(cls, body: Dict[str, Any]) -> "SubmitUpdateRequest":
+        _reject_unknown(body, _SUBMIT_FIELDS, "update submission")
+        encoding = _typed(body, "encoding", str, default="f64")
+        if encoding != "f64":
+            raise SchemaError(
+                "encoding",
+                "buffered submissions are real-valued; only 'f64' "
+                f"(little-endian float64) is supported, got {encoding!r}",
+            )
+        user_id = _typed(body, "user_id", int, required=True)
+        if user_id < 0:
+            raise SchemaError("user_id", f"must be >= 0, got {user_id}")
+        update = _typed(body, "update", str, required=True)
+        download_round = _typed(body, "download_round", int)
+        if download_round is not None and download_round < 0:
+            raise SchemaError(
+                "download_round", f"must be >= 0, got {download_round}"
+            )
+        dropouts_list = _typed(body, "dropouts", list, [])
+        dropouts: List[int] = []
+        for i, uid in enumerate(dropouts_list):
+            if isinstance(uid, bool) or not isinstance(uid, int):
+                raise SchemaError(
+                    f"dropouts[{i}]",
+                    f"expected an integer member id, got "
+                    f"{type(uid).__name__}",
+                )
+            dropouts.append(uid)
+        return cls(
+            user_id=user_id,
+            update_b64=update,
+            download_round=download_round,
+            dropouts=tuple(dropouts),
+        )
+
+    def decode(self, model_dim: int) -> np.ndarray:
+        return decode_real_vector(self.update_b64, model_dim, "update")
 
 
 # ----------------------------------------------------------------------
@@ -302,18 +431,31 @@ class RoundRequest:
     ``synthetic`` (a server-side input generator spec) must be present.
     ``dropouts`` lists user ids that dropped after upload; with
     ``synthetic`` it is unioned with the sampled dropouts.
+
+    ``mode`` selects the execution style: ``"sync"`` (default) blocks
+    until the round completes and returns the aggregate; ``"async"``
+    returns ``202`` immediately with a round *handle* to poll at
+    ``GET /cohorts/{id}/rounds/{handle}``.
     """
 
     updates_b64: Optional[Dict[int, str]] = None
     dropouts: Tuple[int, ...] = ()
     synthetic: Optional[SyntheticRoundSpec] = None
     encoding: str = "u64"
+    mode: str = "sync"
 
     @classmethod
     def from_json(cls, body: Dict[str, Any]) -> "RoundRequest":
         _reject_unknown(
-            body, ("updates", "dropouts", "synthetic", "encoding"), "round"
+            body,
+            ("updates", "dropouts", "synthetic", "encoding", "mode"),
+            "round",
         )
+        mode = _typed(body, "mode", str, default="sync")
+        if mode not in ("sync", "async"):
+            raise SchemaError(
+                "mode", f"must be 'sync' or 'async', got {mode!r}"
+            )
         updates = _typed(body, "updates", dict)
         synthetic_body = _typed(body, "synthetic", dict)
         if (updates is None) == (synthetic_body is None):
@@ -356,6 +498,7 @@ class RoundRequest:
             dropouts=tuple(dropouts),
             synthetic=synthetic,
             encoding=encoding,
+            mode=mode,
         )
 
     def materialize(self, spec: CohortSpec, gf):

@@ -31,11 +31,15 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional
 from urllib.parse import urlsplit
 
+import itertools
+
 from repro.exceptions import ProtocolError
 from repro.service.api.schemas import (
     NotFoundError,
     RoundRequest,
     RoundResponse,
+    SubmitUpdateRequest,
+    encode_real_vector,
     encode_vector,
 )
 from repro.service.config import CohortSpec
@@ -55,6 +59,11 @@ class ControlPlane:
         self._drained = threading.Event()
         self._drain_summary: Optional[Dict[str, Any]] = None
         self._t0 = time.monotonic()
+        # Async round handles: (cohort_id, handle) -> state dict.  The
+        # worker thread runs through run_round, so its round is counted
+        # in-flight and drain/delete wait it out like any other.
+        self._round_handles: Dict[tuple, Dict[str, Any]] = {}
+        self._handle_counter = itertools.count(1)
 
     # ------------------------------------------------------------------
     # observability
@@ -220,6 +229,141 @@ class ControlPlane:
                     del self._inflight[cohort_id]
                 self._inflight_total -= 1
                 self._cond.notify_all()
+
+    def _admit(self, cohort_id: int):
+        """Shared admission check: draining / closing / existence."""
+        if self._draining:
+            raise ProtocolError(
+                "service is draining; not admitting new work"
+            )
+        if cohort_id in self._closing:
+            raise ProtocolError(f"cohort {cohort_id} is closing")
+        cohort = self.service.get_cohort(cohort_id)
+        if cohort is None:
+            raise NotFoundError(f"no cohort {cohort_id}")
+        return cohort
+
+    def start_async_round(
+        self, cohort_id: int, request: RoundRequest
+    ) -> Dict[str, Any]:
+        """Kick one round off on a worker thread; return a poll handle.
+
+        The handle is scoped to the cohort; poll it at
+        ``GET /cohorts/{id}/rounds/{handle}``.  The worker runs through
+        :meth:`run_round`, so admission control and in-flight accounting
+        (drain waits for it) apply exactly as for a synchronous request.
+        """
+        with self._cond:
+            self._admit(cohort_id)
+            handle = next(self._handle_counter)
+            entry: Dict[str, Any] = {
+                "state": "running", "result": None, "error": None,
+            }
+            self._round_handles[(cohort_id, handle)] = entry
+
+        def work() -> None:
+            try:
+                response = self.run_round(cohort_id, request)
+                with self._cond:
+                    entry["state"] = "done"
+                    entry["result"] = response.to_json()
+            except Exception as exc:  # noqa: BLE001 — reported via poll
+                with self._cond:
+                    entry["state"] = "error"
+                    entry["error"] = {
+                        "type": type(exc).__name__,
+                        "message": str(exc),
+                    }
+
+        threading.Thread(
+            target=work,
+            name=f"repro-round-{cohort_id}-{handle}",
+            daemon=True,
+        ).start()
+        return {
+            "cohort_id": cohort_id,
+            "handle": handle,
+            "state": "running",
+            "poll": f"/cohorts/{cohort_id}/rounds/{handle}",
+        }
+
+    def get_round_handle(
+        self, cohort_id: int, handle: int
+    ) -> Dict[str, Any]:
+        """Poll one async round: running / done (+result) / error."""
+        with self._cond:
+            entry = self._round_handles.get((cohort_id, handle))
+            if entry is None:
+                raise NotFoundError(
+                    f"cohort {cohort_id} has no round handle {handle}"
+                )
+            snapshot = {
+                "cohort_id": cohort_id,
+                "handle": handle,
+                "state": entry["state"],
+                "result": entry["result"],
+                "error": entry["error"],
+            }
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # buffered-async data plane + elastic membership
+    # ------------------------------------------------------------------
+    def submit_update(
+        self, cohort_id: int, request: SubmitUpdateRequest
+    ) -> Dict[str, Any]:
+        """One buffered submission; the sealing one returns the drain.
+
+        Counted in-flight like a round: a concurrent drain or cohort
+        delete waits for the submission (and the drain it may carry) to
+        complete.
+        """
+        with self._cond:
+            cohort = self._admit(cohort_id)
+            self._inflight[cohort_id] = (
+                self._inflight.get(cohort_id, 0) + 1
+            )
+            self._inflight_total += 1
+        try:
+            spec = self.service.cohort_specs[cohort_id]
+            update = request.decode(spec.model_dim)
+            outcome = cohort.submit_update(
+                request.user_id,
+                update,
+                download_round=request.download_round,
+                dropouts=set(request.dropouts),
+            )
+            outcome = dict(outcome)
+            outcome["cohort_id"] = cohort_id
+            if outcome.get("drained"):
+                outcome["aggregate"] = encode_real_vector(
+                    outcome["aggregate"]
+                )
+                outcome["encoding"] = "f64"
+            return outcome
+        finally:
+            with self._cond:
+                self._inflight[cohort_id] -= 1
+                if self._inflight[cohort_id] == 0:
+                    del self._inflight[cohort_id]
+                self._inflight_total -= 1
+                self._cond.notify_all()
+
+    def join_member(self, cohort_id: int) -> Dict[str, Any]:
+        """Admit one member to a buffered cohort (re-keys shares)."""
+        with self._cond:
+            cohort = self._admit(cohort_id)
+        result = dict(cohort.join_member())
+        result["cohort_id"] = cohort_id
+        return result
+
+    def leave_member(self, cohort_id: int, user_id: int) -> Dict[str, Any]:
+        """Retire one member from a buffered cohort (re-keys shares)."""
+        with self._cond:
+            cohort = self._admit(cohort_id)
+        result = dict(cohort.leave_member(user_id))
+        result["cohort_id"] = cohort_id
+        return result
 
     # ------------------------------------------------------------------
     # drain

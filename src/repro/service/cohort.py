@@ -23,14 +23,14 @@ from __future__ import annotations
 
 import enum
 import threading
-import time
 from typing import Dict, Optional, Set
 
 import numpy as np
 
 from repro.exceptions import ProtocolError
-from repro.obs import Tracer, span
+from repro.obs import Tracer
 from repro.protocols.base import AggregationResult
+from repro.service.engines import RoundEngine, SyncRoundEngine
 from repro.service.metrics import ServiceMetrics
 from repro.service.refill import BackgroundRefiller
 
@@ -61,6 +61,14 @@ class Cohort:
         Optional :class:`~repro.obs.Tracer`; every round then records a
         :class:`~repro.obs.RoundTrace` spanning the whole phase machine,
         with the transports contributing scatter/compute/gather spans.
+    engine:
+        Optional :class:`~repro.service.engines.RoundEngine` strategy
+        deciding *how* rounds happen.  Defaults to
+        :class:`~repro.service.engines.SyncRoundEngine` (the original
+        synchronous machine, bit-for-bit); a
+        :class:`~repro.service.engines.BufferedAsyncRoundEngine` turns
+        the cohort into the buffered-async workload (clients submit
+        asynchronously, drains fire when the buffer fills).
     """
 
     def __init__(
@@ -70,6 +78,7 @@ class Cohort:
         metrics: Optional[ServiceMetrics] = None,
         refiller: Optional[BackgroundRefiller] = None,
         tracer: Optional[Tracer] = None,
+        engine: Optional[RoundEngine] = None,
     ):
         self.cohort_id = int(cohort_id)
         self.session = session
@@ -80,6 +89,13 @@ class Cohort:
         self.rounds = 0
         self.stalls = 0
         self._phase_lock = threading.Lock()
+        self.engine = engine if engine is not None else SyncRoundEngine()
+        self.engine.bind(self)
+
+    @property
+    def kind(self) -> str:
+        """The cohort's workload kind (``sync`` / ``buffered``)."""
+        return self.engine.kind
 
     # ------------------------------------------------------------------
     # Phase mutations happen under one lock so a concurrent close() can
@@ -130,74 +146,48 @@ class Cohort:
         race is observable), the cohort simply stays CLOSED instead of
         returning to IDLE.  Rounds *started* after close fail immediately
         with a closed-cohort error.
+
+        The synchronous machine itself lives in
+        :class:`~repro.service.engines.SyncRoundEngine`; non-sync
+        engines reject this entry point (their rounds are driven by
+        :meth:`submit_update`).
         """
-        dropouts = set(dropouts or set())
-        # Entering the machine happens OUTSIDE the recovery block: a call
-        # rejected here (cohort busy or closed) must not clobber the
-        # phase of a round legitimately in progress.  The entry check and
-        # the transition race a concurrent close(), so the closed-cohort
-        # error is (re)issued whenever CLOSED is what made entry invalid
-        # — never a misleading invalid-transition complaint.
-        try:
-            if self.phase is CohortPhase.CLOSED:
-                raise ProtocolError(
-                    f"cohort {self.cohort_id} is closed; no further rounds"
-                )
-            self._transition(CohortPhase.IDLE, CohortPhase.COLLECTING)
-        except ProtocolError:
-            if self.phase is CohortPhase.CLOSED:
-                raise ProtocolError(
-                    f"cohort {self.cohort_id} is closed; no further rounds"
-                ) from None
-            raise
-        trace = None
-        if self.tracer is not None:
-            trace = self.tracer.start_round(self.cohort_id, self.rounds)
-            if trace is not None:
-                trace.root.tags["transport"] = getattr(
-                    getattr(self.session, "transport", None), "kind", "local"
-                )
-        try:
-            # COLLECTING: updates are already in hand in-process; a
-            # transport would gather client uploads here.
-            with span("collect", users=str(len(updates))):
-                self._advance(
-                    CohortPhase.COLLECTING, CohortPhase.AGGREGATING
-                )
-            supports_pool = getattr(self.session, "supports_pool", False)
-            level_before = self.session.pool_level if supports_pool else None
-            stalled = bool(supports_pool and level_before == 0)
-            if trace is not None and stalled:
-                trace.root.tags["stalled"] = "1"
-            t0 = time.perf_counter()
-            result = self.session.run_round(
-                updates, dropouts, rng, **phase_kwargs
+        return self.engine.run_round(updates, dropouts, rng, **phase_kwargs)
+
+    # ------------------------------------------------------------------
+    # buffered-async entry points (engine-gated)
+    # ------------------------------------------------------------------
+    def _buffered_engine(self):
+        engine = self.engine
+        if not hasattr(engine, "submit"):
+            raise ProtocolError(
+                f"cohort {self.cohort_id} is a {self.kind} cohort; "
+                "asynchronous submissions and elastic membership need "
+                "kind='buffered'"
             )
-            online = time.perf_counter() - t0
-            if self.metrics is not None:
-                self.metrics.record_round(
-                    self.cohort_id, online, stalled, level_before
-                )
-            if self.refiller is not None:
-                self.refiller.notify()
-            # close() may have raced this round: the work is done and the
-            # session already committed its pool accounting, so return
-            # the result and leave the cohort CLOSED rather than blowing
-            # up the success path on an AGGREGATING -> IDLE transition
-            # the close made invalid.
-            self._complete_round(stalled)
-            if self.tracer is not None:
-                self.tracer.finish(trace)
-            return result
-        except Exception as exc:
-            if self.tracer is not None:
-                self.tracer.finish(trace, error=exc)
-            # A failed round (e.g. survivors below U) leaves the cohort
-            # ready for the next round, matching session semantics.
-            with self._phase_lock:
-                if self.phase is not CohortPhase.CLOSED:
-                    self.phase = CohortPhase.IDLE
-            raise
+        return engine
+
+    def submit_update(
+        self,
+        user_id: int,
+        update: np.ndarray,
+        download_round: Optional[int] = None,
+        dropouts: Optional[Set[int]] = None,
+    ) -> Dict:
+        """Buffer one client update (buffered cohorts only); the sealing
+        submission drains the buffer and returns the aggregate."""
+        return self._buffered_engine().submit(
+            user_id, update, download_round=download_round,
+            dropouts=dropouts,
+        )
+
+    def join_member(self) -> Dict:
+        """Admit one member at runtime (buffered cohorts only)."""
+        return self._buffered_engine().join()
+
+    def leave_member(self, user_id: int) -> Dict:
+        """Retire one member at runtime (buffered cohorts only)."""
+        return self._buffered_engine().leave(user_id)
 
     def _complete_round(self, stalled: bool) -> None:
         """Commit the round counters and the AGGREGATING -> IDLE advance
@@ -227,6 +217,7 @@ class Cohort:
         self.session.close()
         with self._phase_lock:
             self.phase = CohortPhase.CLOSED
+        self.engine.close()
 
     def status(self) -> Dict:
         """Snapshotable cohort state for coordinators and the CLI.
@@ -240,7 +231,7 @@ class Cohort:
             phase = self.phase.value
             rounds = self.rounds
             stalls = self.stalls
-        return {
+        out = {
             "cohort_id": self.cohort_id,
             "phase": phase,
             "rounds": rounds,
@@ -248,6 +239,11 @@ class Cohort:
             "pool_level": self.session.pool_level if supports_pool else None,
             "pool_size": self.session.pool_size if supports_pool else None,
         }
+        # The sync engine contributes nothing, keeping pre-engine status
+        # snapshots byte-identical; the buffered engine adds its kind,
+        # buffer occupancy, and membership view.
+        out.update(self.engine.status_fields())
+        return out
 
     def __repr__(self) -> str:
         return (

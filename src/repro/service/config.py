@@ -110,6 +110,44 @@ def _validate_cohort_fields(cfg) -> None:
         )
     if cfg.protocol not in ("lightsecagg", "naive"):
         raise ReproError(f"unknown service protocol {cfg.protocol!r}")
+    if cfg.kind not in ("sync", "buffered"):
+        raise ReproError(
+            f"unknown cohort kind {cfg.kind!r}; expected 'sync' or "
+            "'buffered'"
+        )
+    if cfg.kind == "buffered":
+        if cfg.protocol != "lightsecagg":
+            raise ReproError(
+                "buffered cohorts need protocol='lightsecagg' (pooled "
+                f"mask sessions); got {cfg.protocol!r}"
+            )
+        buffer_size = (
+            cfg.num_users if cfg.buffer_size is None else cfg.buffer_size
+        )
+        if not 1 <= buffer_size <= cfg.num_users:
+            raise ReproError(
+                f"buffer_size must be in [1, num_users={cfg.num_users}], "
+                f"got {cfg.buffer_size}"
+            )
+    elif cfg.buffer_size is not None:
+        raise ReproError("buffer_size only applies to buffered cohorts")
+    if cfg.staleness_fn not in ("constant", "polynomial", "hinge"):
+        raise ReproError(
+            f"unknown staleness_fn {cfg.staleness_fn!r}; expected "
+            "'constant', 'polynomial', or 'hinge'"
+        )
+    if cfg.staleness_levels < 1:
+        raise ReproError(
+            f"staleness_levels must be >= 1, got {cfg.staleness_levels}"
+        )
+    if cfg.quant_levels < 2:
+        raise ReproError(
+            f"quant_levels must be >= 2, got {cfg.quant_levels}"
+        )
+    if cfg.quant_clip is not None and cfg.quant_clip <= 0:
+        raise ReproError(
+            f"quant_clip must be positive, got {cfg.quant_clip}"
+        )
     if cfg.protocol == "lightsecagg":
         from repro.protocols.lightsecagg.params import LSAParams
 
@@ -191,6 +229,18 @@ class CohortSpec:
     num_workers: Optional[int] = None
     connect: Optional[Tuple[str, ...]] = None
     seed: int = 0
+    # Buffered-async workload knobs (kind="buffered" only).  The buffer
+    # seals and drains at ``buffer_size`` submissions (defaults to
+    # num_users); staleness_* select and parameterize the per-delivery
+    # weighting s(tau); quant_* shape the real->field embedding of
+    # submitted updates.
+    kind: str = "sync"
+    buffer_size: Optional[int] = None
+    staleness_fn: str = "constant"
+    staleness_alpha: float = 1.0
+    staleness_levels: int = 1 << 6
+    quant_levels: int = 1 << 16
+    quant_clip: Optional[float] = None
 
     def __post_init__(self) -> None:
         _validate_cohort_fields(self)
@@ -199,6 +249,7 @@ class CohortSpec:
         """JSON-serializable spec summary for status endpoints."""
         return {
             "protocol": self.protocol,
+            "kind": self.kind,
             "num_users": self.num_users,
             "model_dim": self.model_dim,
             "num_shards": self.num_shards,
@@ -211,6 +262,12 @@ class CohortSpec:
             "num_workers": self.num_workers,
             "connect": list(self.connect) if self.connect else None,
             "seed": self.seed,
+            "buffer_size": self.buffer_size,
+            "staleness_fn": self.staleness_fn,
+            "staleness_alpha": self.staleness_alpha,
+            "staleness_levels": self.staleness_levels,
+            "quant_levels": self.quant_levels,
+            "quant_clip": self.quant_clip,
         }
 
 
@@ -300,6 +357,14 @@ class ServiceConfig:
     tracing: bool = True
     trace_capacity: int = 256
     trace_slow_factor: float = 5.0
+    # Buffered-async workload knobs; see CohortSpec.
+    kind: str = "sync"
+    buffer_size: Optional[int] = None
+    staleness_fn: str = "constant"
+    staleness_alpha: float = 1.0
+    staleness_levels: int = 1 << 6
+    quant_levels: int = 1 << 16
+    quant_clip: Optional[float] = None
 
     def __post_init__(self) -> None:
         # Everything a bad pair could break late — shard geometry inside
@@ -336,4 +401,11 @@ class ServiceConfig:
             num_workers=self.num_workers,
             connect=self.connect,
             seed=self.seed,
+            kind=self.kind,
+            buffer_size=self.buffer_size,
+            staleness_fn=self.staleness_fn,
+            staleness_alpha=self.staleness_alpha,
+            staleness_levels=self.staleness_levels,
+            quant_levels=self.quant_levels,
+            quant_clip=self.quant_clip,
         )

@@ -33,6 +33,18 @@ def _latency_histogram() -> List[int]:
     return [0] * (len(LATENCY_BUCKETS_S) + 1)  # trailing slot is +Inf
 
 
+#: Upper bucket bounds (rounds) of the per-drain staleness histogram in
+#: buffered-async cohorts: tau = seal round - download round.  Most
+#: deliveries in the paper's regime are fresh (tau <= 2); the tail
+#: buckets catch stragglers several drains behind.  Implicit final
+#: bucket is +Inf.
+STALENESS_BUCKETS: Tuple[int, ...] = (0, 1, 2, 4, 8, 16, 32)
+
+
+def _staleness_histogram() -> List[int]:
+    return [0] * (len(STALENESS_BUCKETS) + 1)  # trailing slot is +Inf
+
+
 def _fmt(value) -> str:
     """Prometheus sample formatting: integral floats without the dot."""
     if isinstance(value, float):
@@ -61,6 +73,30 @@ class CohortMetrics:
     # Per-bucket observation counts aligned with LATENCY_BUCKETS_S (last
     # slot is the +Inf overflow); non-cumulative, cumulated at render.
     latency_buckets: List[int] = field(default_factory=_latency_histogram)
+    # --- buffered-async cohorts only (all zero on sync cohorts, and
+    # their Prometheus samples are suppressed so sync scrapes stay
+    # byte-compatible modulo the new header lines). ---
+    # Current buffer occupancy / capacity (gauges, updated per submit).
+    buffer_fill: int = 0
+    buffer_capacity: int = 0
+    # Buffer drains completed (each is also counted in ``rounds``).
+    drains: int = 0
+    # Per-delivery staleness distribution across all drains, aligned
+    # with STALENESS_BUCKETS (+Inf overflow in the last slot).
+    staleness_buckets: List[int] = field(
+        default_factory=_staleness_histogram
+    )
+    staleness_sum: int = 0
+    staleness_count: int = 0
+    # Elastic membership churn ("join" / "leave" counters).
+    membership_events: Dict[str, int] = field(default_factory=dict)
+
+    def observe_staleness(self, tau: int) -> None:
+        self.staleness_buckets[
+            bisect.bisect_left(STALENESS_BUCKETS, tau)
+        ] += 1
+        self.staleness_sum += tau
+        self.staleness_count += 1
 
     def observe_latency(self, seconds: float) -> None:
         self.latency_buckets[
@@ -182,6 +218,34 @@ class ServiceMetrics:
                 (time.monotonic() - self._t0, pool_level_after)
             )
 
+    def record_submit(
+        self, cohort_id: int, buffer_fill: int, buffer_capacity: int
+    ) -> None:
+        """Record one buffered submission (buffer occupancy gauge)."""
+        with self._lock:
+            m = self._cohort(cohort_id)
+            m.buffer_fill = buffer_fill
+            m.buffer_capacity = buffer_capacity
+
+    def record_drain(
+        self, cohort_id: int, staleness: List[int]
+    ) -> None:
+        """Record one buffer drain and its per-delivery staleness."""
+        with self._lock:
+            m = self._cohort(cohort_id)
+            m.drains += 1
+            m.buffer_fill = 0
+            for tau in staleness:
+                m.observe_staleness(int(tau))
+
+    def record_membership(self, cohort_id: int, event: str) -> None:
+        """Record one elastic-membership event (``join`` / ``leave``)."""
+        with self._lock:
+            m = self._cohort(cohort_id)
+            m.membership_events[event] = (
+                m.membership_events.get(event, 0) + 1
+            )
+
     def record_transport_round(
         self,
         kind: str,
@@ -241,6 +305,13 @@ class ServiceMetrics:
                     "pool_depth_series": list(m.pool_depth_series),
                     "latency_buckets": list(m.latency_buckets),
                     "last_round_unix": m.last_round_unix,
+                    "buffer_fill": m.buffer_fill,
+                    "buffer_capacity": m.buffer_capacity,
+                    "drains": m.drains,
+                    "staleness_buckets": list(m.staleness_buckets),
+                    "staleness_sum": m.staleness_sum,
+                    "staleness_count": m.staleness_count,
+                    "membership_events": dict(m.membership_events),
                 }
             transports = {}
             for kind, t in sorted(self._transports.items()):
@@ -403,6 +474,84 @@ class ServiceMetrics:
                     {"cohort": str(cid)},
                     m.background_rounds_refilled,
                 )
+
+            # --- buffered-async families.  HELP/TYPE headers render
+            # unconditionally (the exposition is self-describing);
+            # samples only exist for cohorts that have buffered state,
+            # so a sync-only deployment's scrape differs from the
+            # pre-buffered format by header lines alone.
+            buffered = [
+                (cid, m)
+                for cid, m in cohorts
+                if m.buffer_capacity > 0
+                or m.drains > 0
+                or m.membership_events
+            ]
+            family(
+                "repro_buffer_fill", "gauge",
+                "Current update-buffer occupancy per buffered cohort.",
+            )
+            for cid, m in buffered:
+                sample(
+                    "repro_buffer_fill", {"cohort": str(cid)}, m.buffer_fill
+                )
+            family(
+                "repro_buffer_capacity", "gauge",
+                "Seal threshold K of each buffered cohort's buffer.",
+            )
+            for cid, m in buffered:
+                sample(
+                    "repro_buffer_capacity", {"cohort": str(cid)},
+                    m.buffer_capacity,
+                )
+            family(
+                "repro_drains_total", "counter",
+                "Completed buffer drains per buffered cohort.",
+            )
+            for cid, m in buffered:
+                sample(
+                    "repro_drains_total", {"cohort": str(cid)}, m.drains
+                )
+            family(
+                "repro_drain_staleness", "histogram",
+                "Per-delivery staleness (rounds) across buffer drains.",
+            )
+            for cid, m in buffered:
+                labels = {"cohort": str(cid)}
+                cumulative = 0
+                for bound, n in zip(
+                    STALENESS_BUCKETS, m.staleness_buckets
+                ):
+                    cumulative += n
+                    sample(
+                        "repro_drain_staleness_bucket",
+                        {**labels, "le": _fmt(float(bound))},
+                        cumulative,
+                    )
+                cumulative += m.staleness_buckets[-1]
+                sample(
+                    "repro_drain_staleness_bucket",
+                    {**labels, "le": "+Inf"},
+                    cumulative,
+                )
+                sample(
+                    "repro_drain_staleness_sum", labels, m.staleness_sum
+                )
+                sample(
+                    "repro_drain_staleness_count", labels,
+                    m.staleness_count,
+                )
+            family(
+                "repro_membership_events_total", "counter",
+                "Elastic membership changes per buffered cohort.",
+            )
+            for cid, m in buffered:
+                for event in sorted(m.membership_events):
+                    sample(
+                        "repro_membership_events_total",
+                        {"cohort": str(cid), "event": event},
+                        m.membership_events[event],
+                    )
 
             transports = sorted(self._transports.items())
             for name, kind, help_text, attr in (

@@ -103,6 +103,11 @@ class CohortScheduler:
         """
         results: Dict[int, AggregationResult] = {}
         for cohort in self.live_cohorts():
+            if getattr(cohort, "kind", "sync") != "sync":
+                # Buffered cohorts drain on their K-th submission, not
+                # on scheduler sweeps; they keep their scheduler seat
+                # only so status() lists every live cohort.
+                continue
             updates, dropouts = update_fn(cohort, cohort.rounds)
             try:
                 results[cohort.cohort_id] = cohort.run_round(

@@ -34,6 +34,7 @@ from repro.protocols.base import sample_dropouts
 from repro.obs import RoundTrace, Tracer
 from repro.quantization import ModelQuantizer
 from repro.service.cohort import Cohort
+from repro.service.engines import BufferedAsyncRoundEngine
 from repro.service.config import (
     CohortSpec,
     RefillMode,
@@ -120,9 +121,17 @@ class AggregationService:
         an identical one (same seed path, same rng streams, bit-identical
         pools).
         """
+        # Buffered cohorts drain pooled masks through the sessions'
+        # drain() path; the dedicated shard protocol selects the
+        # drain-capable session class in every worker.
+        protocol = (
+            "lightsecagg-buffered"
+            if spec.kind == "buffered"
+            else spec.protocol
+        )
         return [
             ShardSessionSpec(
-                protocol=spec.protocol,
+                protocol=protocol,
                 num_users=spec.num_users,
                 shard_dim=plan.widths[shard],
                 privacy=spec.privacy,
@@ -168,12 +177,28 @@ class AggregationService:
                 )
         with self._cohort_lock:
             self._transports[cohort_id] = transport
+        engine = None
+        if spec.kind == "buffered":
+            engine = BufferedAsyncRoundEngine(
+                gf=self.gf,
+                num_users=spec.num_users,
+                buffer_size=spec.buffer_size,
+                staleness_fn=spec.staleness_fn,
+                staleness_alpha=spec.staleness_alpha,
+                staleness_levels=spec.staleness_levels,
+                quant_levels=spec.quant_levels,
+                quant_clip=spec.quant_clip,
+                seed=spec.seed,
+                privacy=spec.privacy,
+                dropout_tolerance=spec.dropout_tolerance,
+            )
         return Cohort(
             cohort_id,
             session,
             metrics=self.metrics,
             refiller=self.refiller,
             tracer=self.tracer,
+            engine=engine,
         )
 
     # ------------------------------------------------------------------
@@ -289,6 +314,30 @@ class AggregationService:
             raise ProtocolError(f"service has no cohort {cohort_id}")
         return cohort
 
+    def submit_update(
+        self,
+        cohort_id: int,
+        user_id: int,
+        update: np.ndarray,
+        download_round: Optional[int] = None,
+        dropouts: Optional[Set[int]] = None,
+    ) -> Dict:
+        """Buffer one client update into a buffered cohort; the sealing
+        submission drains the buffer and returns the aggregate."""
+        return self._cohort(cohort_id).submit_update(
+            user_id, update, download_round=download_round,
+            dropouts=dropouts,
+        )
+
+    def join_cohort_member(self, cohort_id: int) -> Dict:
+        """Admit one member to a buffered cohort (re-keys mask shares)."""
+        return self._cohort(cohort_id).join_member()
+
+    def leave_cohort_member(self, cohort_id: int, user_id: int) -> Dict:
+        """Retire one member from a buffered cohort (re-keys mask
+        shares)."""
+        return self._cohort(cohort_id).leave_member(user_id)
+
     def run_quantized_round(
         self,
         cohort_id: int,
@@ -401,6 +450,7 @@ class AggregationService:
                 "low_water": cfg.low_water,
                 "refill_mode": cfg.refill_mode.value,
                 "protocol": cfg.protocol,
+                "kind": cfg.kind,
                 "transport": cfg.transport.value,
                 "wire_format": cfg.wire_format.value,
                 "num_workers": cfg.num_workers,

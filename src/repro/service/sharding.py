@@ -277,6 +277,74 @@ class ShardedSession:
             metrics=metrics,
         )
 
+    def drain(
+        self,
+        weights,
+        updates: np.ndarray,
+        recovery_dropouts: Optional[Set[int]] = None,
+    ) -> AggregationResult:
+        """One buffered drain across all shards (buffered sessions only).
+
+        ``updates`` is the full ``(B, dim)`` matrix of unweighted
+        quantized deliveries in buffer order; each shard drains its
+        column slice under the shared weight vector, so the reassembled
+        aggregate is bit-identical to a single full-width drain for the
+        same reason rounds are — field sums are elementwise.
+        """
+        updates = np.asarray(updates, dtype=np.uint64)
+        if updates.ndim != 2 or updates.shape[1] != self.plan.dim:
+            raise ProtocolError(
+                f"expected a (B, {self.plan.dim}) update matrix, got "
+                f"{updates.shape}"
+            )
+        per_shard_updates = [
+            np.ascontiguousarray(updates[:, self.plan.slice(s)])
+            for s in range(self.plan.num_shards)
+        ]
+        misses_before = sum(s.stats.pool_misses for s in self.shard_sessions)
+        shard_results: List[AggregationResult] = self.transport.drain_all(
+            weights, per_shard_updates, set(recovery_dropouts or set())
+        )
+        misses_after = sum(s.stats.pool_misses for s in self.shard_sessions)
+        if misses_after > misses_before:
+            self._logical_misses += 1
+
+        survivors = shard_results[0].survivors
+        for s, res in enumerate(shard_results[1:], start=1):
+            if res.survivors != survivors:
+                raise ProtocolError(
+                    f"shard {s} diverged on survivors: {res.survivors} "
+                    f"vs {survivors}"
+                )
+        with span("reconstruct", shards=str(self.plan.num_shards)):
+            aggregate = self.plan.gather(
+                [r.aggregate for r in shard_results]
+            )
+            transcript = Transcript()
+            metrics = RoundMetrics()
+            for res in shard_results:
+                transcript.messages.extend(res.transcript.messages)
+                metrics.server_decode_ops += res.metrics.server_decode_ops
+                metrics.server_prg_elements += res.metrics.server_prg_elements
+                metrics.user_encode_ops += res.metrics.user_encode_ops
+                for key, val in res.metrics.extra.items():
+                    metrics.extra[key] = metrics.extra.get(key, 0.0) + val
+
+        self.stats.rounds += 1
+        self._merge_shard_stats()
+        return AggregationResult(
+            aggregate=aggregate,
+            survivors=survivors,
+            transcript=transcript,
+            metrics=metrics,
+        )
+
+    def rekey(self, num_users: int) -> int:
+        """Re-key every shard for a new member count (buffered only)."""
+        invalidated = self.transport.rekey_all(num_users)
+        self.num_users = int(num_users)
+        return invalidated
+
     def _merge_shard_stats(self) -> None:
         """Mirror per-shard counters into this coordinator's stats.
 

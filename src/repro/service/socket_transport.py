@@ -40,7 +40,10 @@ import itertools
 import socket
 import threading
 import time
+from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.exceptions import ProtocolError, TransportError, WireError
 from repro.field.arithmetic import FiniteField
@@ -54,14 +57,17 @@ from repro.service.transport import (
     _absorb_worker_span,
 )
 from repro.wire import (
+    CAP_BUFFERED_DRAINS,
     CAP_PACKED_ARRAYS,
     CAP_ROUND_TRACING,
     ErrorFrame,
     FrameAssembler,
     Ping,
+    RekeyRequest,
     SessionSetup,
     SessionTeardown,
     SetupAck,
+    ShardDrainRequest,
     ShardRoundRequest,
     Shutdown,
     decode_message,
@@ -594,6 +600,10 @@ class SocketTransport(ShardTransport):
                     client.request_capability(CAP_PACKED_ARRAYS)
                 if self.tracing:
                     client.request_capability(CAP_ROUND_TRACING)
+                if any(
+                    self.specs[s].supports_drains for s in shards
+                ):
+                    client.request_capability(CAP_BUFFERED_DRAINS)
                 client.ensure_connected()  # a pooled client may be broken
                 with client._cv:
                     requested = client.requested_caps
@@ -786,6 +796,152 @@ class SocketTransport(ShardTransport):
         if first_error is not None:
             raise first_error
         return results
+
+    def drain_all(self, weights, per_shard_updates, recovery_dropouts):
+        """Scatter one buffered drain per shard, then gather every result.
+
+        Error handling matches :meth:`run_all`: an aborted scatter
+        abandons already-sent requests, a torn connection fails that
+        shard's gather without stranding the others, and library errors
+        crossing the wire take precedence over transport errors.
+        """
+        if self._closed:
+            raise ProtocolError("session is closed")
+        if len(per_shard_updates) != len(self.specs):
+            raise ProtocolError(
+                f"expected {len(self.specs)} shard update slices, got "
+                f"{len(per_shard_updates)}"
+            )
+        t0 = time.perf_counter()
+        drain_id = next(self._round_ids)
+        trace = current_trace() if self.tracing else None
+        weights = np.asarray(weights, dtype=np.uint64)
+        pending: List[Tuple[int, int]] = []
+        bytes_sent = 0
+        try:
+            with span("shard_scatter", transport=self.kind):
+                for shard_id, updates in enumerate(per_shard_updates):
+                    client = self._client_of[shard_id]
+                    client.ensure_connected()
+                    if not client.supports(CAP_BUFFERED_DRAINS):
+                        # Unlike packed/tracing there is no raw fallback
+                        # frame an old worker could serve, so fail loud.
+                        raise TransportError(
+                            f"worker at {client.address[0]}:"
+                            f"{client.address[1]} does not support "
+                            "buffered drains (CAP_BUFFERED_DRAINS not "
+                            "acknowledged)"
+                        )
+                    request = ShardDrainRequest(
+                        shard_id=self._slot_of[shard_id],
+                        drain_id=drain_id,
+                        weights=weights,
+                        updates=updates,
+                        recovery_dropouts=set(recovery_dropouts),
+                        packed=self.wire_format == "packed",
+                    )
+                    if trace is not None:
+                        request.trace_id = trace.trace_id
+                    request_id, nbytes = self._request(shard_id, request)
+                    bytes_sent += nbytes
+                    pending.append((shard_id, request_id))
+        except BaseException:
+            for shard_id, request_id in pending:
+                self._client_of[shard_id].abandon(request_id)
+            raise
+
+        results = []
+        first_error: Optional[BaseException] = None
+        error_frame: Optional[ErrorFrame] = None
+        stalled_shards = 0
+        bytes_received = 0
+        with span("shard_gather", transport=self.kind):
+            for shard_id, request_id in pending:
+                try:
+                    message, nbytes = self._await(shard_id, request_id)
+                except TransportError as exc:
+                    if first_error is None:
+                        first_error = exc
+                    results.append(None)
+                    continue
+                bytes_received += nbytes
+                if isinstance(message, ErrorFrame):
+                    if error_frame is None:
+                        error_frame = message
+                    results.append(None)
+                    continue
+                handle = self._handles[shard_id]
+                handle._absorb(message.pool_level, message.stats)
+                stalled_shards += int(message.stalled)
+                _absorb_worker_span(
+                    trace, shard_id, message.worker_span, self.kind
+                )
+                results.append(message.to_result())
+        if self._metrics is not None:
+            self._metrics.record_transport_round(
+                self.kind,
+                time.perf_counter() - t0,
+                bytes_sent=bytes_sent,
+                bytes_received=bytes_received,
+                stalled_shards=stalled_shards,
+            )
+        if error_frame is not None:
+            error_frame.raise_()
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def rekey_all(self, num_users: int) -> int:
+        """Re-key every shard's worker session for a new member count.
+
+        Besides the worker round trips, every stored copy of the shard
+        specs is refreshed — ``self.specs``, the handles, and the
+        client's re-pin registry — so a reconnect after the re-key
+        replays a ``SessionSetup`` carrying the *new* geometry.
+        """
+        if self._closed:
+            raise ProtocolError("session is closed")
+        invalidated = 0
+        first_error: Optional[BaseException] = None
+        error_frame: Optional[ErrorFrame] = None
+        for shard_id in range(len(self.specs)):
+            client = self._client_of[shard_id]
+            slot = self._slot_of[shard_id]
+            try:
+                client.ensure_connected()
+                if not client.supports(CAP_BUFFERED_DRAINS):
+                    raise TransportError(
+                        f"worker at {client.address[0]}:"
+                        f"{client.address[1]} does not support re-keying "
+                        "(CAP_BUFFERED_DRAINS not acknowledged)"
+                    )
+                request_id, _ = self._request(
+                    shard_id, RekeyRequest(slot, num_users)
+                )
+                message, _ = self._await(shard_id, request_id)
+            except TransportError as exc:
+                if first_error is None:
+                    first_error = exc
+                continue
+            if isinstance(message, ErrorFrame):
+                if error_frame is None:
+                    error_frame = message
+                continue
+            invalidated += max(0, -int(message.rounds_added))
+            new_spec = replace(self.specs[shard_id], num_users=num_users)
+            self.specs[shard_id] = new_spec
+            self._handles[shard_id].spec = new_spec
+            self._handles[shard_id]._absorb(
+                message.pool_level, message.stats, message.closed
+            )
+            with client._cv:
+                if slot in client._slot_specs:
+                    client._slot_specs[slot] = new_spec
+        if error_frame is not None:
+            error_frame.raise_()
+        if first_error is not None:
+            raise first_error
+        return invalidated
 
     def refill_all(self, rounds: Optional[int] = None) -> int:
         """Scatter refills to every shard, then join (encodes overlap)."""

@@ -57,9 +57,11 @@ from repro.wire import (
     Ping,
     PoolSnapshot,
     RefillRequest,
+    RekeyRequest,
     SessionSetup,
     SessionTeardown,
     SetupAck,
+    ShardDrainRequest,
     ShardRoundRequest,
     ShardRoundResult,
     SnapshotRequest,
@@ -188,8 +190,8 @@ class _Connection:
             return False
         if isinstance(
             message,
-            (ShardRoundRequest, SnapshotRequest, SessionSetup,
-             SessionTeardown),
+            (ShardRoundRequest, ShardDrainRequest, RekeyRequest,
+             SnapshotRequest, SessionSetup, SessionTeardown),
         ):
             # Session builds can take seconds at large pool geometries;
             # running them (like rounds) on the serving thread keeps this
@@ -269,6 +271,65 @@ class _Connection:
                     continue
                 if isinstance(message, SnapshotRequest):
                     self._send(self._snapshot_of(message.shard_id), request_id)
+                    continue
+                if isinstance(message, RekeyRequest):
+                    session = self._session(message.shard_id)
+                    if not hasattr(session, "rekey"):
+                        raise TransportError(
+                            f"slot {message.shard_id} session does not "
+                            "support re-keying"
+                        )
+                    invalidated = session.rekey(message.num_users)
+                    self._send(
+                        self._snapshot_of(
+                            message.shard_id, rounds_added=-invalidated
+                        ),
+                        request_id,
+                    )
+                    continue
+                if isinstance(message, ShardDrainRequest):
+                    session = self._session(message.shard_id)
+                    if not hasattr(session, "drain"):
+                        raise TransportError(
+                            f"slot {message.shard_id} session does not "
+                            "support drains"
+                        )
+                    state = session.state_snapshot()
+                    stalled = bool(
+                        state["supports_pool"] and state["pool_level"] == 0
+                    )
+                    compute_start = time.time() if message.trace_id else 0.0
+                    result = session.drain(
+                        message.weights,
+                        message.updates,
+                        set(message.recovery_dropouts),
+                    )
+                    worker_span = None
+                    if message.trace_id:
+                        worker_span = WorkerSpan(
+                            trace_id=message.trace_id,
+                            pid=os.getpid(),
+                            host=_HOSTNAME,
+                            queue_wait_seconds=max(
+                                0.0, compute_start - enqueued_at
+                            ),
+                            compute_start_unix=compute_start,
+                            compute_seconds=time.time() - compute_start,
+                        )
+                    after = session.state_snapshot()
+                    self._send(
+                        ShardRoundResult.from_result(
+                            message.shard_id,
+                            message.drain_id,
+                            result,
+                            stalled=stalled,
+                            pool_level=after["pool_level"],
+                            stats=after["stats"],
+                            packed=message.packed,
+                            worker_span=worker_span,
+                        ),
+                        request_id,
+                    )
                     continue
                 session = self._session(message.shard_id)
                 state = session.state_snapshot()

@@ -54,7 +54,7 @@ import queue
 import socket as _socket
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -68,7 +68,9 @@ from repro.wire import (
     ErrorFrame,
     PoolSnapshot,
     RefillRequest,
+    RekeyRequest,
     SegmentArena,
+    ShardDrainRequest,
     ShardRoundRequest,
     ShardRoundResult,
     ShmArrayRef,
@@ -130,7 +132,7 @@ class ShardSessionSpec:
     identical mask/padding streams and their pools are bit-identical.
     """
 
-    protocol: str  # "lightsecagg" | "naive"
+    protocol: str  # "lightsecagg" | "lightsecagg-buffered" | "naive"
     num_users: int
     shard_dim: int
     privacy: int
@@ -142,7 +144,11 @@ class ShardSessionSpec:
 
     @property
     def supports_pool(self) -> bool:
-        return self.protocol == "lightsecagg"
+        return self.protocol in ("lightsecagg", "lightsecagg-buffered")
+
+    @property
+    def supports_drains(self) -> bool:
+        return self.protocol == "lightsecagg-buffered"
 
     def build(self, gf: Optional[FiniteField] = None):
         """Construct the protocol and open its session."""
@@ -153,7 +159,7 @@ class ShardSessionSpec:
         gf = gf if gf is not None else FiniteField(self.field_modulus)
         if self.protocol == "naive":
             protocol = NaiveAggregation(gf, self.num_users, self.shard_dim)
-        elif self.protocol == "lightsecagg":
+        elif self.protocol in ("lightsecagg", "lightsecagg-buffered"):
             params = LSAParams.from_guarantees(
                 self.num_users,
                 privacy=self.privacy,
@@ -162,9 +168,19 @@ class ShardSessionSpec:
             protocol = LightSecAgg(gf, params, self.shard_dim)
         else:
             raise ProtocolError(f"unknown shard protocol {self.protocol!r}")
+        rng = np.random.default_rng(list(self.seed))
+        if self.protocol == "lightsecagg-buffered":
+            from repro.asyncfl.pooled import BufferedShardSession
+
+            return BufferedShardSession(
+                protocol,
+                pool_size=self.pool_size,
+                rng=rng,
+                low_water=self.low_water,
+            )
         return protocol.session(
             pool_size=self.pool_size,
-            rng=np.random.default_rng(list(self.seed)),
+            rng=rng,
             low_water=self.low_water,
         )
 
@@ -202,6 +218,29 @@ class ShardTransport(abc.ABC):
     @abc.abstractmethod
     def refill_all(self, rounds: Optional[int] = None) -> int:
         """Top up every shard's pool; returns the max rounds added."""
+
+    def drain_all(
+        self,
+        weights: np.ndarray,
+        per_shard_updates: List[np.ndarray],
+        recovery_dropouts: Set[int],
+    ) -> List[AggregationResult]:
+        """One buffered drain across every shard (buffered sessions only).
+
+        ``weights`` is the shared ``(B,)`` staleness-weight vector;
+        ``per_shard_updates[s]`` the ``(B, shard_width)`` slice of the
+        unweighted quantized deliveries, rows in buffer order.
+        """
+        raise TransportError(
+            f"{self.kind} transport does not support buffered drains"
+        )
+
+    def rekey_all(self, num_users: int) -> int:
+        """Re-key every shard for a new member count; returns the total
+        pooled rounds invalidated (buffered sessions only)."""
+        raise TransportError(
+            f"{self.kind} transport does not support buffered drains"
+        )
 
     @abc.abstractmethod
     def close(self) -> None:
@@ -281,6 +320,52 @@ class InlineTransport(ShardTransport):
 
     def refill_all(self, rounds: Optional[int] = None) -> int:
         return max(session.refill(rounds) for session in self._sessions)
+
+    def drain_all(self, weights, per_shard_updates, recovery_dropouts):
+        if len(per_shard_updates) != len(self._sessions):
+            raise ProtocolError(
+                f"expected {len(self._sessions)} shard update slices, got "
+                f"{len(per_shard_updates)}"
+            )
+        t0 = time.perf_counter()
+        misses_before = sum(s.stats.pool_misses for s in self._sessions)
+        results = []
+        for shard_id, (session, updates) in enumerate(
+            zip(self._sessions, per_shard_updates)
+        ):
+            if not hasattr(session, "drain"):
+                raise TransportError(
+                    f"shard {shard_id} session does not support drains"
+                )
+            with span(
+                f"shard_compute[{shard_id}]",
+                pid=str(os.getpid()),
+                host=_HOSTNAME,
+                transport=self.kind,
+            ):
+                results.append(
+                    session.drain(weights, updates, set(recovery_dropouts))
+                )
+        if self._metrics is not None:
+            stalled = (
+                sum(s.stats.pool_misses for s in self._sessions)
+                - misses_before
+            )
+            self._metrics.record_transport_round(
+                self.kind, time.perf_counter() - t0, bytes_sent=0,
+                bytes_received=0, stalled_shards=stalled,
+            )
+        return results
+
+    def rekey_all(self, num_users: int) -> int:
+        invalidated = 0
+        for shard_id, session in enumerate(self._sessions):
+            if not hasattr(session, "rekey"):
+                raise TransportError(
+                    f"shard {shard_id} session does not support re-keying"
+                )
+            invalidated += session.rekey(num_users)
+        return invalidated
 
     def close(self) -> None:
         for session in self._sessions:
@@ -434,6 +519,61 @@ def _worker_serve(conn, specs: Dict[int, ShardSessionSpec]) -> None:
                             packed=message.packed,
                             aggregate_ref=aggregate_ref,
                             worker_span=worker_span,
+                        ),
+                        request_id,
+                    )
+                elif isinstance(message, ShardDrainRequest):
+                    session = sessions[message.shard_id]
+                    if not hasattr(session, "drain"):
+                        raise TransportError(
+                            f"shard {message.shard_id} session does not "
+                            "support drains"
+                        )
+                    state = session.state_snapshot()
+                    stalled = bool(
+                        state["supports_pool"] and state["pool_level"] == 0
+                    )
+                    compute_start = time.time() if message.trace_id else 0.0
+                    result = session.drain(
+                        message.weights,
+                        message.updates,
+                        set(message.recovery_dropouts),
+                    )
+                    worker_span = None
+                    if message.trace_id:
+                        worker_span = WorkerSpan(
+                            trace_id=message.trace_id,
+                            pid=os.getpid(),
+                            host=_HOSTNAME,
+                            queue_wait_seconds=0.0,
+                            compute_start_unix=compute_start,
+                            compute_seconds=time.time() - compute_start,
+                        )
+                    after = session.state_snapshot()
+                    send(
+                        ShardRoundResult.from_result(
+                            message.shard_id,
+                            message.drain_id,
+                            result,
+                            stalled=stalled,
+                            pool_level=after["pool_level"],
+                            stats=after["stats"],
+                            packed=message.packed,
+                            worker_span=worker_span,
+                        ),
+                        request_id,
+                    )
+                elif isinstance(message, RekeyRequest):
+                    session = sessions[message.shard_id]
+                    if not hasattr(session, "rekey"):
+                        raise TransportError(
+                            f"shard {message.shard_id} session does not "
+                            "support re-keying"
+                        )
+                    invalidated = session.rekey(message.num_users)
+                    send(
+                        snapshot_of(
+                            message.shard_id, rounds_added=-invalidated
                         ),
                         request_id,
                     )
@@ -901,6 +1041,103 @@ class ProcessPoolTransport(ShardTransport):
             ),
         )
         return request, matrix.nbytes
+
+    def drain_all(self, weights, per_shard_updates, recovery_dropouts):
+        """Scatter one drain request per shard, then gather every result.
+
+        Drain payloads always ride the pipe (even in shm mode): a drain
+        matrix is ``(B, width)`` with ``B <= N`` rows of *buffered*
+        deliveries, and the shm arena's request regions are sized for
+        the fixed member count at construction — re-keying can grow the
+        buffer past them, so the pipe lane is the one that stays correct
+        across membership churn.
+        """
+        if self._closed:
+            raise ProtocolError("session is closed")
+        if len(per_shard_updates) != len(self.specs):
+            raise ProtocolError(
+                f"expected {len(self.specs)} shard update slices, got "
+                f"{len(per_shard_updates)}"
+            )
+        t0 = time.perf_counter()
+        drain_id = next(self._round_ids)
+        trace = current_trace()
+        pending = []
+        bytes_sent = 0
+        with span("shard_scatter", transport=self.kind):
+            for shard_id, updates in enumerate(per_shard_updates):
+                request = ShardDrainRequest(
+                    shard_id=shard_id,
+                    drain_id=drain_id,
+                    weights=np.asarray(weights, dtype=np.uint64),
+                    updates=updates,
+                    recovery_dropouts=set(recovery_dropouts),
+                    packed=self.wire_format == "packed",
+                )
+                if trace is not None:
+                    request.trace_id = trace.trace_id
+                request_id, nbytes = self._request(shard_id, request)
+                bytes_sent += nbytes
+                pending.append((shard_id, request_id))
+
+        results: List[Optional[AggregationResult]] = []
+        error: Optional[ErrorFrame] = None
+        stalled_shards = 0
+        bytes_received = 0
+        with span("shard_gather", transport=self.kind):
+            for shard_id, request_id in pending:
+                message, nbytes = self._await(shard_id, request_id)
+                bytes_received += nbytes
+                if isinstance(message, ErrorFrame):
+                    error = error if error is not None else message
+                    results.append(None)
+                    continue
+                handle = self._handles[shard_id]
+                handle._absorb(message.pool_level, message.stats)
+                stalled_shards += int(message.stalled)
+                _absorb_worker_span(
+                    trace, shard_id, message.worker_span, self.kind
+                )
+                results.append(message.to_result())
+        if self._metrics is not None:
+            self._metrics.record_transport_round(
+                self.kind,
+                time.perf_counter() - t0,
+                bytes_sent=bytes_sent,
+                bytes_received=bytes_received,
+                stalled_shards=stalled_shards,
+            )
+        if error is not None:
+            error.raise_()
+        return results
+
+    def rekey_all(self, num_users: int) -> int:
+        """Re-key every shard's worker session, then refresh the local
+        specs so a later worker restart rebuilds the *new* geometry."""
+        if self._closed:
+            raise ProtocolError("session is closed")
+        pending = [
+            (shard_id, self._request(
+                shard_id, RekeyRequest(shard_id, num_users)
+            )[0])
+            for shard_id in range(len(self.specs))
+        ]
+        invalidated = 0
+        error: Optional[ErrorFrame] = None
+        for shard_id, request_id in pending:
+            message, _ = self._await(shard_id, request_id)
+            if isinstance(message, ErrorFrame):
+                error = error if error is not None else message
+                continue
+            invalidated += max(0, -int(message.rounds_added))
+            new_spec = replace(self.specs[shard_id], num_users=num_users)
+            self.specs[shard_id] = new_spec
+            handle = self._handles[shard_id]
+            handle.spec = new_spec
+            handle._absorb(message.pool_level, message.stats, message.closed)
+        if error is not None:
+            error.raise_()
+        return invalidated
 
     def refill_all(self, rounds: Optional[int] = None) -> int:
         """Scatter refills to every shard, then join — encodes overlap.

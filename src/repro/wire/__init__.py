@@ -35,6 +35,7 @@ from repro.wire.format import (
     unpack_bits,
 )
 from repro.wire.messages import (
+    CAP_BUFFERED_DRAINS,
     CAP_PACKED_ARRAYS,
     CAP_ROUND_TRACING,
     SUPPORTED_CAPABILITIES,
@@ -44,9 +45,11 @@ from repro.wire.messages import (
     Ping,
     PoolSnapshot,
     RefillRequest,
+    RekeyRequest,
     SessionSetup,
     SessionTeardown,
     SetupAck,
+    ShardDrainRequest,
     ShardRoundRequest,
     ShardRoundResult,
     SnapshotRequest,
@@ -77,6 +80,7 @@ __all__ = [
     "pack_bits",
     "packed_nbytes",
     "unpack_bits",
+    "CAP_BUFFERED_DRAINS",
     "CAP_PACKED_ARRAYS",
     "CAP_ROUND_TRACING",
     "SUPPORTED_CAPABILITIES",
@@ -86,9 +90,11 @@ __all__ = [
     "Ping",
     "PoolSnapshot",
     "RefillRequest",
+    "RekeyRequest",
     "SessionSetup",
     "SessionTeardown",
     "SetupAck",
+    "ShardDrainRequest",
     "ShardRoundRequest",
     "ShardRoundResult",
     "SnapshotRequest",

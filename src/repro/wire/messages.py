@@ -89,8 +89,17 @@ CAP_PACKED_ARRAYS = 0x1
 #: cross-process timeline per round.
 CAP_ROUND_TRACING = 0x2
 
+#: Peer understands buffered-async drains: it accepts
+#: :class:`ShardDrainRequest` (weighted aggregation of a sealed update
+#: buffer, answered with a :class:`ShardRoundResult`) and
+#: :class:`RekeyRequest` (rebuild a slot's session geometry for a new
+#: member count, answered with a :class:`PoolSnapshot`).
+CAP_BUFFERED_DRAINS = 0x4
+
 #: Every capability this build implements.
-SUPPORTED_CAPABILITIES = CAP_PACKED_ARRAYS | CAP_ROUND_TRACING
+SUPPORTED_CAPABILITIES = (
+    CAP_PACKED_ARRAYS | CAP_ROUND_TRACING | CAP_BUFFERED_DRAINS
+)
 
 
 def _put_id_set(w: PayloadWriter, ids) -> None:
@@ -568,6 +577,104 @@ class ErrorFrame:
 
 
 @dataclass
+class ShardDrainRequest:
+    """One buffered-async drain for one shard.
+
+    Unlike :class:`ShardRoundRequest`, rows are *deliveries*, not
+    members: row ``b`` is the ``b``-th buffered update (its shard
+    slice), ``weights[b]`` its public staleness weight, and the
+    worker-side session spends pooled mask slot ``b`` on it.  Row order
+    is therefore load-bearing and is **not** canonicalized on encode.
+    ``recovery_dropouts`` are member *slots* missing from the recovery
+    phase.  Answered with a :class:`ShardRoundResult` keyed by
+    ``drain_id``; requires a :data:`CAP_BUFFERED_DRAINS` peer.
+    """
+
+    TYPE = 12
+
+    shard_id: int
+    drain_id: int
+    weights: np.ndarray  # (B,) uint64 positive staleness weights
+    updates: np.ndarray  # (B, shard_width) uint64, unweighted quantized
+    recovery_dropouts: Set[int] = field(default_factory=set)
+    packed: bool = False
+    # Round-trace correlation id; trailing-optional, omitted when zero
+    # (same convention as ShardRoundRequest).
+    trace_id: int = 0
+
+    def _encode(self, w: PayloadWriter) -> None:
+        weights = np.ascontiguousarray(self.weights, dtype=np.uint64)
+        updates = np.asarray(self.updates, dtype=np.uint64)
+        if weights.ndim != 1:
+            raise WireError(f"drain weights must be 1-D, got {weights.shape}")
+        if updates.ndim != 2 or updates.shape[0] != weights.size:
+            raise WireError(
+                f"drain updates matrix {updates.shape} does not match "
+                f"{weights.size} weights"
+            )
+        w.put_u32(self.shard_id)
+        w.put_u64(self.drain_id)
+        w.put_array(weights)
+        if self.packed:
+            w.put_packed_array(np.ascontiguousarray(updates))
+        else:
+            w.put_array(np.ascontiguousarray(updates))
+        _put_id_set(w, self.recovery_dropouts)
+        if self.trace_id:
+            w.put_u64(self.trace_id)
+
+    @classmethod
+    def _decode(cls, r: PayloadReader) -> "ShardDrainRequest":
+        shard_id = r.get_u32()
+        drain_id = r.get_u64()
+        weights = r.get_array()
+        packed = bool(r.peek_u8() & _PACKED_FLAG)
+        updates = r.get_array()
+        if updates.ndim != 2 or updates.shape[0] != weights.size:
+            raise WireError(
+                f"drain request carries {updates.shape} update matrix for "
+                f"{weights.size} weights"
+            )
+        recovery_dropouts = _get_id_set(r)
+        trace_id = r.get_u64() if r.remaining else 0
+        return cls(
+            shard_id=shard_id,
+            drain_id=drain_id,
+            weights=weights,
+            updates=updates,
+            recovery_dropouts=recovery_dropouts,
+            packed=packed,
+            trace_id=trace_id,
+        )
+
+
+@dataclass
+class RekeyRequest:
+    """Re-key one slot's session for a new member count.
+
+    Sent between drains when cohort membership changes; the worker's
+    session rebuilds its protocol geometry and drops pooled material
+    encoded for the old member set, answering with a
+    :class:`PoolSnapshot` whose ``rounds_added`` is the (negated)
+    number of invalidated pool entries.  Requires a
+    :data:`CAP_BUFFERED_DRAINS` peer.
+    """
+
+    TYPE = 13
+
+    shard_id: int
+    num_users: int
+
+    def _encode(self, w: PayloadWriter) -> None:
+        w.put_u32(self.shard_id)
+        w.put_u32(self.num_users)
+
+    @classmethod
+    def _decode(cls, r: PayloadReader) -> "RekeyRequest":
+        return cls(shard_id=r.get_u32(), num_users=r.get_u32())
+
+
+@dataclass
 class SnapshotRequest:
     """Ask for one shard's :class:`PoolSnapshot` without touching the pool."""
 
@@ -749,6 +856,8 @@ WIRE_MESSAGES: Dict[int, Type] = {
         PoolSnapshot,
         ErrorFrame,
         SnapshotRequest,
+        ShardDrainRequest,
+        RekeyRequest,
         SessionSetup,
         SetupAck,
         SessionTeardown,

@@ -67,6 +67,15 @@ def deterministic_history() -> ServiceMetrics:
     metrics.record_phase("shard_compute", 0.02)
     metrics.record_phase("shard_compute", 0.3)
     metrics.record_phase("reconstruct", 0.004)
+    # cohort 2: a buffered-async cohort — the buffer fills to capacity,
+    # drains once with staleness spread {0, 1, 5}, and sees one
+    # join/leave churn pair
+    metrics.record_submit(2, buffer_fill=1, buffer_capacity=3)
+    metrics.record_submit(2, buffer_fill=2, buffer_capacity=3)
+    metrics.record_submit(2, buffer_fill=3, buffer_capacity=3)
+    metrics.record_drain(2, staleness=[0, 1, 5])
+    metrics.record_membership(2, "join")
+    metrics.record_membership(2, "leave")
     return metrics
 
 
@@ -103,9 +112,10 @@ class TestGolden:
             if line.startswith("#") or not line:
                 continue
             name = line.split("{")[0].split(" ")[0]
+            stripped = re.sub(r"_(bucket|sum|count)$", "", name)
             sample_names.add(
-                re.sub(r"_(bucket|sum|count)$", "", name)
-                if "latency_seconds" in name
+                stripped
+                if f"# TYPE {stripped} histogram" in text
                 else name
             )
         for name in sample_names:
